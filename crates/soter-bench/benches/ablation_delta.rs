@@ -1,0 +1,41 @@
+//! Bench + table for the Remark 3.3 ablation: the decision period Δ and the
+//! φ_safer hysteresis factor trade performance (lap time, AC utilisation)
+//! against conservativeness (switch count), with safety preserved across the
+//! whole sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::ablation_delta;
+use std::hint::black_box;
+
+fn print_table() {
+    let rows = ablation_delta(&[50, 100, 200, 400], &[1.0, 1.5, 2.5], 3, 240.0);
+    println!("\n=== Remark 3.3: Δ / φ_safer ablation ===");
+    println!(
+        "{:>8} {:>8} {:>14} {:>16} {:>10} {:>11}",
+        "Δ (s)", "k_safer", "lap time (s)", "disengagements", "AC %", "collisions"
+    );
+    for r in &rows {
+        println!(
+            "{:>8.2} {:>8.1} {:>14} {:>16} {:>10.1} {:>11}",
+            r.delta,
+            r.safer_factor,
+            r.completion_time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "timeout".into()),
+            r.disengagements,
+            100.0 * r.ac_fraction,
+            r.collisions
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("ablation_delta");
+    group.sample_size(10);
+    group.bench_function("single_setting_lap", |b| {
+        b.iter(|| black_box(ablation_delta(&[100], &[1.5], 3, 200.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench + table for Fig. 12a / Sec. V-A: circuit completion time and safety
+//! under AC-only, RTA-protected and SC-only motion primitives (the paper
+//! reports 10 s / 14 s / 24 s with collisions only in the AC-only case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::{circuit_lap, fig12a_comparison};
+use soter_drone::stack::Protection;
+use std::hint::black_box;
+
+fn print_table() {
+    let report = fig12a_comparison(3, 300.0);
+    println!("\n=== Fig. 12a / Sec. V-A: g1..g4 circuit comparison ===");
+    println!(
+        "{:<10} {:>14} {:>12} {:>16} {:>12} {:>12}",
+        "config", "lap time (s)", "collisions", "disengagements", "AC time %", "inv. viol."
+    );
+    for row in &report.rows {
+        println!(
+            "{:<10} {:>14} {:>12} {:>16} {:>12.1} {:>12}",
+            row.configuration,
+            row.completion_time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "timeout".into()),
+            row.metrics.collisions,
+            row.metrics.disengagements,
+            100.0 * row.metrics.ac_fraction,
+            row.invariant_violations,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig12a_motion_primitive");
+    group.sample_size(10);
+    group.bench_function("rta_protected_lap", |b| {
+        b.iter(|| black_box(circuit_lap(Protection::Rta, 3, 200.0)))
+    });
+    group.bench_function("sc_only_lap", |b| {
+        b.iter(|| black_box(circuit_lap(Protection::ScOnly, 3, 200.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

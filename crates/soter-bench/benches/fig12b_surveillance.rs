@@ -1,0 +1,34 @@
+//! Bench + table for Fig. 12b: the RTA-protected surveillance mission over
+//! the city-block workspace (the safe controller takes over near obstacles
+//! and hands control back, with the advanced controller in command for most
+//! of the mission).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::fig12b_surveillance;
+use std::hint::black_box;
+
+fn print_table() {
+    let r = fig12b_surveillance(7, 6, 400.0);
+    println!("\n=== Fig. 12b: RTA-protected surveillance mission ===");
+    println!("targets reached        : {}", r.targets_reached);
+    println!("duration               : {:.1} s", r.metrics.duration);
+    println!("distance               : {:.1} m", r.metrics.distance);
+    println!("collisions             : {}", r.metrics.collisions);
+    println!("disengagements (AC→SC) : {}", r.mpr_disengagements);
+    println!("re-engagements (SC→AC) : {}", r.mpr_reengagements);
+    println!("AC time                : {:.1} %", 100.0 * r.metrics.ac_fraction);
+    println!("invariant violations   : {}", r.invariant_violations);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig12b_surveillance");
+    group.sample_size(10);
+    group.bench_function("two_targets", |b| {
+        b.iter(|| black_box(fig12b_surveillance(7, 2, 150.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench + table for Fig. 12c: the battery-safety module switches to the
+//! certified landing planner when the remaining charge can no longer cover
+//! the worst-case 2Δ discharge plus the landing reserve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::fig12c_battery;
+use std::hint::black_box;
+
+fn print_table() {
+    let r = fig12c_battery(11, 300.0);
+    println!("\n=== Fig. 12c: battery-safety RTA module ===");
+    println!(
+        "charge at AC→SC switch : {}",
+        r.charge_at_switch.map(|c| format!("{:.1} %", 100.0 * c)).unwrap_or_else(|| "never".into())
+    );
+    println!("final charge           : {:.1} %", 100.0 * r.final_charge);
+    println!("landed safely          : {}", r.landed);
+    println!("φ_bat violated         : {}", r.battery_violation);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig12c_battery");
+    group.sample_size(10);
+    group.bench_function("battery_mission_60s", |b| {
+        b.iter(|| black_box(fig12c_battery(11, 60.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

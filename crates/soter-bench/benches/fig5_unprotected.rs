@@ -1,0 +1,49 @@
+//! Bench + table for Fig. 5: unprotected third-party (PX4-like) and
+//! data-driven controllers deviate dangerously / collide when flown at speed.
+//!
+//! The harness prints the per-controller violation summary (the data behind
+//! the red trajectories of Fig. 5) and benchmarks a short unprotected
+//! circuit segment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::fig5_unprotected;
+use soter_drone::stack::AdvancedKind;
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n=== Fig. 5: unprotected controllers on the g1..g4 circuit ===");
+    println!(
+        "{:<16} {:>12} {:>16} {:>18} {:>14}",
+        "controller", "collisions", "max deviation", "waypoints reached", "min clearance"
+    );
+    for (kind, seed) in [
+        (AdvancedKind::Px4Like, 1u64),
+        (AdvancedKind::Learned { seed: 4 }, 4),
+    ] {
+        let r = fig5_unprotected(kind, seed, 90.0);
+        println!(
+            "{:<16} {:>12} {:>16.2} {:>18} {:>14.2}",
+            r.controller,
+            r.metrics.collisions,
+            r.max_deviation,
+            r.waypoints_reached,
+            r.metrics.min_clearance
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig5_unprotected");
+    group.sample_size(10);
+    group.bench_function("px4_like_circuit_20s", |b| {
+        b.iter(|| black_box(fig5_unprotected(AdvancedKind::Px4Like, 1, 20.0)))
+    });
+    group.bench_function("learned_circuit_20s", |b| {
+        b.iter(|| black_box(fig5_unprotected(AdvancedKind::Learned { seed: 4 }, 4, 20.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench + table for the Sec. V-C experiment: the planner RTA module masks
+//! every colliding plan produced by the fault-injected RRT*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::experiments::planner_rta;
+use std::hint::black_box;
+
+fn print_table() {
+    let r = planner_rta(23, 60);
+    println!("\n=== Sec. V-C: RTA-protected motion planner ===");
+    println!("queries                          : {}", r.queries);
+    println!("colliding plans, unprotected     : {}", r.unprotected_colliding_plans);
+    println!("colliding plans, RTA-protected   : {}", r.protected_colliding_plans);
+    println!("DM fallbacks to the safe planner : {}", r.dm_switches_to_safe);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("planner_rta");
+    group.sample_size(10);
+    group.bench_function("protected_planning_10_queries", |b| {
+        b.iter(|| black_box(planner_rta(23, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

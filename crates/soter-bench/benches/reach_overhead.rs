@@ -1,0 +1,39 @@
+//! Bench for the runtime overhead of the decision module's reachability
+//! query (the per-Δ cost SOTER adds to the stack) and of the offline
+//! backward-reachable-set grid computation used to derive φ_safer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soter_drone::experiments::dm_reachability_query;
+use soter_drone::stack::DroneStackConfig;
+use soter_reach::backward::ReachGrid;
+use soter_reach::forward::ForwardReach;
+use soter_sim::dynamics::QuadrotorDynamics;
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = DroneStackConfig::default();
+    let mut group = c.benchmark_group("reach_overhead");
+    group.bench_function("dm_query_city_block", |b| {
+        b.iter(|| black_box(dm_reachability_query(&config, Vec3::new(21.0, 21.0, 5.0), 6.0)))
+    });
+    group.bench_function("dm_query_near_obstacle", |b| {
+        b.iter(|| black_box(dm_reachability_query(&config, Vec3::new(8.0, 13.0, 5.0), 7.0)))
+    });
+    let workspace = Workspace::city_block();
+    let reach = ForwardReach::new(QuadrotorDynamics::default(), 0.01, 0.05);
+    for resolution in [2.0, 1.0, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("backward_reach_grid", format!("{resolution}m")),
+            &resolution,
+            |b, &res| {
+                b.iter(|| black_box(ReachGrid::compute(&workspace, &reach, 0.2, 6.0, res, 5.0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark harness crate for the SOTER reproduction.
+//!
+//! All content lives in the Criterion benches under `benches/`; this library
+//! target only exists so the crate is a valid workspace member.

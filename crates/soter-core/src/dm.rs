@@ -1,0 +1,273 @@
+//! The generated decision module (DM).
+//!
+//! For every declared RTA module the SOTER compiler generates a decision
+//! module node that runs with period `Δ`, reads the state topics, and
+//! applies the switching logic of Fig. 9:
+//!
+//! ```text
+//! every Δ:
+//!     if mode = AC and Reach(st, *, 2Δ) ⊄ φ_safe   then mode := SC
+//!     else if mode = SC and st ∈ φ_safer            then mode := AC
+//! ```
+//!
+//! The DM publishes on no topic; instead the runtime reads
+//! [`DecisionModule::mode`] after each DM step and updates the global
+//! output-enable (OE) map that gates which controller's outputs reach the
+//! rest of the system (rule DM-STEP of Fig. 11).
+
+use crate::node::Node;
+use crate::rta::{Mode, SafetyOracle};
+use crate::time::{Duration, Time};
+use crate::topic::{TopicMap, TopicName};
+use std::fmt;
+use std::sync::Arc;
+
+/// A record of one mode switch performed by a decision module.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SwitchEvent {
+    /// When the switch happened.
+    pub time: Time,
+    /// The mode switched away from.
+    pub from: Mode,
+    /// The mode switched to.
+    pub to: Mode,
+}
+
+/// The decision module node generated for an RTA module.
+pub struct DecisionModule {
+    name: String,
+    subscriptions: Vec<TopicName>,
+    delta: Duration,
+    oracle: Arc<dyn SafetyOracle>,
+    mode: Mode,
+    switches: Vec<SwitchEvent>,
+    evaluations: u64,
+}
+
+impl fmt::Debug for DecisionModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecisionModule")
+            .field("name", &self.name)
+            .field("delta", &self.delta)
+            .field("mode", &self.mode)
+            .field("switches", &self.switches.len())
+            .finish()
+    }
+}
+
+impl DecisionModule {
+    /// Creates a decision module.  Normally called by
+    /// [`crate::rta::RtaModuleBuilder::build`], which derives the
+    /// subscription set from the controllers it protects.
+    pub fn new(
+        name: impl Into<String>,
+        subscriptions: Vec<TopicName>,
+        delta: Duration,
+        oracle: Arc<dyn SafetyOracle>,
+    ) -> Self {
+        DecisionModule {
+            name: name.into(),
+            subscriptions,
+            delta,
+            oracle,
+            // Every RTA module starts in SC mode (initial configuration of
+            // the operational semantics, Sec. IV).
+            mode: Mode::Sc,
+            switches: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The decision period `Δ`.
+    pub fn delta(&self) -> Duration {
+        self.delta
+    }
+
+    /// All mode switches performed so far, in time order.
+    pub fn switches(&self) -> &[SwitchEvent] {
+        &self.switches
+    }
+
+    /// Number of AC→SC switches (the paper's "disengagements").
+    pub fn disengagement_count(&self) -> usize {
+        self.switches.iter().filter(|s| s.from == Mode::Ac && s.to == Mode::Sc).count()
+    }
+
+    /// Number of SC→AC switches.
+    pub fn reengagement_count(&self) -> usize {
+        self.switches.iter().filter(|s| s.from == Mode::Sc && s.to == Mode::Ac).count()
+    }
+
+    /// Number of times the switching logic has been evaluated.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    fn set_mode(&mut self, now: Time, new_mode: Mode) {
+        if new_mode != self.mode {
+            self.switches.push(SwitchEvent { time: now, from: self.mode, to: new_mode });
+            self.mode = new_mode;
+        }
+    }
+}
+
+impl Node for DecisionModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn subscriptions(&self) -> Vec<TopicName> {
+        self.subscriptions.clone()
+    }
+
+    fn outputs(&self) -> Vec<TopicName> {
+        // The DM publishes on no topic; it only drives the OE map.
+        Vec::new()
+    }
+
+    fn period(&self) -> Duration {
+        self.delta
+    }
+
+    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
+        self.evaluations += 1;
+        let two_delta = self.delta * 2;
+        match self.mode {
+            Mode::Ac => {
+                if self.oracle.may_leave_safe_within(inputs, two_delta) {
+                    self.set_mode(now, Mode::Sc);
+                }
+            }
+            Mode::Sc => {
+                if self.oracle.is_safer(inputs) {
+                    self.set_mode(now, Mode::Ac);
+                }
+            }
+        }
+        TopicMap::new()
+    }
+
+    fn reset(&mut self) {
+        self.mode = Mode::Sc;
+        self.switches.clear();
+        self.evaluations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::test_support::LineOracle;
+    use crate::topic::Value;
+
+    fn dm(bound: f64, safer: f64, speed: f64, delta_ms: u64) -> DecisionModule {
+        DecisionModule::new(
+            "dm",
+            vec![TopicName::new("state")],
+            Duration::from_millis(delta_ms),
+            Arc::new(LineOracle { bound, safer_bound: safer, max_speed: speed }),
+        )
+    }
+
+    fn observe(x: f64) -> TopicMap {
+        let mut m = TopicMap::new();
+        m.insert("state", Value::Float(x));
+        m
+    }
+
+    #[test]
+    fn starts_in_sc_mode() {
+        let d = dm(10.0, 5.0, 1.0, 100);
+        assert_eq!(d.mode(), Mode::Sc);
+        assert_eq!(d.period(), Duration::from_millis(100));
+        assert!(d.outputs().is_empty());
+        assert_eq!(d.name(), "dm");
+    }
+
+    #[test]
+    fn switches_to_ac_when_state_is_safer() {
+        let mut d = dm(10.0, 5.0, 1.0, 100);
+        d.step(Time::from_millis(100), &observe(2.0));
+        assert_eq!(d.mode(), Mode::Ac);
+        assert_eq!(d.reengagement_count(), 1);
+        assert_eq!(d.disengagement_count(), 0);
+    }
+
+    #[test]
+    fn stays_in_sc_when_not_yet_safer() {
+        let mut d = dm(10.0, 5.0, 1.0, 100);
+        d.step(Time::from_millis(100), &observe(7.0));
+        assert_eq!(d.mode(), Mode::Sc, "7.0 is safe but not safer (bound 5)");
+        assert!(d.switches().is_empty());
+    }
+
+    #[test]
+    fn switches_to_sc_when_safety_may_be_violated_within_two_delta() {
+        let mut d = dm(10.0, 5.0, 1.0, 1000);
+        // Get into AC mode first.
+        d.step(Time::from_millis(1000), &observe(0.0));
+        assert_eq!(d.mode(), Mode::Ac);
+        // At x = 9, with max speed 1 m/s and 2Δ = 2 s, the system can reach
+        // 11 > 10, so the DM must disengage.
+        d.step(Time::from_millis(2000), &observe(9.0));
+        assert_eq!(d.mode(), Mode::Sc);
+        assert_eq!(d.disengagement_count(), 1);
+        assert_eq!(d.switches().len(), 2);
+        assert_eq!(d.switches()[1].from, Mode::Ac);
+        assert_eq!(d.switches()[1].to, Mode::Sc);
+        assert_eq!(d.switches()[1].time, Time::from_millis(2000));
+    }
+
+    #[test]
+    fn stays_in_ac_when_two_delta_reach_is_safe() {
+        let mut d = dm(10.0, 5.0, 1.0, 100);
+        d.step(Time::from_millis(100), &observe(0.0));
+        assert_eq!(d.mode(), Mode::Ac);
+        // 2Δ = 0.2 s, so from x = 4 the system can reach at most 4.2 < 10.
+        d.step(Time::from_millis(200), &observe(4.0));
+        assert_eq!(d.mode(), Mode::Ac);
+    }
+
+    #[test]
+    fn hysteresis_between_safer_and_switching_boundary() {
+        // With bound 10, safer 5, speed 1, Δ = 1 s: the DM disengages when
+        // x + 2 > 10 (x > 8) and re-engages only when x ≤ 5, so a state
+        // x = 6.5 keeps whatever mode is current.
+        let mut d = dm(10.0, 5.0, 1.0, 1000);
+        d.step(Time::from_millis(1000), &observe(6.5));
+        assert_eq!(d.mode(), Mode::Sc, "6.5 is not in φ_safer, stay in SC");
+        d.step(Time::from_millis(2000), &observe(4.0));
+        assert_eq!(d.mode(), Mode::Ac);
+        d.step(Time::from_millis(3000), &observe(6.5));
+        assert_eq!(d.mode(), Mode::Ac, "6.5 cannot escape within 2Δ, stay in AC");
+    }
+
+    #[test]
+    fn evaluation_counter_and_reset() {
+        let mut d = dm(10.0, 5.0, 1.0, 100);
+        d.step(Time::from_millis(100), &observe(0.0));
+        d.step(Time::from_millis(200), &observe(9.9));
+        assert_eq!(d.evaluations(), 2);
+        assert!(!d.switches().is_empty());
+        d.reset();
+        assert_eq!(d.mode(), Mode::Sc);
+        assert_eq!(d.evaluations(), 0);
+        assert!(d.switches().is_empty());
+    }
+
+    #[test]
+    fn missing_state_topic_keeps_sc_mode() {
+        // With no state published the LineOracle reads x = 0, which is
+        // safer, so the DM would engage AC; this test documents that the DM
+        // itself has no special handling for missing topics — the oracle
+        // decides.  (The drone-stack oracles treat missing state as unsafe.)
+        let mut d = dm(10.0, 5.0, 1.0, 100);
+        d.step(Time::from_millis(100), &TopicMap::new());
+        assert_eq!(d.mode(), Mode::Ac);
+    }
+}

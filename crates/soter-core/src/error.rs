@@ -1,0 +1,86 @@
+//! Error type for the SOTER core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while declaring, checking or composing RTA modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SoterError {
+    /// A declared RTA module violates one of the structural well-formedness
+    /// conditions (P1a or P1b) — analogous to a SOTER compile error.
+    IllFormedModule {
+        /// Name of the offending module.
+        module: String,
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+    /// A set of RTA modules is not composable (shared node names or
+    /// overlapping outputs).
+    NotComposable {
+        /// Human-readable description of the conflict.
+        reason: String,
+    },
+    /// A node published on a topic it did not declare as an output.
+    UndeclaredOutput {
+        /// The offending node.
+        node: String,
+        /// The topic it attempted to publish on.
+        topic: String,
+    },
+    /// A runtime configuration error (e.g. running an empty system).
+    Runtime(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl fmt::Display for SoterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoterError::IllFormedModule { module, reason } => {
+                write!(f, "RTA module `{module}` is not well-formed: {reason}")
+            }
+            SoterError::NotComposable { reason } => {
+                write!(f, "RTA modules are not composable: {reason}")
+            }
+            SoterError::UndeclaredOutput { node, topic } => {
+                write!(f, "node `{node}` published on undeclared topic `{topic}`")
+            }
+            SoterError::Runtime(reason) => write!(f, "runtime error: {reason}"),
+        }
+    }
+}
+
+impl Error for SoterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SoterError::IllFormedModule {
+            module: "SafeMotionPrimitive".into(),
+            reason: "δ(AC) exceeds Δ".into(),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("SafeMotionPrimitive"));
+        assert!(msg.contains("δ(AC) exceeds Δ"));
+
+        let e = SoterError::NotComposable { reason: "output overlap on `control`".into() };
+        assert!(format!("{e}").contains("output overlap"));
+
+        let e = SoterError::UndeclaredOutput { node: "ac".into(), topic: "oops".into() };
+        assert!(format!("{e}").contains("oops"));
+
+        let e = SoterError::Runtime("empty system".into());
+        assert!(format!("{e}").contains("empty system"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SoterError>();
+    }
+}

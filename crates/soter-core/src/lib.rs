@@ -1,0 +1,72 @@
+//! # soter-core — the SOTER runtime-assurance formalism
+//!
+//! This crate implements the programming model and the runtime-assurance
+//! (RTA) formalism of *SOTER: A Runtime Assurance Framework for Programming
+//! Safe Robotics Systems* (DSN 2019):
+//!
+//! * [`topic`] — topics and the universe of values `V` exchanged on them
+//!   (Sec. III-A),
+//! * [`node`] — periodic publish/subscribe nodes `(N, I, O, T, C)` with
+//!   their time-tables (Sec. III-A),
+//! * [`rta`] — the RTA module `(N_ac, N_sc, N_dm, Δ, φ_safe, φ_safer)` and
+//!   the [`rta::SafetyOracle`] abstraction the decision module queries
+//!   (Sec. III-B),
+//! * [`dm`] — the automatically generated decision module implementing the
+//!   switching logic of Fig. 9,
+//! * [`wellformed`] — the well-formedness conditions P1a, P1b, P2a, P2b and
+//!   P3 (Sec. III-C), with both declared evidence and sampling-based
+//!   checking over a plant abstraction,
+//! * [`invariant`] — the Theorem 3.1 invariant `φ_Inv` as a runtime monitor,
+//! * [`composition`] — RTA systems, the composability conditions and the
+//!   Theorem 4.1 compositional invariant,
+//! * [`error`] — the crate's error type.
+//!
+//! The operational semantics of Fig. 11 (configurations, calendars, the
+//! OE output-enable map and the four transition rules) is implemented by the
+//! companion crate `soter-runtime`, which executes the structures defined
+//! here.
+//!
+//! ```
+//! use soter_core::prelude::*;
+//!
+//! // A trivial node that republishes its input unchanged every 10 ms.
+//! let relay = FnNode::builder("relay")
+//!     .subscribes(["in"])
+//!     .publishes(["out"])
+//!     .period(Duration::from_millis(10))
+//!     .step(|_, inputs, outputs| {
+//!         if let Some(v) = inputs.get("in") {
+//!             outputs.insert("out", v.clone());
+//!         }
+//!     })
+//!     .build();
+//! assert_eq!(relay.period(), Duration::from_millis(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composition;
+pub mod dm;
+pub mod error;
+pub mod invariant;
+pub mod node;
+pub mod rta;
+pub mod time;
+pub mod topic;
+pub mod wellformed;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::composition::{CompositionError, RtaSystem};
+    pub use crate::dm::DecisionModule;
+    pub use crate::error::SoterError;
+    pub use crate::invariant::{InvariantMonitor, InvariantStatus};
+    pub use crate::node::{FnNode, Node, NodeInfo};
+    pub use crate::rta::{Mode, RtaModule, RtaModuleBuilder, SafetyOracle};
+    pub use crate::time::{Duration, Time};
+    pub use crate::topic::{TopicMap, TopicName, Value};
+    pub use crate::wellformed::{CheckOutcome, PlantAbstraction, SamplingConfig, WellFormedness};
+}
+
+pub use prelude::*;

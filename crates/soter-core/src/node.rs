@@ -1,0 +1,320 @@
+//! Periodic publish/subscribe nodes.
+//!
+//! A SOTER node is a tuple `(N, I, O, T, C)` (Sec. III-A): a unique name, a
+//! set of subscribed topics, a set of published topics (disjoint from the
+//! inputs), a transition relation over the node's local state, and a
+//! time-table of the instants at which the node fires.  [`Node`] is the Rust
+//! trait capturing that structure; the local state lives inside the trait
+//! object and the transition relation is the `step` method.  [`FnNode`] is a
+//! convenience implementation backed by a closure, which is how the examples
+//! and the drone case study declare application-level nodes.
+
+use crate::time::{Duration, Time};
+use crate::topic::{TopicMap, TopicName};
+use std::fmt;
+
+/// Static description of a node: its name, subscriptions, outputs and
+/// period.  This is what well-formedness and composition checks inspect
+/// without needing to run the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The unique node name `N`.
+    pub name: String,
+    /// Subscribed topics `I`.
+    pub subscriptions: Vec<TopicName>,
+    /// Published topics `O` (disjoint from `I`).
+    pub outputs: Vec<TopicName>,
+    /// The node's period `δ(N)` (its time-table is `t0, t0+δ, t0+2δ, …`).
+    pub period: Duration,
+}
+
+impl fmt::Display for NodeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} (period {})", self.name, self.period)
+    }
+}
+
+/// A periodic input-output state-transition system.
+///
+/// At every instant in its time-table, the runtime calls [`Node::step`] with
+/// the current valuation of the node's subscribed topics; the node updates
+/// its local state and returns the valuation of its published topics.
+pub trait Node: Send {
+    /// The unique node name.
+    fn name(&self) -> &str;
+
+    /// Topic names this node subscribes to (its inputs `I`).
+    fn subscriptions(&self) -> Vec<TopicName>;
+
+    /// Topic names this node publishes on (its outputs `O`).
+    fn outputs(&self) -> Vec<TopicName>;
+
+    /// The node's period.
+    fn period(&self) -> Duration;
+
+    /// Executes one transition of the node: reads the valuation of the
+    /// subscribed topics, updates the local state, and returns the values to
+    /// publish.  The returned map must only contain topics listed in
+    /// [`Node::outputs`]; the runtime enforces this.
+    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap;
+
+    /// Resets the node's local state to its initial value (used by the
+    /// systematic-testing engine between explored schedules).
+    fn reset(&mut self) {}
+
+    /// The node's static description.
+    fn info(&self) -> NodeInfo {
+        NodeInfo {
+            name: self.name().to_string(),
+            subscriptions: self.subscriptions(),
+            outputs: self.outputs(),
+            period: self.period(),
+        }
+    }
+}
+
+impl fmt::Debug for dyn Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Node({})", self.name())
+    }
+}
+
+type StepFn = dyn FnMut(Time, &TopicMap, &mut TopicMap) + Send;
+
+/// A [`Node`] implemented by a closure, for declaring simple nodes inline.
+///
+/// ```
+/// use soter_core::prelude::*;
+///
+/// let mut counter = 0i64;
+/// let mut node = FnNode::builder("counter")
+///     .publishes(["count"])
+///     .period(Duration::from_millis(50))
+///     .step(move |_, _, out| {
+///         counter += 1;
+///         out.insert("count", Value::Int(counter));
+///     })
+///     .build();
+/// let out = node.step(Time::ZERO, &TopicMap::new());
+/// assert_eq!(out.get("count"), Some(&Value::Int(1)));
+/// ```
+pub struct FnNode {
+    name: String,
+    subscriptions: Vec<TopicName>,
+    outputs: Vec<TopicName>,
+    period: Duration,
+    step: Box<StepFn>,
+}
+
+impl FnNode {
+    /// Starts building a closure-backed node with the given name.
+    pub fn builder(name: impl Into<String>) -> FnNodeBuilder {
+        FnNodeBuilder {
+            name: name.into(),
+            subscriptions: Vec::new(),
+            outputs: Vec::new(),
+            period: Duration::from_millis(10),
+            step: None,
+        }
+    }
+}
+
+impl Node for FnNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn subscriptions(&self) -> Vec<TopicName> {
+        self.subscriptions.clone()
+    }
+
+    fn outputs(&self) -> Vec<TopicName> {
+        self.outputs.clone()
+    }
+
+    fn period(&self) -> Duration {
+        self.period
+    }
+
+    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
+        let mut out = TopicMap::new();
+        (self.step)(now, inputs, &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for FnNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnNode")
+            .field("name", &self.name)
+            .field("period", &self.period)
+            .field("subscriptions", &self.subscriptions)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+/// Builder for [`FnNode`].
+pub struct FnNodeBuilder {
+    name: String,
+    subscriptions: Vec<TopicName>,
+    outputs: Vec<TopicName>,
+    period: Duration,
+    step: Option<Box<StepFn>>,
+}
+
+impl FnNodeBuilder {
+    /// Declares the topics the node subscribes to.
+    pub fn subscribes<I, S>(mut self, topics: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<TopicName>,
+    {
+        self.subscriptions = topics.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declares the topics the node publishes on.
+    pub fn publishes<I, S>(mut self, topics: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<TopicName>,
+    {
+        self.outputs = topics.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the node's period (default 10 ms).
+    pub fn period(mut self, period: Duration) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Sets the node's transition function.  The closure receives the
+    /// current time, the valuation of the subscribed topics, and a mutable
+    /// map into which outputs are published.
+    pub fn step<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(Time, &TopicMap, &mut TopicMap) + Send + 'static,
+    {
+        self.step = Some(Box::new(f));
+        self
+    }
+
+    /// Finishes building the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step function was provided, if the period is zero, or if
+    /// the input and output topic sets overlap (the paper requires
+    /// `I ∩ O = ∅`).
+    pub fn build(self) -> FnNode {
+        let step = self.step.expect("FnNode requires a step function");
+        assert!(!self.period.is_zero(), "node period must be positive");
+        for o in &self.outputs {
+            assert!(
+                !self.subscriptions.contains(o),
+                "node {}: output topic {} also appears in inputs (I ∩ O must be empty)",
+                self.name,
+                o
+            );
+        }
+        FnNode {
+            name: self.name,
+            subscriptions: self.subscriptions,
+            outputs: self.outputs,
+            period: self.period,
+            step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::Value;
+
+    #[test]
+    fn fn_node_reports_declared_structure() {
+        let node = FnNode::builder("motionPrimitive")
+            .subscribes(["localPosition", "targetWaypoint"])
+            .publishes(["controlAction"])
+            .period(Duration::from_millis(10))
+            .step(|_, _, _| {})
+            .build();
+        assert_eq!(node.name(), "motionPrimitive");
+        assert_eq!(node.subscriptions().len(), 2);
+        assert_eq!(node.outputs(), vec![TopicName::new("controlAction")]);
+        assert_eq!(node.period(), Duration::from_millis(10));
+        let info = node.info();
+        assert_eq!(info.name, "motionPrimitive");
+        assert!(format!("{info}").contains("motionPrimitive"));
+    }
+
+    #[test]
+    fn fn_node_step_publishes_outputs() {
+        let mut node = FnNode::builder("doubler")
+            .subscribes(["in"])
+            .publishes(["out"])
+            .period(Duration::from_millis(5))
+            .step(|_, inputs, out| {
+                let x = inputs.get("in").and_then(Value::as_float).unwrap_or(0.0);
+                out.insert("out", Value::Float(2.0 * x));
+            })
+            .build();
+        let mut inputs = TopicMap::new();
+        inputs.insert("in", Value::Float(21.0));
+        let out = node.step(Time::ZERO, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn fn_node_keeps_local_state_between_steps() {
+        let mut count = 0i64;
+        let mut node = FnNode::builder("counter")
+            .publishes(["count"])
+            .period(Duration::from_millis(5))
+            .step(move |_, _, out| {
+                count += 1;
+                out.insert("count", Value::Int(count));
+            })
+            .build();
+        node.step(Time::ZERO, &TopicMap::new());
+        node.step(Time::ZERO, &TopicMap::new());
+        let out = node.step(Time::ZERO, &TopicMap::new());
+        assert_eq!(out.get("count"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_inputs_and_outputs_panic() {
+        let _ = FnNode::builder("bad")
+            .subscribes(["x"])
+            .publishes(["x"])
+            .step(|_, _, _| {})
+            .build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_step_panics() {
+        let _ = FnNode::builder("no-step").build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_panics() {
+        let _ = FnNode::builder("zero")
+            .period(Duration::ZERO)
+            .step(|_, _, _| {})
+            .build();
+    }
+
+    #[test]
+    fn trait_object_debug_uses_name() {
+        let node: Box<dyn Node> = Box::new(
+            FnNode::builder("n1").step(|_, _, _| {}).build(),
+        );
+        assert_eq!(format!("{node:?}"), "Node(n1)");
+    }
+}

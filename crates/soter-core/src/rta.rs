@@ -1,0 +1,530 @@
+//! The RTA module: `(N_ac, N_sc, N_dm, Δ, φ_safe, φ_safer)`.
+//!
+//! An RTA module (Sec. III-B of the paper) wraps an untrusted advanced
+//! controller node and a certified safe controller node behind a generated
+//! decision module.  The safety specification — membership in `φ_safe`,
+//! membership in `φ_safer`, and the `Reach(s, *, 2Δ) ⊄ φ_safe` check the
+//! decision module evaluates — is provided through the [`SafetyOracle`]
+//! trait, typically backed by the reachability engine of `soter-reach`.
+
+use crate::dm::DecisionModule;
+use crate::error::SoterError;
+use crate::node::{Node, NodeInfo};
+use crate::time::Duration;
+use crate::topic::{TopicMap, TopicName};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which controller of an RTA module is currently in command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// The advanced (untrusted, high-performance) controller.
+    Ac,
+    /// The safe (certified, conservative) controller.
+    Sc,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Ac => f.write_str("AC"),
+            Mode::Sc => f.write_str("SC"),
+        }
+    }
+}
+
+/// The safety specification an RTA module protects.
+///
+/// The oracle answers the three questions the decision module asks every `Δ`
+/// (Fig. 9 of the paper), phrased over the *observed* state — the valuation
+/// of the topics the decision module subscribes to:
+///
+/// * is the current state inside `φ_safe`?
+/// * is the current state inside the stronger region `φ_safer`?
+/// * starting from the current state, can the system leave `φ_safe` within a
+///   given horizon under *any* admissible control (`Reach(s, *, h) ⊄
+///   φ_safe`)?
+pub trait SafetyOracle: Send + Sync {
+    /// Returns `true` if the observed state is inside `φ_safe`.
+    fn is_safe(&self, observed: &TopicMap) -> bool;
+
+    /// Returns `true` if the observed state is inside `φ_safer ⊆ φ_safe`.
+    fn is_safer(&self, observed: &TopicMap) -> bool;
+
+    /// Returns `true` if the system may leave `φ_safe` within `horizon`
+    /// starting from the observed state, under any admissible control —
+    /// i.e. the paper's `ttf_2Δ(s, φ_safe)` when `horizon = 2Δ`.
+    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool;
+}
+
+/// An RTA module: an advanced controller, a safe controller, the decision
+/// period `Δ` and the safety oracle from which the decision module is
+/// generated.
+///
+/// Constructed through [`RtaModule::builder`], which performs the structural
+/// well-formedness checks (P1a and P1b) the SOTER compiler performs at
+/// compile time.
+pub struct RtaModule {
+    name: String,
+    ac: Box<dyn Node>,
+    sc: Box<dyn Node>,
+    delta: Duration,
+    oracle: Arc<dyn SafetyOracle>,
+    dm: DecisionModule,
+}
+
+impl fmt::Debug for RtaModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RtaModule")
+            .field("name", &self.name)
+            .field("ac", &self.ac.name())
+            .field("sc", &self.sc.name())
+            .field("delta", &self.delta)
+            .field("mode", &self.dm.mode())
+            .finish()
+    }
+}
+
+impl RtaModule {
+    /// Starts building an RTA module with the given name.
+    pub fn builder(name: impl Into<String>) -> RtaModuleBuilder {
+        RtaModuleBuilder {
+            name: name.into(),
+            ac: None,
+            sc: None,
+            delta: None,
+            oracle: None,
+            dm_extra_subscriptions: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The decision period `Δ`.
+    pub fn delta(&self) -> Duration {
+        self.delta
+    }
+
+    /// The advanced controller node.
+    pub fn ac(&self) -> &dyn Node {
+        self.ac.as_ref()
+    }
+
+    /// Mutable access to the advanced controller node (the runtime steps it).
+    pub fn ac_mut(&mut self) -> &mut dyn Node {
+        self.ac.as_mut()
+    }
+
+    /// The safe controller node.
+    pub fn sc(&self) -> &dyn Node {
+        self.sc.as_ref()
+    }
+
+    /// Mutable access to the safe controller node.
+    pub fn sc_mut(&mut self) -> &mut dyn Node {
+        self.sc.as_mut()
+    }
+
+    /// The generated decision module.
+    pub fn dm(&self) -> &DecisionModule {
+        &self.dm
+    }
+
+    /// Mutable access to the generated decision module.
+    pub fn dm_mut(&mut self) -> &mut DecisionModule {
+        &mut self.dm
+    }
+
+    /// The module's safety oracle.
+    pub fn oracle(&self) -> Arc<dyn SafetyOracle> {
+        Arc::clone(&self.oracle)
+    }
+
+    /// The current mode of the module (which controller's outputs are
+    /// enabled).
+    pub fn mode(&self) -> Mode {
+        self.dm.mode()
+    }
+
+    /// Static descriptions of the three nodes of the module, in the order
+    /// `(AC, SC, DM)`.
+    pub fn node_infos(&self) -> (NodeInfo, NodeInfo, NodeInfo) {
+        (self.ac.info(), self.sc.info(), self.dm.info())
+    }
+
+    /// The output topics of the module (`O(AC) = O(SC)` by P1b).
+    pub fn outputs(&self) -> Vec<TopicName> {
+        self.ac.outputs()
+    }
+
+    /// Names of the three nodes of this module.
+    pub fn node_names(&self) -> Vec<String> {
+        vec![
+            self.ac.name().to_string(),
+            self.sc.name().to_string(),
+            self.dm.name().to_string(),
+        ]
+    }
+
+    /// Resets the module to its initial configuration: both controllers
+    /// reset and the decision module back to `SC` mode (the paper's initial
+    /// configuration starts every module in `SC` mode).
+    pub fn reset(&mut self) {
+        self.ac.reset();
+        self.sc.reset();
+        self.dm.reset();
+    }
+}
+
+/// Builder for [`RtaModule`].  `build` performs the structural
+/// well-formedness checks the SOTER compiler performs on a module
+/// declaration.
+pub struct RtaModuleBuilder {
+    name: String,
+    ac: Option<Box<dyn Node>>,
+    sc: Option<Box<dyn Node>>,
+    delta: Option<Duration>,
+    oracle: Option<Arc<dyn SafetyOracle>>,
+    dm_extra_subscriptions: Vec<TopicName>,
+}
+
+impl RtaModuleBuilder {
+    /// Sets the advanced controller node.
+    pub fn advanced(mut self, ac: impl Node + 'static) -> Self {
+        self.ac = Some(Box::new(ac));
+        self
+    }
+
+    /// Sets the advanced controller node from an existing box.
+    pub fn advanced_boxed(mut self, ac: Box<dyn Node>) -> Self {
+        self.ac = Some(ac);
+        self
+    }
+
+    /// Sets the safe controller node.
+    pub fn safe(mut self, sc: impl Node + 'static) -> Self {
+        self.sc = Some(Box::new(sc));
+        self
+    }
+
+    /// Sets the safe controller node from an existing box.
+    pub fn safe_boxed(mut self, sc: Box<dyn Node>) -> Self {
+        self.sc = Some(sc);
+        self
+    }
+
+    /// Sets the decision period `Δ`.
+    pub fn delta(mut self, delta: Duration) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Sets the safety oracle (φ_safe, φ_safer and the reachability check).
+    pub fn oracle(mut self, oracle: impl SafetyOracle + 'static) -> Self {
+        self.oracle = Some(Arc::new(oracle));
+        self
+    }
+
+    /// Sets the safety oracle from an existing shared reference.
+    pub fn oracle_arc(mut self, oracle: Arc<dyn SafetyOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Declares additional topics the generated decision module subscribes
+    /// to beyond `I(AC) ∪ I(SC)` — the paper only requires
+    /// `I(AC) ∪ I(SC) ⊆ I(DM)`, and oracles often need extra observations
+    /// (e.g. the battery-safety DM reads the battery topic, the planner DM
+    /// reads the plan its own controllers publish).
+    pub fn dm_subscribes<I, S>(mut self, topics: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<TopicName>,
+    {
+        self.dm_extra_subscriptions = topics.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Builds the module, generating its decision module and checking the
+    /// structural well-formedness conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoterError::IllFormedModule`] if a component is missing, if
+    /// P1a is violated (`δ(AC) ≤ Δ`, `δ(SC) ≤ Δ`, `Δ > 0`), or if P1b is
+    /// violated (`O(AC) = O(SC)`).
+    pub fn build(self) -> Result<RtaModule, SoterError> {
+        let ill = |reason: &str| SoterError::IllFormedModule {
+            module: self.name.clone(),
+            reason: reason.to_string(),
+        };
+        let ac = self.ac.ok_or_else(|| ill("missing advanced controller node"))?;
+        let sc = self.sc.ok_or_else(|| ill("missing safe controller node"))?;
+        let delta = self.delta.ok_or_else(|| ill("missing decision period Δ"))?;
+        let oracle = self.oracle.ok_or_else(|| ill("missing safety oracle"))?;
+        let mk_err = |reason: String| SoterError::IllFormedModule {
+            module: self.name.clone(),
+            reason,
+        };
+        if delta.is_zero() {
+            return Err(mk_err("decision period Δ must be positive (P1a)".into()));
+        }
+        // P1a: δ(AC) ≤ Δ and δ(SC) ≤ Δ.
+        if ac.period() > delta {
+            return Err(mk_err(format!(
+                "P1a violated: δ(AC) = {} exceeds Δ = {}",
+                ac.period(),
+                delta
+            )));
+        }
+        if sc.period() > delta {
+            return Err(mk_err(format!(
+                "P1a violated: δ(SC) = {} exceeds Δ = {}",
+                sc.period(),
+                delta
+            )));
+        }
+        // P1b: O(AC) = O(SC) (as sets).
+        let mut ac_out = ac.outputs();
+        let mut sc_out = sc.outputs();
+        ac_out.sort();
+        sc_out.sort();
+        if ac_out != sc_out {
+            return Err(mk_err(format!(
+                "P1b violated: O(AC) = {ac_out:?} differs from O(SC) = {sc_out:?}"
+            )));
+        }
+        // The DM subscribes to the union of the controllers' subscriptions
+        // (I(AC) ∪ I(SC) ⊆ I(DM)).
+        let mut dm_subs: Vec<TopicName> = ac.subscriptions();
+        for s in sc.subscriptions().into_iter().chain(self.dm_extra_subscriptions.iter().cloned()) {
+            if !dm_subs.contains(&s) {
+                dm_subs.push(s);
+            }
+        }
+        let dm = DecisionModule::new(
+            format!("{}_dm", self.name),
+            dm_subs,
+            delta,
+            Arc::clone(&oracle),
+        );
+        Ok(RtaModule { name: self.name, ac, sc, delta, oracle, dm })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for the core crate's unit tests: a one-dimensional
+    //! "position on a line" system whose safety region is an interval.
+
+    use super::*;
+    use crate::node::FnNode;
+    use crate::topic::Value;
+
+    /// Oracle over a 1-D position published on the `state` topic:
+    /// `φ_safe = |x| ≤ bound`, `φ_safer = |x| ≤ safer_bound`, and the
+    /// reachability check assumes a maximum speed of `max_speed`.
+    #[derive(Debug, Clone)]
+    pub struct LineOracle {
+        pub bound: f64,
+        pub safer_bound: f64,
+        pub max_speed: f64,
+    }
+
+    impl LineOracle {
+        fn position(observed: &TopicMap) -> f64 {
+            observed.get("state").and_then(Value::as_float).unwrap_or(0.0)
+        }
+    }
+
+    impl SafetyOracle for LineOracle {
+        fn is_safe(&self, observed: &TopicMap) -> bool {
+            Self::position(observed).abs() <= self.bound
+        }
+
+        fn is_safer(&self, observed: &TopicMap) -> bool {
+            Self::position(observed).abs() <= self.safer_bound
+        }
+
+        fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+            let x = Self::position(observed);
+            x.abs() + self.max_speed * horizon.as_secs_f64() > self.bound
+        }
+    }
+
+    /// An "advanced controller" that always pushes outward at full speed.
+    pub fn aggressive_node(period: Duration) -> FnNode {
+        FnNode::builder("line_ac")
+            .subscribes(["state"])
+            .publishes(["command"])
+            .period(period)
+            .step(|_, _, out| {
+                out.insert("command", Value::Float(1.0));
+            })
+            .build()
+    }
+
+    /// A "safe controller" that always pushes back toward the origin.
+    pub fn conservative_node(period: Duration) -> FnNode {
+        FnNode::builder("line_sc")
+            .subscribes(["state"])
+            .publishes(["command"])
+            .period(period)
+            .step(|_, inputs, out| {
+                let x = inputs.get("state").and_then(Value::as_float).unwrap_or(0.0);
+                out.insert("command", Value::Float(if x > 0.0 { -1.0 } else { 1.0 }));
+            })
+            .build()
+    }
+
+    /// A well-formed line-follower RTA module used across the core tests.
+    pub fn line_module(delta_ms: u64) -> RtaModule {
+        RtaModule::builder("line")
+            .advanced(aggressive_node(Duration::from_millis(delta_ms)))
+            .safe(conservative_node(Duration::from_millis(delta_ms)))
+            .delta(Duration::from_millis(delta_ms))
+            .oracle(LineOracle { bound: 10.0, safer_bound: 5.0, max_speed: 1.0 })
+            .build()
+            .expect("line module is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use crate::node::FnNode;
+    use crate::topic::Value;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(format!("{}", Mode::Ac), "AC");
+        assert_eq!(format!("{}", Mode::Sc), "SC");
+    }
+
+    #[test]
+    fn well_formed_module_builds() {
+        let module = line_module(100);
+        assert_eq!(module.name(), "line");
+        assert_eq!(module.delta(), Duration::from_millis(100));
+        assert_eq!(module.mode(), Mode::Sc, "modules start in SC mode");
+        assert_eq!(module.outputs(), vec![TopicName::new("command")]);
+        assert_eq!(module.node_names(), vec!["line_ac", "line_sc", "line_dm"]);
+        let dbg = format!("{module:?}");
+        assert!(dbg.contains("line_ac") && dbg.contains("line_sc"));
+    }
+
+    #[test]
+    fn dm_subscribes_to_union_of_controller_inputs() {
+        let ac = FnNode::builder("ac")
+            .subscribes(["state", "target"])
+            .publishes(["command"])
+            .period(Duration::from_millis(10))
+            .step(|_, _, _| {})
+            .build();
+        let sc = FnNode::builder("sc")
+            .subscribes(["state", "extra"])
+            .publishes(["command"])
+            .period(Duration::from_millis(10))
+            .step(|_, _, _| {})
+            .build();
+        let module = RtaModule::builder("m")
+            .advanced(ac)
+            .safe(sc)
+            .delta(Duration::from_millis(20))
+            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .build()
+            .unwrap();
+        let subs = module.dm().subscriptions();
+        for t in ["state", "target", "extra"] {
+            assert!(subs.contains(&TopicName::new(t)), "DM must subscribe to {t}");
+        }
+        // The DM publishes on no topic.
+        assert!(module.dm().outputs().is_empty());
+    }
+
+    #[test]
+    fn p1a_violation_is_rejected() {
+        let ac = aggressive_node(Duration::from_millis(200));
+        let sc = conservative_node(Duration::from_millis(50));
+        let err = RtaModule::builder("m")
+            .advanced(ac)
+            .safe(sc)
+            .delta(Duration::from_millis(100))
+            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("P1a"));
+    }
+
+    #[test]
+    fn p1b_violation_is_rejected() {
+        let ac = FnNode::builder("ac")
+            .publishes(["command"])
+            .period(Duration::from_millis(10))
+            .step(|_, _, _| {})
+            .build();
+        let sc = FnNode::builder("sc")
+            .publishes(["other"])
+            .period(Duration::from_millis(10))
+            .step(|_, _, _| {})
+            .build();
+        let err = RtaModule::builder("m")
+            .advanced(ac)
+            .safe(sc)
+            .delta(Duration::from_millis(100))
+            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("P1b"));
+    }
+
+    #[test]
+    fn missing_components_are_rejected() {
+        let err = RtaModule::builder("m").build().unwrap_err();
+        assert!(format!("{err}").contains("missing"));
+        let err = RtaModule::builder("m")
+            .advanced(aggressive_node(Duration::from_millis(10)))
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn zero_delta_is_rejected() {
+        let err = RtaModule::builder("m")
+            .advanced(aggressive_node(Duration::from_millis(10)))
+            .safe(conservative_node(Duration::from_millis(10)))
+            .delta(Duration::ZERO)
+            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("Δ"));
+    }
+
+    #[test]
+    fn reset_returns_module_to_sc_mode() {
+        let mut module = line_module(100);
+        // Drive the DM into AC mode by observing a very safe state.
+        let mut observed = TopicMap::new();
+        observed.insert("state", Value::Float(0.0));
+        module.dm_mut().step(crate::time::Time::ZERO, &observed);
+        assert_eq!(module.mode(), Mode::Ac);
+        module.reset();
+        assert_eq!(module.mode(), Mode::Sc);
+    }
+
+    #[test]
+    fn oracle_is_shared_with_dm() {
+        let module = line_module(100);
+        let oracle = module.oracle();
+        let mut observed = TopicMap::new();
+        observed.insert("state", Value::Float(20.0));
+        assert!(!oracle.is_safe(&observed));
+        observed.insert("state", Value::Float(2.0));
+        assert!(oracle.is_safe(&observed) && oracle.is_safer(&observed));
+    }
+}

@@ -1,0 +1,344 @@
+//! Topics and the universe of values exchanged on them.
+//!
+//! Formally a topic is a pair `(e, v)` of a unique name `e ∈ T` and a value
+//! `v ∈ V` (Sec. III-A of the paper).  As in the paper's formalisation, all
+//! topics share the same value universe `V`, modelled here by the [`Value`]
+//! enum, and communication between nodes is modelled through the globally
+//! visible valuation of topics, modelled by [`TopicMap`].
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The name of a topic — an element of the universe `T` of topic names.
+///
+/// Topic names are cheap to clone (reference-counted) and ordered, so maps
+/// keyed by them iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicName(Arc<str>);
+
+impl TopicName {
+    /// Creates a topic name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        TopicName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for TopicName {
+    fn from(s: &str) -> Self {
+        TopicName::new(s)
+    }
+}
+
+impl From<String> for TopicName {
+    fn from(s: String) -> Self {
+        TopicName::new(s)
+    }
+}
+
+impl Borrow<str> for TopicName {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for TopicName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The universe `V` of values that can be communicated on topics.
+///
+/// The variants cover the message types exchanged by the drone surveillance
+/// stack of the case study (coordinates, kinematic state, waypoint paths,
+/// battery charge, control commands) plus generic scalars for writing other
+/// systems and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The default value of a freshly initialised topic.
+    Unit,
+    /// A boolean flag.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point scalar (e.g. a battery charge fraction).
+    Float(f64),
+    /// A 3-D vector (e.g. a `coord` target position or an acceleration
+    /// command).
+    Vector([f64; 3]),
+    /// A kinematic state sample: position and velocity.
+    State {
+        /// Position in metres.
+        position: [f64; 3],
+        /// Velocity in metres per second.
+        velocity: [f64; 3],
+    },
+    /// A sequence of waypoints (a motion plan).
+    Path(Vec<[f64; 3]>),
+    /// A free-form text value.
+    Text(String),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Unit
+    }
+}
+
+impl Value {
+    /// Returns the boolean payload, if this value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this value is a `Float` (or an `Int`,
+    /// widened).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the vector payload, if this value is a `Vector`.
+    pub fn as_vector(&self) -> Option<[f64; 3]> {
+        match self {
+            Value::Vector(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `(position, velocity)`, if this value is a `State`.
+    pub fn as_state(&self) -> Option<([f64; 3], [f64; 3])> {
+        match self {
+            Value::State { position, velocity } => Some((*position, *velocity)),
+            _ => None,
+        }
+    }
+
+    /// Returns the waypoint list, if this value is a `Path`.
+    pub fn as_path(&self) -> Option<&[[f64; 3]]> {
+        match self {
+            Value::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is the default `Unit` value (i.e. nothing has
+    /// been published on the topic yet).
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+}
+
+/// A valuation of a set of topics: a map from topic names to values.
+///
+/// This is `Vals(X)` in the paper's notation.  Backed by a `BTreeMap` so the
+/// iteration order (and therefore every downstream computation) is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopicMap {
+    values: BTreeMap<TopicName, Value>,
+}
+
+impl TopicMap {
+    /// Creates an empty valuation.
+    pub fn new() -> Self {
+        TopicMap { values: BTreeMap::new() }
+    }
+
+    /// Inserts (publishes) a value for a topic, returning the previous value
+    /// if one was present.
+    pub fn insert(&mut self, topic: impl Into<TopicName>, value: Value) -> Option<Value> {
+        self.values.insert(topic.into(), value)
+    }
+
+    /// Reads the value of a topic, if present.
+    pub fn get(&self, topic: &str) -> Option<&Value> {
+        self.values.get(topic)
+    }
+
+    /// Reads the value of a topic, substituting `Value::Unit` (the default
+    /// topic value in the initial configuration) when absent.
+    pub fn get_or_unit(&self, topic: &str) -> Value {
+        self.values.get(topic).cloned().unwrap_or(Value::Unit)
+    }
+
+    /// Returns `true` if the valuation contains the topic.
+    pub fn contains(&self, topic: &str) -> bool {
+        self.values.contains_key(topic)
+    }
+
+    /// Number of topics in the valuation.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the valuation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Removes a topic from the valuation.
+    pub fn remove(&mut self, topic: &str) -> Option<Value> {
+        self.values.remove(topic)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TopicName, &Value)> {
+        self.values.iter()
+    }
+
+    /// Merges `other` into `self`, overwriting existing entries — this is
+    /// the `out ∪ Topics[T \ dom(out)]` update of the AC-OR-SC-STEP rule.
+    pub fn merge_from(&mut self, other: &TopicMap) {
+        for (k, v) in other.iter() {
+            self.values.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Returns the restriction of this valuation to the given topic names —
+    /// `Topics[I(n)]` in the semantics, the inputs visible to a node.
+    pub fn restrict<'a, I>(&self, topics: I) -> TopicMap
+    where
+        I: IntoIterator<Item = &'a TopicName>,
+    {
+        let mut out = TopicMap::new();
+        for t in topics {
+            out.insert(t.clone(), self.get_or_unit(t.as_str()));
+        }
+        out
+    }
+}
+
+impl FromIterator<(TopicName, Value)> for TopicMap {
+    fn from_iter<T: IntoIterator<Item = (TopicName, Value)>>(iter: T) -> Self {
+        TopicMap { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(TopicName, Value)> for TopicMap {
+    fn extend<T: IntoIterator<Item = (TopicName, Value)>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_names_compare_by_content() {
+        let a = TopicName::new("localPosition");
+        let b: TopicName = "localPosition".into();
+        let c: TopicName = String::from("targetWaypoint").into();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "localPosition");
+        assert_eq!(format!("{a}"), "localPosition");
+    }
+
+    #[test]
+    fn value_accessors_return_expected_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Vector([1.0, 2.0, 3.0]).as_vector(), Some([1.0, 2.0, 3.0]));
+        let s = Value::State { position: [1.0; 3], velocity: [0.0; 3] };
+        assert_eq!(s.as_state(), Some(([1.0; 3], [0.0; 3])));
+        let p = Value::Path(vec![[0.0; 3], [1.0; 3]]);
+        assert_eq!(p.as_path().unwrap().len(), 2);
+        assert_eq!(Value::Text("hi".into()).as_text(), Some("hi"));
+        assert!(Value::Unit.is_unit());
+        // Mismatched accessors return None.
+        assert_eq!(Value::Bool(true).as_float(), None);
+        assert_eq!(Value::Float(1.0).as_vector(), None);
+    }
+
+    #[test]
+    fn topic_map_insert_get_remove() {
+        let mut m = TopicMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a", Value::Int(1)), None);
+        assert_eq!(m.insert("a", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(m.get("a"), Some(&Value::Int(2)));
+        assert!(m.contains("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get_or_unit("missing"), Value::Unit);
+        assert_eq!(m.remove("a"), Some(Value::Int(2)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_overwrites_existing_entries() {
+        let mut a = TopicMap::new();
+        a.insert("x", Value::Int(1));
+        a.insert("y", Value::Int(2));
+        let mut b = TopicMap::new();
+        b.insert("y", Value::Int(20));
+        b.insert("z", Value::Int(30));
+        a.merge_from(&b);
+        assert_eq!(a.get("x"), Some(&Value::Int(1)));
+        assert_eq!(a.get("y"), Some(&Value::Int(20)));
+        assert_eq!(a.get("z"), Some(&Value::Int(30)));
+    }
+
+    #[test]
+    fn restrict_projects_and_defaults() {
+        let mut m = TopicMap::new();
+        m.insert("present", Value::Float(1.0));
+        let names = [TopicName::new("present"), TopicName::new("absent")];
+        let r = m.restrict(names.iter());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("present"), Some(&Value::Float(1.0)));
+        assert_eq!(r.get("absent"), Some(&Value::Unit));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = TopicMap::new();
+        m.insert("b", Value::Int(2));
+        m.insert("a", Value::Int(1));
+        m.insert("c", Value::Int(3));
+        let names: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let m: TopicMap = [(TopicName::new("a"), Value::Int(1))].into_iter().collect();
+        assert_eq!(m.len(), 1);
+        let mut m2 = TopicMap::new();
+        m2.extend([(TopicName::new("b"), Value::Int(2))]);
+        assert!(m2.contains("b"));
+    }
+}

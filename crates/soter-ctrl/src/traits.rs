@@ -1,0 +1,106 @@
+//! The motion-controller interface.
+
+use soter_sim::dynamics::{ControlInput, DroneState};
+use soter_sim::vec3::Vec3;
+
+/// A motion primitive: given the current (estimated) state and the target
+/// waypoint, produce an acceleration command.
+///
+/// The SOTER decision module treats advanced controllers as black boxes
+/// (Remark 3.2 of the paper): the only assumption is that their outputs are
+/// admissible controls, which the plant enforces by clamping.
+pub trait MotionController: Send {
+    /// A short human-readable name (used in traces and reports).
+    fn name(&self) -> &str;
+
+    /// Computes the acceleration command for one control period.
+    fn control(&mut self, state: &DroneState, target: Vec3, dt: f64) -> ControlInput;
+
+    /// Resets any internal state (integrators, fault timers, RNG streams).
+    fn reset(&mut self) {}
+}
+
+
+impl MotionController for Box<dyn MotionController> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn control(&mut self, state: &DroneState, target: Vec3, dt: f64) -> ControlInput {
+        (**self).control(state, target, dt)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// Runs a controller in closed loop with the quadrotor dynamics until the
+/// target is reached (within `tolerance`, at low speed) or `max_time`
+/// elapses.  Returns the elapsed time and the visited states.
+///
+/// This helper is shared by the controller tests and the certified-envelope
+/// validation of the safe controller.
+pub fn simulate_to_waypoint<C: MotionController + ?Sized>(
+    controller: &mut C,
+    dynamics: &soter_sim::dynamics::QuadrotorDynamics,
+    start: DroneState,
+    target: Vec3,
+    dt: f64,
+    max_time: f64,
+    tolerance: f64,
+) -> (f64, Vec<DroneState>) {
+    let mut state = start;
+    let mut states = vec![state];
+    let mut t = 0.0;
+    while t < max_time {
+        let u = controller.control(&state, target, dt);
+        state = dynamics.step(&state, &u, Vec3::ZERO, dt);
+        states.push(state);
+        t += dt;
+        if state.position.distance(&target) < tolerance && state.speed() < 0.5 {
+            break;
+        }
+    }
+    (t, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soter_sim::dynamics::QuadrotorDynamics;
+
+    /// A trivially simple proportional controller used to test the harness.
+    struct P(f64);
+
+    impl MotionController for P {
+        fn name(&self) -> &str {
+            "p"
+        }
+        fn control(&mut self, state: &DroneState, target: Vec3, _dt: f64) -> ControlInput {
+            ControlInput::accel((target - state.position) * self.0 - state.velocity * 2.0)
+        }
+    }
+
+    #[test]
+    fn simulate_to_waypoint_terminates_on_arrival() {
+        let mut c = P(2.0);
+        let dynamics = QuadrotorDynamics::default();
+        let start = DroneState::at_rest(Vec3::new(0.0, 0.0, 5.0));
+        let target = Vec3::new(5.0, 0.0, 5.0);
+        let (t, states) = simulate_to_waypoint(&mut c, &dynamics, start, target, 0.01, 30.0, 0.3);
+        assert!(t < 30.0, "controller should reach the waypoint, took {t}");
+        let final_state = states.last().unwrap();
+        assert!(final_state.position.distance(&target) < 0.3);
+    }
+
+    #[test]
+    fn simulate_to_waypoint_times_out_for_weak_controller() {
+        let mut c = P(0.0); // produces only damping, never reaches
+        let dynamics = QuadrotorDynamics::default();
+        let start = DroneState::at_rest(Vec3::new(0.0, 0.0, 5.0));
+        let target = Vec3::new(5.0, 0.0, 5.0);
+        let (t, _) = simulate_to_waypoint(&mut c, &dynamics, start, target, 0.01, 2.0, 0.3);
+        assert!(t >= 2.0 - 0.011);
+    }
+}

@@ -1,0 +1,187 @@
+//! Well-formedness evidence for the motion-primitive RTA module.
+//!
+//! The paper discharges the semantic well-formedness conditions of the safe
+//! motion primitive (P2a, P2b, P3 of Sec. III-C) with FaSTrack and the
+//! Level-Set Toolbox.  The reproduction discharges them by sampling-based
+//! falsification through the generic checkers of
+//! [`soter_core::wellformed`]: [`MotionPrimitivePlant`] implements the
+//! [`PlantAbstraction`] interface by simulating the closed loop of the
+//! quadrotor under the shielded safe controller and by answering the
+//! "any control" reachability question with the same forward-reach
+//! over-approximation the decision module uses at runtime.
+
+use crate::stack::DroneStackConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soter_core::wellformed::PlantAbstraction;
+use soter_ctrl::shielded::ShieldedSafeController;
+use soter_ctrl::traits::MotionController;
+use soter_reach::forward::ForwardReach;
+use soter_sim::dynamics::{DroneState, QuadrotorDynamics};
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+
+/// The plant abstraction used to check P2a/P2b/P3 for the motion-primitive
+/// module.
+pub struct MotionPrimitivePlant {
+    workspace: Workspace,
+    dynamics: QuadrotorDynamics,
+    reach: ForwardReach,
+    /// Margin used when sampling safe states (so sampled states are not on
+    /// the very boundary of an obstacle).
+    sample_margin: f64,
+    /// Horizon (`safer_factor · 2Δ`) defining `φ_safer`.
+    safer_horizon: f64,
+    /// The waypoint the safe controller tracks during evidence rollouts
+    /// (a central free location; the shielded controller's safety does not
+    /// depend on the particular waypoint).
+    sc_target: Vec3,
+    /// Simulation step.
+    dt: f64,
+    /// Cap on the speed of sampled states.
+    max_sample_speed: f64,
+}
+
+impl MotionPrimitivePlant {
+    /// Builds the plant abstraction from a stack configuration.
+    pub fn from_config(config: &DroneStackConfig) -> Self {
+        let dynamics = QuadrotorDynamics::default();
+        let reach = ForwardReach::new(dynamics, config.plant_period.as_secs_f64(), 0.1);
+        let two_delta = 2.0 * config.delta_mpr.as_secs_f64();
+        let bounds = config.workspace.bounds();
+        let sc_target = Vec3::new(
+            (bounds.min.x + bounds.max.x) * 0.5,
+            bounds.min.y + 3.0,
+            (bounds.min.z + bounds.max.z) * 0.5,
+        );
+        MotionPrimitivePlant {
+            workspace: config.workspace.clone(),
+            dynamics,
+            reach,
+            sample_margin: config.clearance_margin,
+            safer_horizon: config.safer_factor * two_delta,
+            sc_target,
+            dt: config.plant_period.as_secs_f64(),
+            max_sample_speed: config.sc_speed_cap,
+        }
+    }
+
+    fn sample_states<F>(&self, n: usize, seed: u64, predicate: F) -> Vec<DroneState>
+    where
+        F: Fn(&DroneState) -> bool,
+    {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 500 {
+            attempts += 1;
+            let Some(position) = self.workspace.sample_free_point(&mut rng, 100) else {
+                continue;
+            };
+            let speed = rng.random_range(0.0..=self.max_sample_speed);
+            let theta = rng.random_range(0.0..std::f64::consts::TAU);
+            let velocity = Vec3::new(theta.cos() * speed, theta.sin() * speed, 0.0);
+            let state = DroneState { position, velocity };
+            if predicate(&state) {
+                out.push(state);
+            }
+        }
+        out
+    }
+}
+
+impl PlantAbstraction for MotionPrimitivePlant {
+    type State = DroneState;
+
+    fn sample_safe(&self, n: usize, seed: u64) -> Vec<DroneState> {
+        let margin = self.sample_margin;
+        self.sample_states(n, seed, |s| {
+            self.workspace.is_free_with_margin(s.position, margin)
+        })
+    }
+
+    fn sample_safer(&self, n: usize, seed: u64) -> Vec<DroneState> {
+        self.sample_states(n, seed, |s| self.is_safer(s))
+    }
+
+    fn is_safe(&self, state: &DroneState) -> bool {
+        self.workspace.is_free(state.position)
+    }
+
+    fn is_safer(&self, state: &DroneState) -> bool {
+        let occupancy = self.reach.occupancy(state, self.safer_horizon);
+        self.workspace.region_is_free_with_margin(&occupancy, self.sample_margin)
+    }
+
+    fn evolve_under_sc(&self, state: &DroneState, duration: f64) -> Vec<DroneState> {
+        let mut controller = ShieldedSafeController::with_workspace(self.workspace.clone());
+        let mut s = *state;
+        let mut out = vec![s];
+        let mut t = 0.0;
+        while t < duration {
+            let u = controller.control(&s, self.sc_target, self.dt);
+            s = self.dynamics.step(&s, &u, Vec3::ZERO, self.dt);
+            out.push(s);
+            t += self.dt;
+        }
+        out
+    }
+
+    fn may_leave_safe_any_control(&self, state: &DroneState, horizon: f64) -> bool {
+        let occupancy = self.reach.occupancy(state, horizon);
+        !self.workspace.region_is_free_with_margin(&occupancy, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::DroneStackConfig;
+    use soter_core::wellformed::{check_module, SamplingConfig};
+
+    fn plant() -> MotionPrimitivePlant {
+        let config = DroneStackConfig {
+            workspace: Workspace::corner_cut_course(),
+            ..DroneStackConfig::default()
+        };
+        MotionPrimitivePlant::from_config(&config)
+    }
+
+    #[test]
+    fn samplers_produce_states_in_their_regions() {
+        let p = plant();
+        let safe = p.sample_safe(32, 1);
+        assert!(!safe.is_empty());
+        assert!(safe.iter().all(|s| p.is_safe(s)));
+        let safer = p.sample_safer(32, 2);
+        assert!(!safer.is_empty());
+        assert!(safer.iter().all(|s| p.is_safer(s)));
+    }
+
+    #[test]
+    fn safer_region_is_contained_in_safe_region() {
+        let p = plant();
+        for s in p.sample_safer(64, 3) {
+            assert!(p.is_safe(&s));
+        }
+    }
+
+    #[test]
+    fn motion_primitive_module_is_well_formed() {
+        // The headline well-formedness result: P1a/P1b structurally, and
+        // P2a/P2b/P3 by sampling over the circuit workspace.
+        let config = DroneStackConfig {
+            workspace: Workspace::corner_cut_course(),
+            ..DroneStackConfig::default()
+        };
+        let module = config.motion_primitive_module();
+        let plant = MotionPrimitivePlant::from_config(&config);
+        let sampling = SamplingConfig { samples: 24, sc_horizon: 20.0, liveness_budget: 40.0, seed: 7 };
+        let report = check_module(&module, &plant, &sampling);
+        assert!(report.p1a_periods.passed(), "{report}");
+        assert!(report.p1b_outputs.passed(), "{report}");
+        assert!(report.p2a_sc_safety.passed(), "{report}");
+        assert!(report.p3_safer_containment.passed(), "{report}");
+        assert!(report.is_well_formed(), "{report}");
+    }
+}

@@ -1,0 +1,526 @@
+//! Experiment drivers — one per table/figure of the paper's evaluation.
+//!
+//! | Driver | Paper artefact |
+//! |---|---|
+//! | [`fig5_unprotected`] | Fig. 5: unprotected third-party / learned controllers are unsafe |
+//! | [`fig12a_comparison`] | Fig. 12a + Sec. V-A timing: AC-only vs RTA vs SC-only on the `g1..g4` circuit |
+//! | [`fig12b_surveillance`] | Fig. 12b: RTA-protected surveillance mission over the city block |
+//! | [`fig12c_battery`] | Fig. 12c: battery-safety module lands the drone before the charge runs out |
+//! | [`planner_rta`] | Sec. V-C: RTA-protected motion planner masks injected RRT* bugs |
+//! | [`stress_campaign`] | Sec. V-D: long randomized campaign, with and without scheduling jitter |
+//! | [`ablation_delta`] | Remark 3.3: effect of Δ and the φ_safer margin on performance/conservativeness |
+//!
+//! Every driver is deterministic for a given seed and returns a record from
+//! [`crate::report`]; the Criterion benches, the examples and the
+//! integration tests all call these functions.
+
+use crate::oracles::PlanOracle;
+use crate::plant::PlantHandle;
+use crate::report::{
+    AblationRow, Fig12aReport, Fig12aRow, Fig12bReport, Fig12cReport, Fig5Report, PlannerRtaReport,
+    StressReport,
+};
+use crate::stack::{build_circuit_stack, build_full_stack, AdvancedKind, DroneStackConfig, Protection};
+use crate::topics;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use soter_core::composition::RtaSystem;
+use soter_core::rta::{Mode, SafetyOracle};
+use soter_core::time::Duration;
+use soter_core::topic::Value;
+use soter_plan::buggy::{BuggyRrtStar, BuggyRrtStarConfig};
+use soter_plan::rrt_star::RrtStarConfig;
+use soter_plan::astar::GridAstar;
+use soter_plan::surveillance::TargetPolicy;
+use soter_plan::traits::MotionPlanner;
+use soter_plan::validate::validate_plan;
+use soter_runtime::executor::{Executor, ExecutorConfig};
+use soter_runtime::jitter::JitterModel;
+use soter_sim::battery::BatteryModel;
+use soter_sim::trajectory::{MissionMetrics, Trajectory};
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+
+/// The outcome of running one stack to completion (or timeout).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Ground-truth trajectory with the motion-primitive mode annotated.
+    pub trajectory: Trajectory,
+    /// Time at which the mission-progress target was reached, if it was.
+    pub completion_time: Option<f64>,
+    /// Final value of the mission-progress topic.
+    pub targets_reached: usize,
+    /// Theorem 3.1 invariant violations observed by the runtime monitors.
+    pub invariant_violations: usize,
+    /// AC→SC switches of the motion-primitive module (0 for unprotected
+    /// configurations).
+    pub mpr_disengagements: usize,
+    /// SC→AC switches of the motion-primitive module.
+    pub mpr_reengagements: usize,
+    /// Distance flown according to the plant (metres).
+    pub distance_flown: f64,
+    /// Final battery charge.
+    pub final_charge: f64,
+    /// Whether the vehicle ended the run landed.
+    pub landed: bool,
+    /// Battery/altitude profile samples `(time, altitude, charge)`.
+    pub profile: Vec<(f64, f64, f64)>,
+    /// Charge at the first AC→SC switch of the battery module, if any.
+    pub battery_switch_charge: Option<f64>,
+}
+
+/// Runs a stack until the mission-progress topic reaches `target_progress`
+/// (if given) or `max_time` elapses.  Trajectory samples are recorded every
+/// discrete instant from the ground-truth topic.
+pub fn run_stack(
+    system: RtaSystem,
+    handle: PlantHandle,
+    max_time: f64,
+    target_progress: Option<i64>,
+    jitter: JitterModel,
+) -> RunOutcome {
+    let config = ExecutorConfig { jitter, record_trace: false, monitor_invariants: true };
+    // When the motion primitive is not wrapped in an RTA module (AC-only or
+    // SC-only baselines), the "safe mode" annotation of the trajectory is
+    // constant: true when only the safe controller is present.
+    let unprotected_safe_mode =
+        system.free_nodes().iter().any(|n| n.name() == "mpr_sc");
+    let mut exec = Executor::with_config(system, config);
+    let mut trajectory = Trajectory::new();
+    let mut completion_time = None;
+    let mut profile = Vec::new();
+    let mut last_profile_sample = -1.0f64;
+    let mut battery_prev_mode: Option<Mode> = None;
+    let mut battery_switch_charge = None;
+    while let Some(now) = exec.step_instant() {
+        let t = now.as_secs_f64();
+        if t > max_time {
+            break;
+        }
+        let topics_map = exec.topics();
+        if let Some(truth) = topics_map.get(topics::GROUND_TRUTH).and_then(topics::value_to_state) {
+            let safe_mode = exec
+                .module_mode("safe_motion_primitive")
+                .map(|m| m == Mode::Sc)
+                .unwrap_or(unprotected_safe_mode);
+            trajectory.push(t, truth, safe_mode);
+            if t - last_profile_sample >= 0.5 {
+                let charge = topics_map
+                    .get(topics::BATTERY_CHARGE)
+                    .and_then(Value::as_float)
+                    .unwrap_or(1.0);
+                profile.push((t, truth.position.z, charge));
+                last_profile_sample = t;
+            }
+        }
+        if let Some(mode) = exec.module_mode("battery_safety") {
+            if battery_prev_mode == Some(Mode::Ac) && mode == Mode::Sc && battery_switch_charge.is_none()
+            {
+                battery_switch_charge = exec
+                    .topics()
+                    .get(topics::BATTERY_CHARGE)
+                    .and_then(Value::as_float);
+            }
+            battery_prev_mode = Some(mode);
+        }
+        if completion_time.is_none() {
+            if let Some(target) = target_progress {
+                let progress = exec
+                    .topics()
+                    .get(topics::MISSION_PROGRESS)
+                    .and_then(Value::as_int)
+                    .unwrap_or(0);
+                if progress >= target {
+                    completion_time = Some(t);
+                    break;
+                }
+            }
+        }
+    }
+    let targets_reached = exec
+        .topics()
+        .get(topics::MISSION_PROGRESS)
+        .and_then(Value::as_int)
+        .unwrap_or(0)
+        .max(0) as usize;
+    let invariant_violations: usize =
+        exec.monitors().iter().map(|m| m.violations().len()).sum();
+    let (mpr_dis, mpr_re) = exec
+        .system()
+        .modules()
+        .iter()
+        .find(|m| m.name() == "safe_motion_primitive")
+        .map(|m| (m.dm().disengagement_count(), m.dm().reengagement_count()))
+        .unwrap_or((0, 0));
+    let plant = handle.lock();
+    RunOutcome {
+        trajectory,
+        completion_time,
+        targets_reached,
+        invariant_violations,
+        mpr_disengagements: mpr_dis,
+        mpr_reengagements: mpr_re,
+        distance_flown: plant.distance_flown(),
+        final_charge: plant.battery_charge(),
+        landed: plant.is_landed(),
+        profile,
+        battery_switch_charge,
+    }
+}
+
+/// The `g1..g4` circuit of the corner-cut course, closed into a polygon for
+/// deviation measurements.
+fn circuit_waypoints(workspace: &Workspace) -> Vec<Vec3> {
+    workspace.surveillance_points().to_vec()
+}
+
+/// Fig. 5: fly the circuit with an *unprotected* advanced controller and
+/// report the violations it causes.
+pub fn fig5_unprotected(advanced: AdvancedKind, seed: u64, max_time: f64) -> Fig5Report {
+    let workspace = Workspace::corner_cut_course();
+    let config = DroneStackConfig {
+        workspace: workspace.clone(),
+        protection: Protection::AcOnly,
+        advanced,
+        start: workspace.surveillance_points()[0],
+        seed,
+        ..DroneStackConfig::default()
+    };
+    let waypoints = circuit_waypoints(&workspace);
+    let (system, handle) = build_circuit_stack(&config, waypoints.clone(), true);
+    let outcome = run_stack(system, handle, max_time, None, JitterModel::none());
+    let metrics = MissionMetrics::from_trajectory(&outcome.trajectory, &workspace, true);
+    let mut reference = waypoints.clone();
+    reference.push(waypoints[0]);
+    Fig5Report {
+        controller: match advanced {
+            AdvancedKind::Px4Like => "px4-like".to_string(),
+            AdvancedKind::Learned { .. } => "learned".to_string(),
+            AdvancedKind::Faulted { .. } => "fault-injected".to_string(),
+        },
+        max_deviation: outcome.trajectory.max_deviation_from_polyline(&reference),
+        waypoints_reached: outcome.targets_reached,
+        metrics,
+    }
+}
+
+/// Runs the circuit once (a single lap over `g1..g4`) under the given
+/// protection configuration.
+pub fn circuit_lap(protection: Protection, seed: u64, max_time: f64) -> (Fig12aRow, RunOutcome) {
+    let workspace = Workspace::corner_cut_course();
+    let config = DroneStackConfig {
+        workspace: workspace.clone(),
+        protection,
+        advanced: AdvancedKind::Px4Like,
+        start: workspace.surveillance_points()[0],
+        seed,
+        ..DroneStackConfig::default()
+    };
+    let waypoints = circuit_waypoints(&workspace);
+    let lap_target = waypoints.len() as i64;
+    let (system, handle) = build_circuit_stack(&config, waypoints, false);
+    let outcome = run_stack(system, handle, max_time, Some(lap_target), JitterModel::none());
+    let metrics = MissionMetrics::from_trajectory(
+        &outcome.trajectory,
+        &workspace,
+        outcome.completion_time.is_some(),
+    );
+    let row = Fig12aRow {
+        configuration: match protection {
+            Protection::AcOnly => "ac-only".to_string(),
+            Protection::Rta => "rta".to_string(),
+            Protection::ScOnly => "sc-only".to_string(),
+        },
+        completion_time: outcome.completion_time,
+        metrics,
+        invariant_violations: outcome.invariant_violations,
+    };
+    (row, outcome)
+}
+
+/// Fig. 12a / Sec. V-A: the three-way comparison of circuit completion time
+/// and safety under AC-only, RTA and SC-only control.
+pub fn fig12a_comparison(seed: u64, max_time: f64) -> Fig12aReport {
+    let rows = [Protection::AcOnly, Protection::Rta, Protection::ScOnly]
+        .into_iter()
+        .map(|p| circuit_lap(p, seed, max_time).0)
+        .collect();
+    Fig12aReport { rows }
+}
+
+/// Fig. 12b: the RTA-protected surveillance mission over the city block.
+pub fn fig12b_surveillance(seed: u64, targets: i64, max_time: f64) -> Fig12bReport {
+    let workspace = Workspace::city_block();
+    let config = DroneStackConfig {
+        workspace: workspace.clone(),
+        protection: Protection::Rta,
+        advanced: AdvancedKind::Px4Like,
+        start: workspace.surveillance_points()[0],
+        seed,
+        ..DroneStackConfig::default()
+    };
+    let (system, handle) = build_full_stack(&config, TargetPolicy::RoundRobin);
+    let outcome = run_stack(system, handle, max_time, Some(targets), JitterModel::none());
+    let metrics = MissionMetrics::from_trajectory(
+        &outcome.trajectory,
+        &workspace,
+        outcome.targets_reached as i64 >= targets,
+    );
+    Fig12bReport {
+        metrics,
+        targets_reached: outcome.targets_reached,
+        mpr_disengagements: outcome.mpr_disengagements,
+        mpr_reengagements: outcome.mpr_reengagements,
+        invariant_violations: outcome.invariant_violations,
+    }
+}
+
+/// Fig. 12c: the battery-safety module aborts the mission and lands when the
+/// charge is no longer sufficient.  Uses a fast-draining battery model so
+/// the emergency occurs within a short simulation.
+pub fn fig12c_battery(seed: u64, max_time: f64) -> Fig12cReport {
+    let workspace = Workspace::city_block();
+    let fast_drain = BatteryModel {
+        // ~100 s of hover endurance instead of 20 minutes.
+        idle_rate: 1.0 / 100.0,
+        accel_rate: 0.0003,
+        ..BatteryModel::default()
+    };
+    let config = DroneStackConfig {
+        workspace: workspace.clone(),
+        protection: Protection::Rta,
+        advanced: AdvancedKind::Px4Like,
+        start: workspace.surveillance_points()[0],
+        battery_model: fast_drain,
+        initial_battery: 1.0,
+        seed,
+        ..DroneStackConfig::default()
+    };
+    let (system, handle) = build_full_stack(&config, TargetPolicy::RoundRobin);
+    let outcome = run_stack(system, handle, max_time, None, JitterModel::none());
+    // φ_bat is violated only if the battery hits zero while still airborne.
+    let battery_violation = outcome
+        .profile
+        .iter()
+        .any(|(_, altitude, charge)| *charge <= 0.0 && *altitude > 0.2);
+    Fig12cReport {
+        charge_at_switch: outcome.battery_switch_charge,
+        final_charge: outcome.final_charge,
+        landed: outcome.landed,
+        battery_violation,
+        profile: outcome.profile,
+    }
+}
+
+/// Sec. V-C: compare the unprotected fault-injected planner with the
+/// RTA-protected planner module over a set of random surveillance queries.
+pub fn planner_rta(seed: u64, queries: usize) -> PlannerRtaReport {
+    let workspace = Workspace::city_block();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pairs = Vec::new();
+    while pairs.len() < queries {
+        let (Some(a), Some(b)) = (
+            workspace.sample_free_point(&mut rng, 200),
+            workspace.sample_free_point(&mut rng, 200),
+        ) else {
+            continue;
+        };
+        if a.distance(&b) > 5.0 {
+            pairs.push((a, b));
+        }
+    }
+    let mut unprotected = BuggyRrtStar::new(BuggyRrtStarConfig {
+        inner: RrtStarConfig { seed, ..RrtStarConfig::default() },
+        bug_probability: 0.3,
+        bug_seed: seed.wrapping_add(17),
+    });
+    let mut protected_ac = BuggyRrtStar::new(BuggyRrtStarConfig {
+        inner: RrtStarConfig { seed, ..RrtStarConfig::default() },
+        bug_probability: 0.3,
+        bug_seed: seed.wrapping_add(17),
+    });
+    let mut safe_planner = GridAstar::default();
+    let oracle = PlanOracle::new(workspace.clone(), 0.0);
+    let mut unprotected_colliding = 0usize;
+    let mut protected_colliding = 0usize;
+    let mut dm_switches = 0usize;
+    for (a, b) in &pairs {
+        // Unprotected: whatever the buggy planner says is what the drone
+        // flies.
+        if let Some(plan) = unprotected.plan(&workspace, *a, *b) {
+            if validate_plan(&workspace, &plan, 0.0).is_err() {
+                unprotected_colliding += 1;
+            }
+        }
+        // Protected: the decision module validates the advanced planner's
+        // output (the φ_plan check of the planner RTA module) and falls back
+        // to the certified planner when it is invalid.
+        let ac_plan = protected_ac.plan(&workspace, *a, *b);
+        let mut observed = soter_core::topic::TopicMap::new();
+        if let Some(plan) = &ac_plan {
+            observed.insert(topics::MOTION_PLAN, topics::plan_to_value(plan));
+        }
+        let final_plan = if oracle.is_safe(&observed) && ac_plan.is_some() {
+            ac_plan
+        } else {
+            dm_switches += 1;
+            safe_planner.plan(&workspace, *a, *b)
+        };
+        if let Some(plan) = final_plan {
+            if validate_plan(&workspace, &plan, 0.0).is_err() {
+                protected_colliding += 1;
+            }
+        }
+    }
+    PlannerRtaReport {
+        queries: pairs.len(),
+        unprotected_colliding_plans: unprotected_colliding,
+        protected_colliding_plans: protected_colliding,
+        dm_switches_to_safe: dm_switches,
+    }
+}
+
+/// Sec. V-D (scaled): a long randomized surveillance campaign, optionally
+/// with scheduling jitter (which is what produced the 34 crashes the paper
+/// reports).
+pub fn stress_campaign(seed: u64, simulated_seconds: f64, with_jitter: bool) -> StressReport {
+    let workspace = Workspace::city_block();
+    let config = DroneStackConfig {
+        workspace: workspace.clone(),
+        protection: Protection::Rta,
+        advanced: AdvancedKind::Px4Like,
+        start: workspace.surveillance_points()[0],
+        seed,
+        ..DroneStackConfig::default()
+    };
+    let (system, handle) = build_full_stack(&config, TargetPolicy::Random { seed });
+    let jitter = if with_jitter {
+        // Aggressive jitter: up to three decision periods of delay, often.
+        JitterModel::new(0.2, Duration::from_millis(300), seed.wrapping_add(3))
+    } else {
+        JitterModel::none()
+    };
+    let outcome = run_stack(system, handle, simulated_seconds, None, jitter);
+    // Count collision *episodes* (entering collision), not samples, to match
+    // the paper's notion of a crash.
+    let mut crashes = 0usize;
+    let mut previously_colliding = false;
+    for s in outcome.trajectory.samples() {
+        let colliding = workspace.in_collision(s.state.position);
+        if colliding && !previously_colliding {
+            crashes += 1;
+        }
+        previously_colliding = colliding;
+    }
+    StressReport {
+        simulated_hours: outcome.trajectory.duration() / 3600.0,
+        distance_km: outcome.distance_flown / 1000.0,
+        disengagements: outcome.mpr_disengagements,
+        crashes,
+        ac_fraction: outcome.trajectory.advanced_controller_fraction(),
+        jitter_enabled: with_jitter,
+        targets_reached: outcome.targets_reached,
+    }
+}
+
+/// Remark 3.3 ablation: sweep the decision period Δ and the φ_safer
+/// hysteresis factor and report how performance and conservativeness change.
+pub fn ablation_delta(deltas_ms: &[u64], safer_factors: &[f64], seed: u64, max_time: f64) -> Vec<AblationRow> {
+    let workspace = Workspace::corner_cut_course();
+    let mut rows = Vec::new();
+    for &delta_ms in deltas_ms {
+        for &safer_factor in safer_factors {
+            let config = DroneStackConfig {
+                workspace: workspace.clone(),
+                protection: Protection::Rta,
+                advanced: AdvancedKind::Px4Like,
+                start: workspace.surveillance_points()[0],
+                delta_mpr: Duration::from_millis(delta_ms),
+                safer_factor,
+                seed,
+                ..DroneStackConfig::default()
+            };
+            let waypoints = circuit_waypoints(&workspace);
+            let lap_target = waypoints.len() as i64;
+            let (system, handle) = build_circuit_stack(&config, waypoints, false);
+            let outcome =
+                run_stack(system, handle, max_time, Some(lap_target), JitterModel::none());
+            let metrics = MissionMetrics::from_trajectory(
+                &outcome.trajectory,
+                &workspace,
+                outcome.completion_time.is_some(),
+            );
+            rows.push(AblationRow {
+                delta: delta_ms as f64 / 1000.0,
+                safer_factor,
+                completion_time: outcome.completion_time,
+                disengagements: outcome.mpr_disengagements,
+                ac_fraction: metrics.ac_fraction,
+                collisions: metrics.collisions,
+            });
+        }
+    }
+    rows
+}
+
+/// Measures the wall-clock cost of one decision-module reachability
+/// evaluation (used by the `reach_overhead` bench): returns the boolean
+/// result so the call cannot be optimised away.
+pub fn dm_reachability_query(config: &DroneStackConfig, position: Vec3, speed: f64) -> bool {
+    let oracle = config.mpr_oracle();
+    let mut observed = soter_core::topic::TopicMap::new();
+    observed.insert(
+        topics::LOCAL_POSITION,
+        topics::state_to_value(&soter_sim::dynamics::DroneState {
+            position,
+            velocity: Vec3::new(speed, 0.0, 0.0),
+        }),
+    );
+    oracle.may_leave_safe_within(&observed, config.delta_mpr * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_px4_like_eventually_violates_safety() {
+        let report = fig5_unprotected(AdvancedKind::Px4Like, 1, 120.0);
+        assert!(report.waypoints_reached > 0, "the circuit must make progress");
+        assert!(
+            report.metrics.collisions > 0 || report.max_deviation > 1.5,
+            "the unprotected aggressive controller should overshoot dangerously: {report:?}"
+        );
+    }
+
+    #[test]
+    fn fig12a_rta_is_safe_and_between_the_baselines() {
+        let report = fig12a_comparison(3, 300.0);
+        let rta = report.row("rta").unwrap();
+        assert_eq!(rta.metrics.collisions, 0, "RTA must keep the circuit collision-free");
+        let sc = report.row("sc-only").unwrap();
+        assert_eq!(sc.metrics.collisions, 0, "the safe controller alone is safe");
+        if let (Some(t_rta), Some(t_sc)) = (rta.completion_time, sc.completion_time) {
+            assert!(t_rta <= t_sc, "RTA ({t_rta:.1}s) must not be slower than SC-only ({t_sc:.1}s)");
+        }
+    }
+
+    #[test]
+    fn planner_rta_masks_injected_bugs() {
+        let report = planner_rta(5, 30);
+        assert_eq!(report.queries, 30);
+        assert!(report.unprotected_colliding_plans > 0, "{report:?}");
+        assert_eq!(report.protected_colliding_plans, 0, "{report:?}");
+        assert!(report.dm_switches_to_safe >= report.unprotected_colliding_plans);
+    }
+
+    #[test]
+    fn dm_reachability_query_is_usable() {
+        let config = DroneStackConfig {
+            workspace: Workspace::corner_cut_course(),
+            ..DroneStackConfig::default()
+        };
+        assert!(!dm_reachability_query(&config, Vec3::new(3.0, 3.0, 5.0), 0.0));
+        assert!(dm_reachability_query(&config, Vec3::new(8.0, 10.0, 5.0), 7.0));
+    }
+}

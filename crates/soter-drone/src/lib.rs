@@ -1,0 +1,40 @@
+//! # soter-drone — the SOTER drone surveillance case study
+//!
+//! This crate assembles the RTA-protected software stack of Fig. 8 of the
+//! paper from the substrate crates, and packages the paper's experiments so
+//! the benches, examples and integration tests all run the same code:
+//!
+//! * [`topics`] — the topic names of the stack (`localPosition`,
+//!   `targetWaypoint`, `controlAction`, `motionPlan`, …) and conversion
+//!   helpers between simulator types and topic values,
+//! * [`plant`] — the simulated drone wrapped as a SOTER node (the
+//!   Gazebo/PX4-SITL stand-in),
+//! * [`nodes`] — node wrappers for motion controllers, motion planners, the
+//!   plan follower, the safe-landing planner and the surveillance
+//!   application,
+//! * [`oracles`] — the safety oracles of the three RTA modules
+//!   (`φ_mpr`, `φ_bat`, `φ_plan`),
+//! * [`stack`] — stack assembly: the RTA-protected motion-primitive circuit
+//!   stack of Fig. 12a and the full surveillance stack of Fig. 8, each also
+//!   buildable in unprotected (AC-only) and SC-only configurations,
+//! * [`evidence`] — the `PlantAbstraction` used to discharge the
+//!   well-formedness conditions P2a/P2b/P3 for the motion-primitive module,
+//! * [`experiments`] — one driver per table/figure of the evaluation
+//!   section (Fig. 5, Fig. 12a–c, the Sec. V-C planner experiment, the
+//!   Sec. V-D stress campaign, and the Remark 3.3 Δ ablation),
+//! * [`report`] — the result records those drivers produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evidence;
+pub mod experiments;
+pub mod nodes;
+pub mod oracles;
+pub mod plant;
+pub mod report;
+pub mod stack;
+pub mod topics;
+
+pub use plant::{PlantHandle, PlantNode};
+pub use stack::{DroneStackConfig, Protection, StackKind};

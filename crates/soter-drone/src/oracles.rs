@@ -1,0 +1,312 @@
+//! The safety oracles of the three RTA modules of the drone stack.
+//!
+//! * [`MotionPrimitiveOracle`] — `φ_mpr` (obstacle avoidance while tracking
+//!   waypoints): `φ_safe` is the free space of the workspace, the
+//!   reachability check is the forward-reach `ttf` of `soter-reach`, and
+//!   `φ_safer = R(φ_safe, k·2Δ)` with a configurable hysteresis factor `k`
+//!   (Remark 3.3 of the paper discusses this trade-off),
+//! * [`BatteryOracle`] — `φ_bat` (never run out of charge): implements the
+//!   paper's `ttf_2Δ(bt) = bt − cost* < T_max` check and
+//!   `φ_safer = bt > 85 %`,
+//! * [`PlanOracle`] — `φ_plan` (motion plans never collide): validates the
+//!   plan currently published by the planner module.
+
+use crate::topics;
+use soter_core::rta::SafetyOracle;
+use soter_core::time::Duration;
+use soter_core::topic::{TopicMap, Value};
+use soter_plan::validate::validate_plan;
+use soter_reach::ttf::ObstacleTtf;
+use soter_sim::battery::BatteryModel;
+use soter_sim::world::Workspace;
+
+/// Safety oracle of the RTA-protected motion primitive (`φ_mpr`).
+#[derive(Debug, Clone)]
+pub struct MotionPrimitiveOracle {
+    ttf: ObstacleTtf,
+    /// Hysteresis factor: `φ_safer` requires the state to be provably safe
+    /// for `safer_factor × 2Δ` instead of just `2Δ`, so control does not
+    /// bounce straight back to the AC after a disengagement.
+    safer_factor: f64,
+    /// Decision period Δ (seconds), used by the `φ_safer` evaluation.
+    delta_hint: f64,
+}
+
+impl MotionPrimitiveOracle {
+    /// Creates the oracle from a time-to-failure checker, with a default
+    /// Δ hint of 100 ms (see [`MotionPrimitiveOracle::with_delta`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `safer_factor < 1.0` (P3 requires `φ_safer ⊆ R(φ_safe, 2Δ)`,
+    /// so the factor must not weaken the region).
+    pub fn new(ttf: ObstacleTtf, safer_factor: f64) -> Self {
+        assert!(safer_factor >= 1.0, "safer_factor must be at least 1.0");
+        MotionPrimitiveOracle { ttf, safer_factor, delta_hint: 0.1 }
+    }
+
+    /// The underlying time-to-failure checker.
+    pub fn ttf(&self) -> &ObstacleTtf {
+        &self.ttf
+    }
+
+    fn observed_state(observed: &TopicMap) -> Option<soter_sim::dynamics::DroneState> {
+        observed.get(topics::LOCAL_POSITION).and_then(topics::value_to_state)
+    }
+}
+
+impl SafetyOracle for MotionPrimitiveOracle {
+    fn is_safe(&self, observed: &TopicMap) -> bool {
+        match Self::observed_state(observed) {
+            Some(s) => self.ttf.is_safe(&s),
+            // No state estimate yet: treat as unsafe so the module stays in
+            // SC mode until the sensors come up.
+            None => false,
+        }
+    }
+
+    fn is_safer(&self, observed: &TopicMap) -> bool {
+        match Self::observed_state(observed) {
+            Some(s) => {
+                // φ_safer = R(φ_safe, k·2Δ), evaluated through the same
+                // forward-reach over-approximation used for switching.  The
+                // horizon passed here by the DM is 2Δ.
+                !self
+                    .ttf
+                    .may_leave_safe_within(&s, self.safer_factor * 2.0 * self.ttf_delta_hint())
+            }
+            None => false,
+        }
+    }
+
+    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+        match Self::observed_state(observed) {
+            Some(s) => self.ttf.may_leave_safe_within(&s, horizon.as_secs_f64()),
+            None => true,
+        }
+    }
+}
+
+impl MotionPrimitiveOracle {
+    /// The Δ the oracle assumes when evaluating `φ_safer`.  The DM hands the
+    /// oracle a concrete `2Δ` horizon for the switching check, but `is_safer`
+    /// has no horizon parameter in the paper's interface, so the oracle
+    /// stores Δ at construction time through [`MotionPrimitiveOracle::with_delta`].
+    fn ttf_delta_hint(&self) -> f64 {
+        self.delta_hint
+    }
+
+    /// Creates the oracle with an explicit Δ hint (seconds) used by the
+    /// `φ_safer` evaluation.
+    pub fn with_delta(ttf: ObstacleTtf, safer_factor: f64, delta: f64) -> Self {
+        assert!(delta > 0.0, "delta must be positive");
+        let mut o = MotionPrimitiveOracle::new(ttf, safer_factor);
+        o.delta_hint = delta;
+        o
+    }
+}
+
+/// Safety oracle of the battery-safety RTA module (`φ_bat`).
+#[derive(Debug, Clone)]
+pub struct BatteryOracle {
+    model: BatteryModel,
+    /// Conservative landing reserve `T_max` (fraction of capacity).
+    landing_reserve: f64,
+    /// Charge threshold for `φ_safer` (0.85 in the paper).
+    safer_threshold: f64,
+}
+
+impl BatteryOracle {
+    /// Creates the battery oracle.  `max_altitude` is the flight ceiling
+    /// used to compute the conservative landing reserve `T_max`.
+    pub fn new(model: BatteryModel, max_altitude: f64, safer_threshold: f64) -> Self {
+        BatteryOracle {
+            model,
+            landing_reserve: model.landing_reserve(max_altitude),
+            safer_threshold,
+        }
+    }
+
+    /// The landing reserve `T_max`.
+    pub fn landing_reserve(&self) -> f64 {
+        self.landing_reserve
+    }
+
+    fn charge(observed: &TopicMap) -> Option<f64> {
+        observed.get(topics::BATTERY_CHARGE).and_then(Value::as_float)
+    }
+}
+
+impl SafetyOracle for BatteryOracle {
+    fn is_safe(&self, observed: &TopicMap) -> bool {
+        Self::charge(observed).map(|bt| bt > 0.0).unwrap_or(false)
+    }
+
+    fn is_safer(&self, observed: &TopicMap) -> bool {
+        Self::charge(observed).map(|bt| bt > self.safer_threshold).unwrap_or(false)
+    }
+
+    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+        match Self::charge(observed) {
+            // The paper's ttf_2Δ: bt − cost* < T_max, with cost* the
+            // worst-case discharge over the horizon.
+            Some(bt) => bt - self.model.worst_case_cost(horizon.as_secs_f64()) < self.landing_reserve,
+            None => true,
+        }
+    }
+}
+
+/// Safety oracle of the RTA-protected motion planner (`φ_plan`).
+#[derive(Debug, Clone)]
+pub struct PlanOracle {
+    workspace: Workspace,
+    /// Extra clearance the plan must keep from obstacles (the motion
+    /// primitive's certified tracking error).
+    margin: f64,
+}
+
+impl PlanOracle {
+    /// Creates the plan oracle.
+    pub fn new(workspace: Workspace, margin: f64) -> Self {
+        PlanOracle { workspace, margin }
+    }
+
+    fn plan_is_valid(&self, observed: &TopicMap) -> bool {
+        match observed.get(topics::MOTION_PLAN).and_then(topics::value_to_plan) {
+            Some(plan) => validate_plan(&self.workspace, &plan, self.margin).is_ok(),
+            // No plan published yet: vacuously valid (there is nothing for
+            // downstream modules to follow).
+            None => true,
+        }
+    }
+}
+
+impl SafetyOracle for PlanOracle {
+    fn is_safe(&self, observed: &TopicMap) -> bool {
+        self.plan_is_valid(observed)
+    }
+
+    fn is_safer(&self, observed: &TopicMap) -> bool {
+        self.plan_is_valid(observed)
+    }
+
+    fn may_leave_safe_within(&self, observed: &TopicMap, _horizon: Duration) -> bool {
+        !self.plan_is_valid(observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soter_reach::forward::ForwardReach;
+    use soter_sim::dynamics::{DroneState, QuadrotorDynamics};
+    use soter_sim::vec3::Vec3;
+
+    fn mpr_oracle() -> MotionPrimitiveOracle {
+        let ttf = ObstacleTtf::new(
+            Workspace::city_block(),
+            ForwardReach::new(QuadrotorDynamics::default(), 0.01, 0.05),
+            0.3,
+        );
+        MotionPrimitiveOracle::with_delta(ttf, 1.5, 0.1)
+    }
+
+    fn observe_state(pos: Vec3, vel: Vec3) -> TopicMap {
+        let mut m = TopicMap::new();
+        m.insert(
+            topics::LOCAL_POSITION,
+            topics::state_to_value(&DroneState { position: pos, velocity: vel }),
+        );
+        m
+    }
+
+    #[test]
+    fn mpr_oracle_flags_states_near_obstacles() {
+        let o = mpr_oracle();
+        let safe_obs = observe_state(Vec3::new(4.0, 4.0, 5.0), Vec3::ZERO);
+        assert!(o.is_safe(&safe_obs));
+        assert!(o.is_safer(&safe_obs));
+        assert!(!o.may_leave_safe_within(&safe_obs, Duration::from_millis(200)));
+        let hot_obs = observe_state(Vec3::new(8.0, 13.0, 3.0), Vec3::new(7.0, 0.0, 0.0));
+        assert!(o.is_safe(&hot_obs), "the state itself is still in free space");
+        assert!(o.may_leave_safe_within(&hot_obs, Duration::from_millis(200)));
+        assert!(!o.is_safer(&hot_obs));
+        let crash_obs = observe_state(Vec3::new(13.0, 13.0, 3.0), Vec3::ZERO);
+        assert!(!o.is_safe(&crash_obs));
+    }
+
+    #[test]
+    fn mpr_oracle_without_state_is_conservative() {
+        let o = mpr_oracle();
+        let empty = TopicMap::new();
+        assert!(!o.is_safe(&empty));
+        assert!(!o.is_safer(&empty));
+        assert!(o.may_leave_safe_within(&empty, Duration::from_millis(200)));
+    }
+
+    #[test]
+    fn mpr_safer_is_stricter_than_safe_for_two_delta() {
+        let o = mpr_oracle();
+        // A state that is safe for 2Δ but not for the safer horizon (k·2Δ).
+        let obs = observe_state(Vec3::new(7.2, 13.0, 5.0), Vec3::new(4.0, 0.0, 0.0));
+        if !o.may_leave_safe_within(&obs, Duration::from_millis(200)) {
+            // Then φ_safer ⊆ {states safe for 2Δ} must hold.
+            if o.is_safer(&obs) {
+                assert!(!o.may_leave_safe_within(&obs, Duration::from_millis(200)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mpr_safer_factor_below_one_panics() {
+        let ttf = ObstacleTtf::new(
+            Workspace::city_block(),
+            ForwardReach::new(QuadrotorDynamics::default(), 0.01, 0.05),
+            0.3,
+        );
+        let _ = MotionPrimitiveOracle::new(ttf, 0.5);
+    }
+
+    #[test]
+    fn battery_oracle_implements_paper_ttf() {
+        let o = BatteryOracle::new(BatteryModel::default(), 12.0, 0.85);
+        let mut obs = TopicMap::new();
+        obs.insert(topics::BATTERY_CHARGE, Value::Float(0.5));
+        assert!(o.is_safe(&obs));
+        assert!(!o.is_safer(&obs), "50% is below the 85% φ_safer threshold");
+        assert!(!o.may_leave_safe_within(&obs, Duration::from_secs(4)));
+        // Just above the landing reserve: the worst-case 2Δ discharge pushes
+        // the remaining charge below T_max, so the DM must switch.
+        obs.insert(topics::BATTERY_CHARGE, Value::Float(o.landing_reserve() + 0.001));
+        assert!(o.may_leave_safe_within(&obs, Duration::from_secs(4)));
+        // Full battery is safer.
+        obs.insert(topics::BATTERY_CHARGE, Value::Float(0.95));
+        assert!(o.is_safer(&obs));
+        // Empty battery is unsafe.
+        obs.insert(topics::BATTERY_CHARGE, Value::Float(0.0));
+        assert!(!o.is_safe(&obs));
+        // Missing topic is treated conservatively.
+        let empty = TopicMap::new();
+        assert!(!o.is_safe(&empty));
+        assert!(o.may_leave_safe_within(&empty, Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn plan_oracle_validates_published_plans() {
+        let o = PlanOracle::new(Workspace::city_block(), 0.0);
+        let mut obs = TopicMap::new();
+        // No plan yet: vacuously safe.
+        assert!(o.is_safe(&obs));
+        assert!(!o.may_leave_safe_within(&obs, Duration::from_millis(500)));
+        // A valid street plan.
+        let good = vec![Vec3::new(3.0, 3.0, 2.5), Vec3::new(3.0, 40.0, 2.5)];
+        obs.insert(topics::MOTION_PLAN, topics::plan_to_value(&good));
+        assert!(o.is_safe(&obs) && o.is_safer(&obs));
+        // A plan that cuts through a house.
+        let bad = vec![Vec3::new(3.0, 13.0, 2.5), Vec3::new(25.0, 13.0, 2.5)];
+        obs.insert(topics::MOTION_PLAN, topics::plan_to_value(&bad));
+        assert!(!o.is_safe(&obs));
+        assert!(o.may_leave_safe_within(&obs, Duration::from_millis(500)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Topic names and value conversions of the drone stack.
+//!
+//! Mirrors the topic declarations of the paper's SOTER program (Fig. 4):
+//! the state estimator publishes `localPosition`, the application layer
+//! publishes `targetLocation`, the planner publishes `motionPlan`, the plan
+//! follower publishes `targetWaypoint`, and the motion primitives publish
+//! `controlAction`.
+
+use soter_core::topic::Value;
+use soter_sim::dynamics::{ControlInput, DroneState};
+use soter_sim::vec3::Vec3;
+
+/// Estimated kinematic state of the drone (published by the plant node).
+pub const LOCAL_POSITION: &str = "localPosition";
+/// Ground-truth kinematic state (published by the plant node for
+/// experiment bookkeeping only; the software stack does not subscribe to
+/// it).
+pub const GROUND_TRUTH: &str = "groundTruth";
+/// Battery charge fraction (published by the plant node).
+pub const BATTERY_CHARGE: &str = "batteryCharge";
+/// Next surveillance target (published by the application layer).
+pub const TARGET_LOCATION: &str = "targetLocation";
+/// Current motion plan (published by the planner RTA module).
+pub const MOTION_PLAN: &str = "motionPlan";
+/// Next waypoint to track (published by the battery RTA module / plan
+/// follower).
+pub const TARGET_WAYPOINT: &str = "targetWaypoint";
+/// Low-level acceleration command (published by the motion-primitive RTA
+/// module, consumed by the plant).
+pub const CONTROL_ACTION: &str = "controlAction";
+/// Number of surveillance targets reached so far (published by the
+/// application layer; used by experiments to detect mission completion).
+pub const MISSION_PROGRESS: &str = "missionProgress";
+
+/// Converts a simulator state into a topic value.
+pub fn state_to_value(state: &DroneState) -> Value {
+    Value::State { position: state.position.to_array(), velocity: state.velocity.to_array() }
+}
+
+/// Reads a simulator state from a topic value, if it is a `State`.
+pub fn value_to_state(value: &Value) -> Option<DroneState> {
+    value.as_state().map(|(p, v)| DroneState {
+        position: Vec3::from_array(p),
+        velocity: Vec3::from_array(v),
+    })
+}
+
+/// Converts a control input into a topic value.
+pub fn control_to_value(control: &ControlInput) -> Value {
+    Value::Vector(control.acceleration.to_array())
+}
+
+/// Reads a control input from a topic value, if it is a `Vector`.
+pub fn value_to_control(value: &Value) -> Option<ControlInput> {
+    value.as_vector().map(|a| ControlInput::accel(Vec3::from_array(a)))
+}
+
+/// Converts a waypoint plan into a topic value.
+pub fn plan_to_value(plan: &[Vec3]) -> Value {
+    Value::Path(plan.iter().map(|p| p.to_array()).collect())
+}
+
+/// Reads a waypoint plan from a topic value, if it is a `Path`.
+pub fn value_to_plan(value: &Value) -> Option<Vec<Vec3>> {
+    value.as_path().map(|p| p.iter().map(|a| Vec3::from_array(*a)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_roundtrip() {
+        let s = DroneState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            velocity: Vec3::new(-0.5, 0.25, 0.0),
+        };
+        assert_eq!(value_to_state(&state_to_value(&s)), Some(s));
+        assert_eq!(value_to_state(&Value::Unit), None);
+    }
+
+    #[test]
+    fn control_roundtrip() {
+        let u = ControlInput::accel(Vec3::new(1.0, -2.0, 0.5));
+        assert_eq!(value_to_control(&control_to_value(&u)), Some(u));
+        assert_eq!(value_to_control(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let plan = vec![Vec3::new(0.0, 0.0, 2.0), Vec3::new(5.0, 5.0, 2.0)];
+        assert_eq!(value_to_plan(&plan_to_value(&plan)), Some(plan));
+        assert_eq!(value_to_plan(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn topic_names_are_distinct() {
+        let names = [
+            LOCAL_POSITION,
+            GROUND_TRUTH,
+            BATTERY_CHARGE,
+            TARGET_LOCATION,
+            MOTION_PLAN,
+            TARGET_WAYPOINT,
+            CONTROL_ACTION,
+            MISSION_PROGRESS,
+        ];
+        let set: std::collections::BTreeSet<&str> = names.into_iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

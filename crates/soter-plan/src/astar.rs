@@ -1,0 +1,246 @@
+//! Grid A* — the certified safe motion planner.
+//!
+//! The planner RTA module needs a safe-controller counterpart to the
+//! untrusted RRT*: a planner that is simple enough to certify and always
+//! produces collision-free plans (possibly longer ones).  [`GridAstar`]
+//! discretises the workspace into a uniform 3-D grid with a conservative
+//! clearance margin and runs A* with 6-connectivity, then shortcut-smooths
+//! the result.  Because every expanded cell is checked against the inflated
+//! obstacles and every smoothed segment is re-validated, the returned plan
+//! always satisfies `φ_plan`.
+
+use crate::traits::MotionPlanner;
+use serde::{Deserialize, Serialize};
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Grid A* configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridAstarConfig {
+    /// Grid resolution in metres.
+    pub resolution: f64,
+    /// Clearance margin required around obstacles (metres).
+    pub margin: f64,
+    /// Maximum number of node expansions per query.
+    pub max_expansions: usize,
+}
+
+impl Default for GridAstarConfig {
+    fn default() -> Self {
+        GridAstarConfig { resolution: 1.0, margin: 0.5, max_expansions: 2_000_000 }
+    }
+}
+
+/// The grid A* planner.
+#[derive(Debug, Clone, Default)]
+pub struct GridAstar {
+    config: GridAstarConfig,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+struct QueueEntry {
+    f: f64,
+    cell: (i64, i64, i64),
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the smallest f.
+        other.f.partial_cmp(&self.f).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl GridAstar {
+    /// Creates the planner with the given configuration.
+    pub fn new(config: GridAstarConfig) -> Self {
+        GridAstar { config }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> &GridAstarConfig {
+        &self.config
+    }
+
+    fn to_cell(&self, p: Vec3) -> (i64, i64, i64) {
+        let r = self.config.resolution;
+        ((p.x / r).round() as i64, (p.y / r).round() as i64, (p.z / r).round() as i64)
+    }
+
+    fn to_point(&self, c: (i64, i64, i64)) -> Vec3 {
+        let r = self.config.resolution;
+        Vec3::new(c.0 as f64 * r, c.1 as f64 * r, c.2 as f64 * r)
+    }
+
+    fn cell_is_free(&self, workspace: &Workspace, c: (i64, i64, i64)) -> bool {
+        workspace.is_free_with_margin(self.to_point(c), self.config.margin)
+    }
+
+    fn heuristic(&self, a: (i64, i64, i64), b: (i64, i64, i64)) -> f64 {
+        self.to_point(a).distance(&self.to_point(b))
+    }
+
+    fn shortcut(&self, workspace: &Workspace, path: Vec<Vec3>) -> Vec<Vec3> {
+        if path.len() <= 2 {
+            return path;
+        }
+        let mut out = vec![path[0]];
+        let mut i = 0usize;
+        while i + 1 < path.len() {
+            let mut j = path.len() - 1;
+            while j > i + 1 {
+                if workspace.segment_is_free_with_margin(path[i], path[j], self.config.margin) {
+                    break;
+                }
+                j -= 1;
+            }
+            out.push(path[j]);
+            i = j;
+        }
+        out
+    }
+}
+
+impl MotionPlanner for GridAstar {
+    fn name(&self) -> &str {
+        "grid-astar"
+    }
+
+    fn plan(&mut self, workspace: &Workspace, start: Vec3, goal: Vec3) -> Option<Vec<Vec3>> {
+        if !workspace.is_free(start) || !workspace.is_free(goal) {
+            return None;
+        }
+        let start_cell = self.to_cell(start);
+        let goal_cell = self.to_cell(goal);
+        // The snapped start/goal cells must themselves be usable; if the
+        // margin makes them unusable, fall back to requiring plain freeness.
+        let cell_ok = |this: &Self, c: (i64, i64, i64)| {
+            this.cell_is_free(workspace, c) || c == start_cell || c == goal_cell
+        };
+        let mut open = BinaryHeap::new();
+        let mut g_score: HashMap<(i64, i64, i64), f64> = HashMap::new();
+        let mut came_from: HashMap<(i64, i64, i64), (i64, i64, i64)> = HashMap::new();
+        g_score.insert(start_cell, 0.0);
+        open.push(QueueEntry { f: self.heuristic(start_cell, goal_cell), cell: start_cell });
+        let neighbors = [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ];
+        let mut expansions = 0usize;
+        let mut reached = false;
+        while let Some(QueueEntry { cell, .. }) = open.pop() {
+            if cell == goal_cell {
+                reached = true;
+                break;
+            }
+            expansions += 1;
+            if expansions > self.config.max_expansions {
+                break;
+            }
+            let current_g = g_score[&cell];
+            for d in neighbors {
+                let n = (cell.0 + d.0, cell.1 + d.1, cell.2 + d.2);
+                if !cell_ok(self, n) {
+                    continue;
+                }
+                let tentative = current_g + self.config.resolution;
+                if tentative < *g_score.get(&n).unwrap_or(&f64::INFINITY) {
+                    g_score.insert(n, tentative);
+                    came_from.insert(n, cell);
+                    open.push(QueueEntry { f: tentative + self.heuristic(n, goal_cell), cell: n });
+                }
+            }
+        }
+        if !reached {
+            return None;
+        }
+        // Reconstruct, snap the endpoints to the exact start/goal, smooth.
+        let mut cells = vec![goal_cell];
+        let mut cur = goal_cell;
+        while let Some(prev) = came_from.get(&cur) {
+            cells.push(*prev);
+            cur = *prev;
+        }
+        cells.reverse();
+        let mut path: Vec<Vec3> = cells.into_iter().map(|c| self.to_point(c)).collect();
+        if let Some(first) = path.first_mut() {
+            *first = start;
+        }
+        if let Some(last) = path.last_mut() {
+            *last = goal;
+        }
+        Some(self.shortcut(workspace, path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_plan;
+
+    #[test]
+    fn plans_are_always_collision_free() {
+        let w = Workspace::city_block();
+        let mut p = GridAstar::default();
+        let pts = w.surveillance_points().to_vec();
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                let plan = p.plan(&w, *a, *b).unwrap_or_else(|| panic!("no plan {a} -> {b}"));
+                assert!(validate_plan(&w, &plan, 0.0).is_ok(), "colliding plan {a} -> {b}");
+                assert_eq!(plan[0], *a);
+                assert_eq!(*plan.last().unwrap(), *b);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_around_the_blocked_street() {
+        let w = Workspace::city_block();
+        let mut p = GridAstar::default();
+        let start = Vec3::new(3.0, 13.0, 2.5);
+        let goal = Vec3::new(47.0, 21.0, 2.5);
+        let plan = p.plan(&w, start, goal).expect("query must succeed");
+        assert!(plan.len() >= 3);
+        assert!(validate_plan(&w, &plan, 0.0).is_ok());
+        // The detour is longer than the (blocked) straight line.
+        let direct = start.distance(&goal);
+        assert!(crate::validate::plan_length(&plan) > direct);
+    }
+
+    #[test]
+    fn goal_in_collision_returns_none() {
+        let w = Workspace::city_block();
+        let mut p = GridAstar::default();
+        assert!(p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 3.0)).is_none());
+    }
+
+    #[test]
+    fn expansion_budget_is_respected() {
+        let w = Workspace::city_block();
+        let mut p = GridAstar::new(GridAstarConfig { max_expansions: 10, ..Default::default() });
+        // A long query cannot be solved within 10 expansions.
+        assert!(p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5)).is_none());
+    }
+
+    #[test]
+    fn determinism() {
+        let w = Workspace::city_block();
+        let mut p = GridAstar::default();
+        let a = p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(47.0, 40.0, 2.5));
+        let b = p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(47.0, 40.0, 2.5));
+        assert_eq!(a, b);
+    }
+}

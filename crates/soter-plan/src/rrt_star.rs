@@ -1,0 +1,319 @@
+//! RRT* sampling-based motion planning (OMPL substitute).
+//!
+//! The paper implements its surveillance motion planner with the RRT*
+//! algorithm from OMPL.  This is a from-scratch RRT* over the
+//! [`Workspace`]: incremental sampling with goal bias, steering with a
+//! bounded step, choose-parent and rewire within a neighbourhood radius,
+//! and path extraction followed by shortcut smoothing.  It is used as the
+//! *untrusted advanced planner* of the planner RTA module (unmodified it is
+//! quite reliable; its fault-injected variant lives in [`crate::buggy`]).
+
+use crate::traits::MotionPlanner;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+
+/// RRT* configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrtStarConfig {
+    /// Maximum number of sampling iterations per query.
+    pub max_iterations: usize,
+    /// Maximum length of a tree edge (metres).
+    pub step_size: f64,
+    /// Probability of sampling the goal instead of a random point.
+    pub goal_bias: f64,
+    /// Radius within which parents are reconsidered and rewiring happens.
+    pub neighbor_radius: f64,
+    /// Distance at which the goal counts as reached.
+    pub goal_tolerance: f64,
+    /// Clearance margin used during collision checks (metres).
+    pub margin: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RrtStarConfig {
+    fn default() -> Self {
+        RrtStarConfig {
+            max_iterations: 4000,
+            step_size: 3.0,
+            goal_bias: 0.1,
+            neighbor_radius: 6.0,
+            goal_tolerance: 1.0,
+            margin: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    position: Vec3,
+    parent: Option<usize>,
+    cost: f64,
+}
+
+/// The RRT* planner.
+#[derive(Debug, Clone)]
+pub struct RrtStar {
+    config: RrtStarConfig,
+    rng: SmallRng,
+}
+
+impl Default for RrtStar {
+    fn default() -> Self {
+        RrtStar::new(RrtStarConfig::default())
+    }
+}
+
+impl RrtStar {
+    /// Creates an RRT* planner with the given configuration.
+    pub fn new(config: RrtStarConfig) -> Self {
+        RrtStar { config, rng: SmallRng::seed_from_u64(config.seed) }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> &RrtStarConfig {
+        &self.config
+    }
+
+    fn sample(&mut self, workspace: &Workspace, goal: Vec3) -> Vec3 {
+        if self.rng.random::<f64>() < self.config.goal_bias {
+            return goal;
+        }
+        let b = workspace.bounds();
+        Vec3::new(
+            self.rng.random_range(b.min.x..=b.max.x),
+            self.rng.random_range(b.min.y..=b.max.y),
+            self.rng.random_range(b.min.z..=b.max.z),
+        )
+    }
+
+    fn nearest(tree: &[TreeNode], p: Vec3) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, n) in tree.iter().enumerate() {
+            let d = n.position.distance(&p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn steer(&self, from: Vec3, toward: Vec3) -> Vec3 {
+        let d = from.distance(&toward);
+        if d <= self.config.step_size {
+            toward
+        } else {
+            from + (toward - from) * (self.config.step_size / d)
+        }
+    }
+
+    /// Extracts and shortcut-smooths the path ending at `goal_index`.
+    fn extract_path(&self, workspace: &Workspace, tree: &[TreeNode], goal_index: usize) -> Vec<Vec3> {
+        let mut path = Vec::new();
+        let mut idx = Some(goal_index);
+        while let Some(i) = idx {
+            path.push(tree[i].position);
+            idx = tree[i].parent;
+        }
+        path.reverse();
+        self.shortcut(workspace, path)
+    }
+
+    /// Greedy shortcutting: repeatedly skip intermediate waypoints whenever
+    /// the direct segment is free.
+    fn shortcut(&self, workspace: &Workspace, path: Vec<Vec3>) -> Vec<Vec3> {
+        if path.len() <= 2 {
+            return path;
+        }
+        let mut out = vec![path[0]];
+        let mut i = 0usize;
+        while i + 1 < path.len() {
+            let mut j = path.len() - 1;
+            while j > i + 1 {
+                if workspace.segment_is_free_with_margin(path[i], path[j], self.config.margin) {
+                    break;
+                }
+                j -= 1;
+            }
+            out.push(path[j]);
+            i = j;
+        }
+        out
+    }
+}
+
+impl MotionPlanner for RrtStar {
+    fn name(&self) -> &str {
+        "rrt-star"
+    }
+
+    fn plan(&mut self, workspace: &Workspace, start: Vec3, goal: Vec3) -> Option<Vec<Vec3>> {
+        let cfg = self.config;
+        if !workspace.is_free_with_margin(start, 0.0) || !workspace.is_free_with_margin(goal, 0.0) {
+            return None;
+        }
+        // Trivial case: straight shot.
+        if workspace.segment_is_free_with_margin(start, goal, cfg.margin) {
+            return Some(vec![start, goal]);
+        }
+        let mut tree = vec![TreeNode { position: start, parent: None, cost: 0.0 }];
+        let mut best_goal: Option<(usize, f64)> = None;
+        for _ in 0..cfg.max_iterations {
+            let sample = self.sample(workspace, goal);
+            let nearest = Self::nearest(&tree, sample);
+            let new_pos = self.steer(tree[nearest].position, sample);
+            if !workspace.is_free_with_margin(new_pos, cfg.margin) {
+                continue;
+            }
+            if !workspace.segment_is_free_with_margin(tree[nearest].position, new_pos, cfg.margin) {
+                continue;
+            }
+            // Choose the best parent within the neighbourhood.
+            let mut parent = nearest;
+            let mut cost = tree[nearest].cost + tree[nearest].position.distance(&new_pos);
+            let neighbors: Vec<usize> = tree
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.position.distance(&new_pos) <= cfg.neighbor_radius)
+                .map(|(i, _)| i)
+                .collect();
+            for &i in &neighbors {
+                let candidate_cost = tree[i].cost + tree[i].position.distance(&new_pos);
+                if candidate_cost < cost
+                    && workspace.segment_is_free_with_margin(tree[i].position, new_pos, cfg.margin)
+                {
+                    parent = i;
+                    cost = candidate_cost;
+                }
+            }
+            let new_index = tree.len();
+            tree.push(TreeNode { position: new_pos, parent: Some(parent), cost });
+            // Rewire the neighbourhood through the new node when cheaper.
+            for &i in &neighbors {
+                let through_new = cost + new_pos.distance(&tree[i].position);
+                if through_new + 1e-9 < tree[i].cost
+                    && workspace.segment_is_free_with_margin(new_pos, tree[i].position, cfg.margin)
+                {
+                    tree[i].parent = Some(new_index);
+                    tree[i].cost = through_new;
+                }
+            }
+            // Track the best connection to the goal.
+            if new_pos.distance(&goal) <= cfg.goal_tolerance
+                || workspace.segment_is_free_with_margin(new_pos, goal, cfg.margin)
+                    && new_pos.distance(&goal) <= cfg.step_size
+            {
+                let goal_cost = cost + new_pos.distance(&goal);
+                if best_goal.map(|(_, c)| goal_cost < c).unwrap_or(true) {
+                    best_goal = Some((new_index, goal_cost));
+                }
+            }
+        }
+        let (goal_parent, _) = best_goal?;
+        let mut path = self.extract_path(workspace, &tree, goal_parent);
+        if path.last().map(|p| p.distance(&goal) > 1e-9).unwrap_or(true) {
+            path.push(goal);
+        }
+        Some(path)
+    }
+
+    fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.config.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_plan;
+
+    #[test]
+    fn plans_straight_line_in_open_space() {
+        let w = Workspace::city_block();
+        let mut p = RrtStar::default();
+        let plan = p
+            .plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(3.0, 40.0, 2.5))
+            .expect("open-street query must succeed");
+        assert_eq!(plan.len(), 2, "straight shot should not need intermediate waypoints");
+    }
+
+    #[test]
+    fn plans_around_buildings() {
+        let w = Workspace::city_block();
+        let mut p = RrtStar::default();
+        let start = Vec3::new(3.0, 13.0, 2.5);
+        let goal = Vec3::new(47.0, 21.0, 2.5);
+        let plan = p.plan(&w, start, goal).expect("cross-block query must succeed");
+        assert!(plan.len() >= 3, "the straight line is blocked, so waypoints are needed");
+        assert_eq!(plan[0], start);
+        assert_eq!(*plan.last().unwrap(), goal);
+        assert!(validate_plan(&w, &plan, 0.0).is_ok(), "RRT* plans must be collision-free");
+    }
+
+    #[test]
+    fn all_surveillance_pairs_are_plannable() {
+        let w = Workspace::city_block();
+        let mut p = RrtStar::default();
+        let pts = w.surveillance_points().to_vec();
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                let plan = p.plan(&w, *a, *b).unwrap_or_else(|| panic!("no plan {a} -> {b}"));
+                assert!(validate_plan(&w, &plan, 0.0).is_ok(), "colliding plan {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_queries_return_none() {
+        let w = Workspace::city_block();
+        let mut p = RrtStar::default();
+        // Goal inside a building.
+        assert!(p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 2.0)).is_none());
+        // Start outside the workspace.
+        assert!(p.plan(&w, Vec3::new(-5.0, 3.0, 2.5), Vec3::new(3.0, 3.0, 2.5)).is_none());
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_seed() {
+        let w = Workspace::city_block();
+        let run = |seed| {
+            let mut p = RrtStar::new(RrtStarConfig { seed, ..RrtStarConfig::default() });
+            p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5))
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn reset_restores_the_sampling_stream() {
+        let w = Workspace::city_block();
+        let mut p = RrtStar::default();
+        let a = p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5));
+        p.reset();
+        let b = p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shortcutting_reduces_waypoint_count() {
+        let w = Workspace::city_block();
+        let p = RrtStar::default();
+        // A needlessly zig-zagging path along an open street.
+        let zigzag = vec![
+            Vec3::new(3.0, 3.0, 2.5),
+            Vec3::new(4.0, 10.0, 2.5),
+            Vec3::new(3.0, 20.0, 2.5),
+            Vec3::new(4.5, 30.0, 2.5),
+            Vec3::new(3.0, 40.0, 2.5),
+        ];
+        let short = p.shortcut(&w, zigzag.clone());
+        assert!(short.len() < zigzag.len());
+        assert_eq!(short[0], zigzag[0]);
+        assert_eq!(*short.last().unwrap(), *zigzag.last().unwrap());
+    }
+}

@@ -1,0 +1,64 @@
+//! The motion-planner interface.
+
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+
+/// A motion planner: given the workspace, a start position and a goal
+/// position, produce a sequence of waypoints from start to goal (inclusive
+/// of both) whose straight-line segments are meant to be collision-free.
+///
+/// Returning `None` means the planner failed to find a plan within its
+/// budget.  Whether the returned plan actually *is* collision-free is
+/// exactly what the planner RTA module checks at runtime — untrusted
+/// planners may return colliding plans.
+pub trait MotionPlanner: Send {
+    /// A short human-readable name.
+    fn name(&self) -> &str;
+
+    /// Plans a path from `start` to `goal`.
+    fn plan(&mut self, workspace: &Workspace, start: Vec3, goal: Vec3) -> Option<Vec<Vec3>>;
+
+    /// Resets any internal state (RNG streams, caches).
+    fn reset(&mut self) {}
+}
+
+
+impl MotionPlanner for Box<dyn MotionPlanner> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan(&mut self, workspace: &Workspace, start: Vec3, goal: Vec3) -> Option<Vec<Vec3>> {
+        (**self).plan(workspace, start, goal)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StraightLine;
+
+    impl MotionPlanner for StraightLine {
+        fn name(&self) -> &str {
+            "straight"
+        }
+        fn plan(&mut self, _w: &Workspace, start: Vec3, goal: Vec3) -> Option<Vec<Vec3>> {
+            Some(vec![start, goal])
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let mut p: Box<dyn MotionPlanner> = Box::new(StraightLine);
+        let w = Workspace::city_block();
+        let plan = p.plan(&w, Vec3::new(0.0, 0.0, 2.0), Vec3::new(5.0, 5.0, 2.0)).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(p.name(), "straight");
+        p.reset();
+    }
+}

@@ -1,0 +1,37 @@
+//! # soter-reach — reachability engine for SOTER decision modules
+//!
+//! The decision module of a SOTER RTA module evaluates, every `Δ`, whether
+//! `Reach(s, *, 2Δ) ⊆ φ_safe` — "can the plant, under *any* admissible
+//! control, leave the safe region within `2Δ`?" — and whether the current
+//! state lies in the stronger region `φ_safer = R(φ_safe, 2Δ)` used to hand
+//! control back to the advanced controller (Sec. III and V-A of the paper).
+//! The paper computes these sets offline with the Level-Set Toolbox and
+//! FaSTrack; this crate provides the equivalent machinery over the
+//! `soter-sim` quadrotor model:
+//!
+//! * [`interval`] — interval arithmetic primitives,
+//! * [`forward`] — forward reachable-set over-approximation of the
+//!   double-integrator under bounded inputs (the `Reach(s, *, t)`
+//!   over-approximation),
+//! * [`ttf`] — the time-to-failure check `ttf_2Δ(s, φ_safe)` against an
+//!   obstacle workspace, plus a scalar time-to-failure estimate,
+//! * [`backward`] — grid-based backward reachable sets from the unsafe
+//!   region (the Level-Set-Toolbox substitute) and the region operator
+//!   `R(φ, t)` used to derive `φ_safer`,
+//! * [`regions`] — classification of states into the operating regions of
+//!   Fig. 10 (unsafe / switching / recoverable / safer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod forward;
+pub mod interval;
+pub mod regions;
+pub mod ttf;
+
+pub use backward::ReachGrid;
+pub use forward::ForwardReach;
+pub use interval::Interval;
+pub use regions::{classify, OperatingRegion};
+pub use ttf::ObstacleTtf;

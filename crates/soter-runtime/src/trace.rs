@@ -1,0 +1,195 @@
+//! Execution traces.
+//!
+//! The executor records a structured trace of what happened: which node
+//! fired when, which RTA module switched mode, and any Theorem 3.1 invariant
+//! violations observed by the built-in monitors.  The experiment harness of
+//! the drone case study summarises these traces into the statistics the
+//! paper reports (disengagement counts, fraction of time in AC mode, …).
+
+use serde::{Deserialize, Serialize};
+use soter_core::rta::Mode;
+use soter_core::time::Time;
+
+/// One event of an execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A node fired (its step function ran).
+    NodeFired {
+        /// Firing time.
+        time: Time,
+        /// Node name.
+        node: String,
+        /// Whether the node's outputs were applied to the global topics
+        /// (`false` for a controller whose output is disabled by the OE
+        /// map).
+        output_enabled: bool,
+    },
+    /// A decision module switched mode.
+    ModeSwitch {
+        /// Switch time.
+        time: Time,
+        /// RTA module name.
+        module: String,
+        /// Previous mode.
+        from: Mode,
+        /// New mode.
+        to: Mode,
+    },
+    /// A Theorem 3.1 invariant monitor reported a violation.
+    InvariantViolation {
+        /// Observation time.
+        time: Time,
+        /// RTA module name.
+        module: String,
+        /// Mode at the time of the violation.
+        mode: Mode,
+    },
+    /// An environment input was injected.
+    EnvironmentInput {
+        /// Injection time.
+        time: Time,
+        /// Topic that was updated.
+        topic: String,
+    },
+}
+
+impl TraceEvent {
+    /// The time at which the event occurred.
+    pub fn time(&self) -> Time {
+        match self {
+            TraceEvent::NodeFired { time, .. }
+            | TraceEvent::ModeSwitch { time, .. }
+            | TraceEvent::InvariantViolation { time, .. }
+            | TraceEvent::EnvironmentInput { time, .. } => *time,
+        }
+    }
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace; recording is enabled by default.
+    pub fn new() -> Self {
+        Trace { events: Vec::new(), enabled: true }
+    }
+
+    /// Creates a disabled trace that drops every event (for long campaigns
+    /// where only aggregate statistics matter).
+    pub fn disabled() -> Self {
+        Trace { events: Vec::new(), enabled: false }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Mode switches of the given module, in order.
+    pub fn mode_switches(&self, module: &str) -> Vec<(Time, Mode, Mode)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ModeSwitch { time, module: m, from, to } if m == module => {
+                    Some((*time, *from, *to))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of firings recorded for a node.
+    pub fn firing_count(&self, node: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeFired { node: n, .. } if n == node))
+            .count()
+    }
+
+    /// All invariant violations recorded.
+    pub fn invariant_violations(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::InvariantViolation { .. }))
+            .collect()
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_querying() {
+        let mut t = Trace::new();
+        assert!(t.is_enabled() && t.is_empty());
+        t.record(TraceEvent::NodeFired {
+            time: Time::from_millis(10),
+            node: "ac".into(),
+            output_enabled: false,
+        });
+        t.record(TraceEvent::ModeSwitch {
+            time: Time::from_millis(20),
+            module: "mpr".into(),
+            from: Mode::Sc,
+            to: Mode::Ac,
+        });
+        t.record(TraceEvent::InvariantViolation {
+            time: Time::from_millis(30),
+            module: "mpr".into(),
+            mode: Mode::Ac,
+        });
+        t.record(TraceEvent::EnvironmentInput {
+            time: Time::from_millis(40),
+            topic: "wind".into(),
+        });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.firing_count("ac"), 1);
+        assert_eq!(t.firing_count("sc"), 0);
+        assert_eq!(t.mode_switches("mpr"), vec![(Time::from_millis(20), Mode::Sc, Mode::Ac)]);
+        assert!(t.mode_switches("other").is_empty());
+        assert_eq!(t.invariant_violations().len(), 1);
+        assert_eq!(t.events()[3].time(), Time::from_millis(40));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.record(TraceEvent::EnvironmentInput { time: Time::ZERO, topic: "x".into() });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+}

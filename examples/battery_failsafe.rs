@@ -1,0 +1,24 @@
+//! The Fig. 12c experiment: the battery-safety RTA module aborts the mission
+//! and lands the drone before the battery runs out.
+//!
+//! Run with: `cargo run --release --example battery_failsafe`
+
+use soter::drone::experiments::fig12c_battery;
+
+fn main() {
+    let report = fig12c_battery(11, 300.0);
+    println!("=== Fig. 12c: battery-safety RTA module ===");
+    match report.charge_at_switch {
+        Some(c) => println!("DM switched to landing SC at  : {:.1} % charge", 100.0 * c),
+        None => println!("DM never had to switch (battery stayed healthy)"),
+    }
+    println!("final charge                  : {:.1} %", 100.0 * report.final_charge);
+    println!("landed safely                 : {}", report.landed);
+    println!("φ_bat violated (dead mid-air) : {}", report.battery_violation);
+    println!("profile samples               : {}", report.profile.len());
+    // Print a coarse altitude/charge profile, the data behind Fig. 12c.
+    for (t, alt, charge) in report.profile.iter().step_by(20) {
+        println!("  t = {t:6.1} s   altitude = {alt:5.2} m   charge = {:5.1} %", 100.0 * charge);
+    }
+    assert!(!report.battery_violation, "the drone must never run out of charge mid-air");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: declare a minimal RTA module over a 1-D plant and watch the
+//! decision module keep it safe while handing control to the advanced
+//! controller whenever possible.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use soter::core::prelude::*;
+use soter::runtime::executor::Executor;
+
+/// φ_safe = |x| ≤ 10, φ_safer = |x| ≤ 5, worst-case speed 1 m/s.
+struct LineOracle;
+
+impl SafetyOracle for LineOracle {
+    fn is_safe(&self, obs: &TopicMap) -> bool {
+        obs.get("state").and_then(Value::as_float).map(|x| x.abs() <= 10.0).unwrap_or(false)
+    }
+    fn is_safer(&self, obs: &TopicMap) -> bool {
+        obs.get("state").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(false)
+    }
+    fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
+        match obs.get("state").and_then(Value::as_float) {
+            Some(x) => x.abs() + h.as_secs_f64() > 10.0,
+            None => true,
+        }
+    }
+}
+
+fn main() -> Result<(), SoterError> {
+    // The untrusted advanced controller always pushes outward at 1 m/s.
+    let ac = FnNode::builder("ac")
+        .subscribes(["state"])
+        .publishes(["cmd"])
+        .period(Duration::from_millis(100))
+        .step(|_, _, out| {
+            out.insert("cmd", Value::Float(1.0));
+        })
+        .build();
+    // The certified safe controller pushes back toward the origin.
+    let sc = FnNode::builder("sc")
+        .subscribes(["state"])
+        .publishes(["cmd"])
+        .period(Duration::from_millis(100))
+        .step(|_, inp, out| {
+            let x = inp.get("state").and_then(Value::as_float).unwrap_or(0.0);
+            out.insert("cmd", Value::Float(if x > 0.0 { -1.0 } else { 1.0 }));
+        })
+        .build();
+    let module = RtaModule::builder("line")
+        .advanced(ac)
+        .safe(sc)
+        .delta(Duration::from_millis(100))
+        .oracle(LineOracle)
+        .build()?;
+
+    // A trivial plant integrating the command into the `state` topic.
+    let mut x = 0.0f64;
+    let plant = FnNode::builder("plant")
+        .subscribes(["cmd"])
+        .publishes(["state"])
+        .period(Duration::from_millis(10))
+        .step(move |_, inp, out| {
+            x += inp.get("cmd").and_then(Value::as_float).unwrap_or(0.0) * 0.01;
+            out.insert("state", Value::Float(x));
+        })
+        .build();
+
+    let mut system = RtaSystem::new("quickstart");
+    system.add_module(module)?;
+    system.add_node(plant)?;
+
+    let mut exec = Executor::new(system);
+    exec.run_until(Time::from_secs_f64(60.0));
+
+    let x = exec.topics().get("state").and_then(Value::as_float).unwrap_or(0.0);
+    let dm = exec.system().modules()[0].dm();
+    println!("final state                 : {x:.2} (φ_safe = |x| ≤ 10)");
+    println!("current mode                : {}", exec.system().modules()[0].mode());
+    println!("AC→SC disengagements        : {}", dm.disengagement_count());
+    println!("SC→AC re-engagements        : {}", dm.reengagement_count());
+    println!("Theorem 3.1 monitor clean   : {}", exec.monitors()[0].is_clean());
+    assert!(x.abs() <= 10.0, "the RTA module must keep the state inside φ_safe");
+    Ok(())
+}

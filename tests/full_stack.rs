@@ -1,0 +1,79 @@
+//! Integration tests spanning the whole workspace: the RTA-protected drone
+//! stacks built from `soter-drone` executed by `soter-runtime` over the
+//! `soter-sim` substrate, asserting the paper's qualitative claims.
+
+use soter::drone::experiments::{
+    circuit_lap, fig12a_comparison, fig12b_surveillance, fig5_unprotected, planner_rta,
+    stress_campaign,
+};
+use soter::drone::stack::{AdvancedKind, Protection};
+
+#[test]
+fn unprotected_aggressive_controller_is_unsafe() {
+    // Fig. 5 (right): the PX4-like controller flying the circuit at speed
+    // eventually overshoots into an obstacle or the geofence.
+    let report = fig5_unprotected(AdvancedKind::Px4Like, 1, 120.0);
+    assert!(report.waypoints_reached > 0);
+    assert!(
+        report.metrics.collisions > 0 || report.max_deviation > 1.5,
+        "expected a violation or a dangerous deviation, got {report:?}"
+    );
+}
+
+#[test]
+fn rta_protected_circuit_is_safe_and_faster_than_sc_only() {
+    // Fig. 12a / Sec. V-A: AC-only is fastest but unsafe; SC-only is safe but
+    // slow; the RTA configuration is safe and sits in between.
+    let report = fig12a_comparison(3, 300.0);
+    let rta = report.row("rta").expect("rta row");
+    let sc = report.row("sc-only").expect("sc row");
+    let ac = report.row("ac-only").expect("ac row");
+    assert_eq!(rta.metrics.collisions, 0, "RTA must be collision-free");
+    assert_eq!(sc.metrics.collisions, 0, "SC-only must be collision-free");
+    assert_eq!(rta.invariant_violations, 0, "Theorem 3.1 must hold under the ideal calendar");
+    let t_rta = rta.completion_time.expect("RTA lap completes");
+    let t_sc = sc.completion_time.expect("SC-only lap completes");
+    assert!(t_rta <= t_sc, "RTA ({t_rta:.1}s) must not be slower than SC-only ({t_sc:.1}s)");
+    if let Some(t_ac) = ac.completion_time {
+        assert!(t_ac <= t_rta + 1.0, "AC-only ({t_ac:.1}s) should be the fastest");
+    }
+    // The protected run actually exercises both controllers.
+    assert!(rta.metrics.disengagements >= 1);
+    assert!(rta.metrics.ac_fraction > 0.2 && rta.metrics.ac_fraction < 1.0);
+}
+
+#[test]
+fn rta_protected_surveillance_mission_completes_safely() {
+    // Fig. 12b: the full stack visits surveillance targets with zero
+    // ground-truth collisions and the advanced controller in command for the
+    // majority of the mission.
+    let report = fig12b_surveillance(7, 4, 300.0);
+    assert!(report.targets_reached >= 4, "mission must make progress: {report:?}");
+    assert_eq!(report.metrics.collisions, 0, "φ_mpr must hold: {report:?}");
+    assert!(report.metrics.ac_fraction > 0.5, "AC should dominate: {report:?}");
+    assert_eq!(report.invariant_violations, 0);
+}
+
+#[test]
+fn sc_only_circuit_never_disengages() {
+    let (row, outcome) = circuit_lap(Protection::ScOnly, 5, 300.0);
+    assert_eq!(row.metrics.collisions, 0);
+    assert_eq!(outcome.mpr_disengagements, 0, "there is no DM in the SC-only baseline");
+}
+
+#[test]
+fn planner_rta_blocks_every_injected_bug() {
+    let report = planner_rta(9, 40);
+    assert!(report.unprotected_colliding_plans > 0, "{report:?}");
+    assert_eq!(report.protected_colliding_plans, 0, "{report:?}");
+}
+
+#[test]
+fn short_stress_campaign_without_jitter_is_clean() {
+    // A scaled-down Sec. V-D campaign on the ideal calendar: no crashes and
+    // high AC utilisation.
+    let report = stress_campaign(13, 120.0, false);
+    assert_eq!(report.crashes, 0, "{report:?}");
+    assert!(report.ac_fraction > 0.5, "{report:?}");
+    assert!(report.distance_km > 0.05, "{report:?}");
+}

@@ -1,0 +1,158 @@
+//! Property-based integration tests of the RTA formalism over randomized
+//! 1-D plants: Theorem 3.1 (the module invariant is inductive) and the
+//! compositionality of Theorem 4.1, checked through the real executor.
+
+use proptest::prelude::*;
+use soter::core::prelude::*;
+use soter::runtime::executor::Executor;
+
+/// φ_safe = |x| ≤ bound, φ_safer = |x| ≤ bound/2, max speed `speed`.
+#[derive(Clone)]
+struct LineOracle {
+    topic: String,
+    bound: f64,
+    speed: f64,
+}
+
+impl SafetyOracle for LineOracle {
+    fn is_safe(&self, obs: &TopicMap) -> bool {
+        obs.get(&self.topic).and_then(Value::as_float).map(|x| x.abs() <= self.bound).unwrap_or(false)
+    }
+    fn is_safer(&self, obs: &TopicMap) -> bool {
+        obs.get(&self.topic)
+            .and_then(Value::as_float)
+            .map(|x| x.abs() <= self.bound / 2.0)
+            .unwrap_or(false)
+    }
+    fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
+        match obs.get(&self.topic).and_then(Value::as_float) {
+            Some(x) => x.abs() + self.speed * h.as_secs_f64() > self.bound,
+            None => true,
+        }
+    }
+}
+
+/// Builds a 1-D RTA module + integrator plant on a private topic namespace.
+fn line_module(idx: usize, bound: f64, speed: f64, delta_ms: u64) -> (RtaModule, FnNode) {
+    let state_topic = format!("state{idx}");
+    let cmd_topic = format!("cmd{idx}");
+    let (st_ac, cmd_ac) = (state_topic.clone(), cmd_topic.clone());
+    let ac = FnNode::builder(format!("ac{idx}"))
+        .subscribes([st_ac.as_str()])
+        .publishes([cmd_ac.as_str()])
+        .period(Duration::from_millis(delta_ms))
+        .step(move |_, _, out| {
+            out.insert(cmd_ac.as_str(), Value::Float(speed));
+        })
+        .build();
+    let (st_sc, cmd_sc) = (state_topic.clone(), cmd_topic.clone());
+    let sc = FnNode::builder(format!("sc{idx}"))
+        .subscribes([st_sc.as_str()])
+        .publishes([cmd_sc.as_str()])
+        .period(Duration::from_millis(delta_ms))
+        .step(move |_, inp, out| {
+            let x = inp.get(&st_sc).and_then(Value::as_float).unwrap_or(0.0);
+            let v = if x.abs() < 0.05 { 0.0 } else if x > 0.0 { -speed } else { speed };
+            out.insert(cmd_sc.as_str(), Value::Float(v));
+        })
+        .build();
+    let module = RtaModule::builder(format!("line{idx}"))
+        .advanced(ac)
+        .safe(sc)
+        .delta(Duration::from_millis(delta_ms))
+        .oracle(LineOracle { topic: state_topic.clone(), bound, speed })
+        .build()
+        .expect("well-formed module");
+    let mut x = 0.0f64;
+    let (st_p, cmd_p) = (state_topic, cmd_topic);
+    let plant = FnNode::builder(format!("plant{idx}"))
+        .subscribes([cmd_p.as_str()])
+        .publishes([st_p.as_str()])
+        .period(Duration::from_millis(10))
+        .step(move |_, inp, out| {
+            x += inp.get(&cmd_p).and_then(Value::as_float).unwrap_or(0.0) * 0.01;
+            out.insert(st_p.as_str(), Value::Float(x));
+        })
+        .build();
+    (module, plant)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 3.1: for any well-formed 1-D module, the executed system never
+    /// violates φ_safe and the runtime invariant monitor stays clean.
+    #[test]
+    fn theorem_3_1_invariant_holds(
+        bound in 2.0..20.0f64,
+        speed in 0.2..3.0f64,
+        delta_ms in 50u64..400,
+        horizon_s in 5.0..40.0f64,
+    ) {
+        let (module, plant) = line_module(0, bound, speed, delta_ms);
+        let mut system = RtaSystem::new("prop");
+        system.add_module(module).unwrap();
+        system.add_node(plant).unwrap();
+        let mut exec = Executor::new(system);
+        exec.run_until(Time::from_secs_f64(horizon_s));
+        let x = exec.topics().get("state0").and_then(Value::as_float).unwrap_or(0.0);
+        prop_assert!(x.abs() <= bound + 1e-6, "state {x} escaped φ_safe (bound {bound})");
+        prop_assert!(exec.monitors()[0].is_clean(), "Theorem 3.1 monitor reported a violation");
+    }
+
+    /// Theorem 4.1: composing independent well-formed modules preserves every
+    /// per-module invariant.
+    #[test]
+    fn theorem_4_1_composition_preserves_invariants(
+        bound1 in 2.0..15.0f64,
+        bound2 in 2.0..15.0f64,
+        speed in 0.2..2.0f64,
+        horizon_s in 5.0..25.0f64,
+    ) {
+        let (m1, p1) = line_module(1, bound1, speed, 100);
+        let (m2, p2) = line_module(2, bound2, speed, 200);
+        let mut system = RtaSystem::new("composed");
+        system.add_module(m1).unwrap();
+        system.add_module(m2).unwrap();
+        system.add_node(p1).unwrap();
+        system.add_node(p2).unwrap();
+        let mut exec = Executor::new(system);
+        exec.run_until(Time::from_secs_f64(horizon_s));
+        let x1 = exec.topics().get("state1").and_then(Value::as_float).unwrap_or(0.0);
+        let x2 = exec.topics().get("state2").and_then(Value::as_float).unwrap_or(0.0);
+        prop_assert!(x1.abs() <= bound1 + 1e-6);
+        prop_assert!(x2.abs() <= bound2 + 1e-6);
+        for monitor in exec.monitors() {
+            prop_assert!(monitor.is_clean(), "module {} violated its invariant", monitor.module());
+        }
+    }
+}
+
+#[test]
+fn ill_formed_composition_is_rejected() {
+    // Two modules publishing on the same topic cannot be composed
+    // (the precondition of Theorem 4.1).
+    let (m1, _p1) = line_module(7, 5.0, 1.0, 100);
+    let ac = FnNode::builder("other_ac")
+        .subscribes(["state7"])
+        .publishes(["cmd7"])
+        .period(Duration::from_millis(100))
+        .step(|_, _, _| {})
+        .build();
+    let sc = FnNode::builder("other_sc")
+        .subscribes(["state7"])
+        .publishes(["cmd7"])
+        .period(Duration::from_millis(100))
+        .step(|_, _, _| {})
+        .build();
+    let clash = RtaModule::builder("clash")
+        .advanced(ac)
+        .safe(sc)
+        .delta(Duration::from_millis(100))
+        .oracle(LineOracle { topic: "state7".into(), bound: 5.0, speed: 1.0 })
+        .build()
+        .unwrap();
+    let mut system = RtaSystem::new("bad");
+    system.add_module(m1).unwrap();
+    assert!(system.add_module(clash).is_err());
+}
