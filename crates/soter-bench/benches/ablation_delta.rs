@@ -19,7 +19,9 @@ fn print_table() {
             "{:>8.2} {:>8.1} {:>14} {:>16} {:>10.1} {:>11}",
             r.delta,
             r.safer_factor,
-            r.completion_time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "timeout".into()),
+            r.completion_time
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "timeout".into()),
             r.disengagements,
             100.0 * r.ac_fraction,
             r.collisions

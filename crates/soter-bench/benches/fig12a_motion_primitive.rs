@@ -18,7 +18,9 @@ fn print_table() {
         println!(
             "{:<10} {:>14} {:>12} {:>16} {:>12.1} {:>12}",
             row.configuration,
-            row.completion_time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "timeout".into()),
+            row.completion_time
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "timeout".into()),
             row.metrics.collisions,
             row.metrics.disengagements,
             100.0 * row.metrics.ac_fraction,

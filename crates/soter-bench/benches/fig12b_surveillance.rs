@@ -16,7 +16,10 @@ fn print_table() {
     println!("collisions             : {}", r.metrics.collisions);
     println!("disengagements (AC→SC) : {}", r.mpr_disengagements);
     println!("re-engagements (SC→AC) : {}", r.mpr_reengagements);
-    println!("AC time                : {:.1} %", 100.0 * r.metrics.ac_fraction);
+    println!(
+        "AC time                : {:.1} %",
+        100.0 * r.metrics.ac_fraction
+    );
     println!("invariant violations   : {}", r.invariant_violations);
 }
 

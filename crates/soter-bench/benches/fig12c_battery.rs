@@ -11,7 +11,9 @@ fn print_table() {
     println!("\n=== Fig. 12c: battery-safety RTA module ===");
     println!(
         "charge at AC→SC switch : {}",
-        r.charge_at_switch.map(|c| format!("{:.1} %", 100.0 * c)).unwrap_or_else(|| "never".into())
+        r.charge_at_switch
+            .map(|c| format!("{:.1} %", 100.0 * c))
+            .unwrap_or_else(|| "never".into())
     );
     println!("final charge           : {:.1} %", 100.0 * r.final_charge);
     println!("landed safely          : {}", r.landed);

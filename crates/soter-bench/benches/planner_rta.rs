@@ -9,9 +9,18 @@ fn print_table() {
     let r = planner_rta(23, 60);
     println!("\n=== Sec. V-C: RTA-protected motion planner ===");
     println!("queries                          : {}", r.queries);
-    println!("colliding plans, unprotected     : {}", r.unprotected_colliding_plans);
-    println!("colliding plans, RTA-protected   : {}", r.protected_colliding_plans);
-    println!("DM fallbacks to the safe planner : {}", r.dm_switches_to_safe);
+    println!(
+        "colliding plans, unprotected     : {}",
+        r.unprotected_colliding_plans
+    );
+    println!(
+        "colliding plans, RTA-protected   : {}",
+        r.protected_colliding_plans
+    );
+    println!(
+        "DM fallbacks to the safe planner : {}",
+        r.dm_switches_to_safe
+    );
 }
 
 fn bench(c: &mut Criterion) {

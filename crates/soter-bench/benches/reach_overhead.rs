@@ -16,10 +16,22 @@ fn bench(c: &mut Criterion) {
     let config = DroneStackConfig::default();
     let mut group = c.benchmark_group("reach_overhead");
     group.bench_function("dm_query_city_block", |b| {
-        b.iter(|| black_box(dm_reachability_query(&config, Vec3::new(21.0, 21.0, 5.0), 6.0)))
+        b.iter(|| {
+            black_box(dm_reachability_query(
+                &config,
+                Vec3::new(21.0, 21.0, 5.0),
+                6.0,
+            ))
+        })
     });
     group.bench_function("dm_query_near_obstacle", |b| {
-        b.iter(|| black_box(dm_reachability_query(&config, Vec3::new(8.0, 13.0, 5.0), 7.0)))
+        b.iter(|| {
+            black_box(dm_reachability_query(
+                &config,
+                Vec3::new(8.0, 13.0, 5.0),
+                7.0,
+            ))
+        })
     });
     let workspace = Workspace::city_block();
     let reach = ForwardReach::new(QuadrotorDynamics::default(), 0.01, 0.05);

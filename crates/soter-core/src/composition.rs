@@ -32,10 +32,17 @@ impl fmt::Debug for RtaSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RtaSystem")
             .field("name", &self.name)
-            .field("modules", &self.modules.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .field(
+                "modules",
+                &self.modules.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
             .field(
                 "free_nodes",
-                &self.free_nodes.iter().map(|n| n.name().to_string()).collect::<Vec<_>>(),
+                &self
+                    .free_nodes
+                    .iter()
+                    .map(|n| n.name().to_string())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -44,7 +51,11 @@ impl fmt::Debug for RtaSystem {
 impl RtaSystem {
     /// Creates an empty system with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        RtaSystem { name: name.into(), modules: Vec::new(), free_nodes: Vec::new() }
+        RtaSystem {
+            name: name.into(),
+            modules: Vec::new(),
+            free_nodes: Vec::new(),
+        }
     }
 
     /// The system name.
@@ -129,11 +140,8 @@ impl RtaSystem {
     }
 
     fn check_disjoint_names(&self, new_names: &[String]) -> Result<(), CompositionError> {
-        let existing: BTreeSet<String> = self
-            .all_node_infos()
-            .into_iter()
-            .map(|i| i.name)
-            .collect();
+        let existing: BTreeSet<String> =
+            self.all_node_infos().into_iter().map(|i| i.name).collect();
         for n in new_names {
             if existing.contains(n) {
                 return Err(SoterError::NotComposable {
@@ -182,7 +190,10 @@ impl RtaSystem {
 
     /// All output topics of the system (`OS` in the paper's attribute list).
     pub fn output_topics(&self) -> BTreeSet<TopicName> {
-        self.all_node_infos().into_iter().flat_map(|i| i.outputs).collect()
+        self.all_node_infos()
+            .into_iter()
+            .flat_map(|i| i.outputs)
+            .collect()
     }
 
     /// Environment input topics: topics subscribed to by some node but
@@ -237,7 +248,11 @@ mod tests {
             .advanced(ac)
             .safe(sc)
             .delta(Duration::from_millis(100))
-            .oracle(LineOracle { bound: 10.0, safer_bound: 5.0, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 10.0,
+                safer_bound: 5.0,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap()
     }
@@ -245,8 +260,10 @@ mod tests {
     #[test]
     fn disjoint_modules_compose() {
         let mut sys = RtaSystem::new("stack");
-        sys.add_module(module("planner", "p_ac", "p_sc", "plan")).unwrap();
-        sys.add_module(module("primitive", "m_ac", "m_sc", "control")).unwrap();
+        sys.add_module(module("planner", "p_ac", "p_sc", "plan"))
+            .unwrap();
+        sys.add_module(module("primitive", "m_ac", "m_sc", "control"))
+            .unwrap();
         assert_eq!(sys.modules().len(), 2);
         assert_eq!(sys.node_count(), 6);
         assert_eq!(sys.name(), "stack");
@@ -260,8 +277,11 @@ mod tests {
     #[test]
     fn overlapping_outputs_are_rejected() {
         let mut sys = RtaSystem::new("stack");
-        sys.add_module(module("a", "a_ac", "a_sc", "control")).unwrap();
-        let err = sys.add_module(module("b", "b_ac", "b_sc", "control")).unwrap_err();
+        sys.add_module(module("a", "a_ac", "a_sc", "control"))
+            .unwrap();
+        let err = sys
+            .add_module(module("b", "b_ac", "b_sc", "control"))
+            .unwrap_err();
         assert!(format!("{err}").contains("publish"));
         assert_eq!(sys.modules().len(), 1);
     }
@@ -269,15 +289,19 @@ mod tests {
     #[test]
     fn duplicate_node_names_are_rejected() {
         let mut sys = RtaSystem::new("stack");
-        sys.add_module(module("a", "shared_ac", "a_sc", "out_a")).unwrap();
-        let err = sys.add_module(module("b", "shared_ac", "b_sc", "out_b")).unwrap_err();
+        sys.add_module(module("a", "shared_ac", "a_sc", "out_a"))
+            .unwrap();
+        let err = sys
+            .add_module(module("b", "shared_ac", "b_sc", "out_b"))
+            .unwrap_err();
         assert!(format!("{err}").contains("shared_ac"));
     }
 
     #[test]
     fn free_node_with_overlapping_output_is_rejected() {
         let mut sys = RtaSystem::new("stack");
-        sys.add_module(module("a", "a_ac", "a_sc", "control")).unwrap();
+        sys.add_module(module("a", "a_ac", "a_sc", "control"))
+            .unwrap();
         let clash = FnNode::builder("rogue")
             .publishes(["control"])
             .period(Duration::from_millis(10))
@@ -299,8 +323,14 @@ mod tests {
     #[test]
     fn duplicate_free_node_name_is_rejected() {
         let mut sys = RtaSystem::new("stack");
-        let a = FnNode::builder("env").publishes(["s1"]).step(|_, _, _| {}).build();
-        let b = FnNode::builder("env").publishes(["s2"]).step(|_, _, _| {}).build();
+        let a = FnNode::builder("env")
+            .publishes(["s1"])
+            .step(|_, _, _| {})
+            .build();
+        let b = FnNode::builder("env")
+            .publishes(["s2"])
+            .step(|_, _, _| {})
+            .build();
         sys.add_node(a).unwrap();
         assert!(sys.add_node(b).is_err());
     }
@@ -315,7 +345,11 @@ mod tests {
             .advanced(aggressive_node(Duration::from_millis(100)))
             .safe(conservative_node(Duration::from_millis(100)))
             .delta(Duration::from_millis(100))
-            .oracle(LineOracle { bound: 10.0, safer_bound: 5.0, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 10.0,
+                safer_bound: 5.0,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap();
         sys.add_module(m).unwrap();

@@ -95,12 +95,18 @@ impl DecisionModule {
 
     /// Number of AC→SC switches (the paper's "disengagements").
     pub fn disengagement_count(&self) -> usize {
-        self.switches.iter().filter(|s| s.from == Mode::Ac && s.to == Mode::Sc).count()
+        self.switches
+            .iter()
+            .filter(|s| s.from == Mode::Ac && s.to == Mode::Sc)
+            .count()
     }
 
     /// Number of SC→AC switches.
     pub fn reengagement_count(&self) -> usize {
-        self.switches.iter().filter(|s| s.from == Mode::Sc && s.to == Mode::Ac).count()
+        self.switches
+            .iter()
+            .filter(|s| s.from == Mode::Sc && s.to == Mode::Ac)
+            .count()
     }
 
     /// Number of times the switching logic has been evaluated.
@@ -110,7 +116,11 @@ impl DecisionModule {
 
     fn set_mode(&mut self, now: Time, new_mode: Mode) {
         if new_mode != self.mode {
-            self.switches.push(SwitchEvent { time: now, from: self.mode, to: new_mode });
+            self.switches.push(SwitchEvent {
+                time: now,
+                from: self.mode,
+                to: new_mode,
+            });
             self.mode = new_mode;
         }
     }
@@ -170,7 +180,11 @@ mod tests {
             "dm",
             vec![TopicName::new("state")],
             Duration::from_millis(delta_ms),
-            Arc::new(LineOracle { bound, safer_bound: safer, max_speed: speed }),
+            Arc::new(LineOracle {
+                bound,
+                safer_bound: safer,
+                max_speed: speed,
+            }),
         )
     }
 
@@ -244,7 +258,11 @@ mod tests {
         d.step(Time::from_millis(2000), &observe(4.0));
         assert_eq!(d.mode(), Mode::Ac);
         d.step(Time::from_millis(3000), &observe(6.5));
-        assert_eq!(d.mode(), Mode::Ac, "6.5 cannot escape within 2Δ, stay in AC");
+        assert_eq!(
+            d.mode(),
+            Mode::Ac,
+            "6.5 cannot escape within 2Δ, stay in AC"
+        );
     }
 
     #[test]

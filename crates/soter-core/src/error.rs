@@ -68,10 +68,15 @@ mod tests {
         assert!(msg.contains("SafeMotionPrimitive"));
         assert!(msg.contains("δ(AC) exceeds Δ"));
 
-        let e = SoterError::NotComposable { reason: "output overlap on `control`".into() };
+        let e = SoterError::NotComposable {
+            reason: "output overlap on `control`".into(),
+        };
         assert!(format!("{e}").contains("output overlap"));
 
-        let e = SoterError::UndeclaredOutput { node: "ac".into(), topic: "oops".into() };
+        let e = SoterError::UndeclaredOutput {
+            node: "ac".into(),
+            topic: "oops".into(),
+        };
         assert!(format!("{e}").contains("oops"));
 
         let e = SoterError::Runtime("empty system".into());

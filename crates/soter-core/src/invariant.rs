@@ -109,7 +109,11 @@ impl InvariantMonitor {
             }
         };
         if !status.holds() {
-            self.violations.push(Violation { time: now, status, mode });
+            self.violations.push(Violation {
+                time: now,
+                status,
+                mode,
+            });
         }
         status
     }
@@ -139,7 +143,11 @@ mod tests {
     fn monitor() -> InvariantMonitor {
         InvariantMonitor::new(
             "line",
-            Arc::new(LineOracle { bound: 10.0, safer_bound: 5.0, max_speed: 1.0 }),
+            Arc::new(LineOracle {
+                bound: 10.0,
+                safer_bound: 5.0,
+                max_speed: 1.0,
+            }),
             Duration::from_secs(1),
         )
     }

@@ -312,9 +312,7 @@ mod tests {
 
     #[test]
     fn trait_object_debug_uses_name() {
-        let node: Box<dyn Node> = Box::new(
-            FnNode::builder("n1").step(|_, _, _| {}).build(),
-        );
+        let node: Box<dyn Node> = Box::new(FnNode::builder("n1").step(|_, _, _| {}).build());
         assert_eq!(format!("{node:?}"), "Node(n1)");
     }
 }

@@ -261,7 +261,9 @@ impl RtaModuleBuilder {
             module: self.name.clone(),
             reason: reason.to_string(),
         };
-        let ac = self.ac.ok_or_else(|| ill("missing advanced controller node"))?;
+        let ac = self
+            .ac
+            .ok_or_else(|| ill("missing advanced controller node"))?;
         let sc = self.sc.ok_or_else(|| ill("missing safe controller node"))?;
         let delta = self.delta.ok_or_else(|| ill("missing decision period Δ"))?;
         let oracle = self.oracle.ok_or_else(|| ill("missing safety oracle"))?;
@@ -300,7 +302,11 @@ impl RtaModuleBuilder {
         // The DM subscribes to the union of the controllers' subscriptions
         // (I(AC) ∪ I(SC) ⊆ I(DM)).
         let mut dm_subs: Vec<TopicName> = ac.subscriptions();
-        for s in sc.subscriptions().into_iter().chain(self.dm_extra_subscriptions.iter().cloned()) {
+        for s in sc
+            .subscriptions()
+            .into_iter()
+            .chain(self.dm_extra_subscriptions.iter().cloned())
+        {
             if !dm_subs.contains(&s) {
                 dm_subs.push(s);
             }
@@ -311,7 +317,14 @@ impl RtaModuleBuilder {
             delta,
             Arc::clone(&oracle),
         );
-        Ok(RtaModule { name: self.name, ac, sc, delta, oracle, dm })
+        Ok(RtaModule {
+            name: self.name,
+            ac,
+            sc,
+            delta,
+            oracle,
+            dm,
+        })
     }
 }
 
@@ -336,7 +349,10 @@ pub(crate) mod test_support {
 
     impl LineOracle {
         fn position(observed: &TopicMap) -> f64 {
-            observed.get("state").and_then(Value::as_float).unwrap_or(0.0)
+            observed
+                .get("state")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0)
         }
     }
 
@@ -386,7 +402,11 @@ pub(crate) mod test_support {
             .advanced(aggressive_node(Duration::from_millis(delta_ms)))
             .safe(conservative_node(Duration::from_millis(delta_ms)))
             .delta(Duration::from_millis(delta_ms))
-            .oracle(LineOracle { bound: 10.0, safer_bound: 5.0, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 10.0,
+                safer_bound: 5.0,
+                max_speed: 1.0,
+            })
             .build()
             .expect("line module is well-formed")
     }
@@ -435,12 +455,19 @@ mod tests {
             .advanced(ac)
             .safe(sc)
             .delta(Duration::from_millis(20))
-            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 1.0,
+                safer_bound: 0.5,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap();
         let subs = module.dm().subscriptions();
         for t in ["state", "target", "extra"] {
-            assert!(subs.contains(&TopicName::new(t)), "DM must subscribe to {t}");
+            assert!(
+                subs.contains(&TopicName::new(t)),
+                "DM must subscribe to {t}"
+            );
         }
         // The DM publishes on no topic.
         assert!(module.dm().outputs().is_empty());
@@ -454,7 +481,11 @@ mod tests {
             .advanced(ac)
             .safe(sc)
             .delta(Duration::from_millis(100))
-            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 1.0,
+                safer_bound: 0.5,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap_err();
         assert!(format!("{err}").contains("P1a"));
@@ -476,7 +507,11 @@ mod tests {
             .advanced(ac)
             .safe(sc)
             .delta(Duration::from_millis(100))
-            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 1.0,
+                safer_bound: 0.5,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap_err();
         assert!(format!("{err}").contains("P1b"));
@@ -499,7 +534,11 @@ mod tests {
             .advanced(aggressive_node(Duration::from_millis(10)))
             .safe(conservative_node(Duration::from_millis(10)))
             .delta(Duration::ZERO)
-            .oracle(LineOracle { bound: 1.0, safer_bound: 0.5, max_speed: 1.0 })
+            .oracle(LineOracle {
+                bound: 1.0,
+                safer_bound: 0.5,
+                max_speed: 1.0,
+            })
             .build()
             .unwrap_err();
         assert!(format!("{err}").contains("Δ"));

@@ -44,7 +44,10 @@ impl Time {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         Time((secs * 1e6).round() as u64)
     }
 
@@ -104,7 +107,10 @@ impl Duration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         Duration((secs * 1e6).round() as u64)
     }
 
@@ -126,11 +132,7 @@ impl Duration {
     /// Checked integer division of durations (how many whole `rhs` fit in
     /// `self`); returns `None` if `rhs` is zero.
     pub fn checked_div_duration(&self, rhs: Duration) -> Option<u64> {
-        if rhs.0 == 0 {
-            None
-        } else {
-            Some(self.0 / rhs.0)
-        }
+        self.0.checked_div(rhs.0)
     }
 }
 
@@ -205,8 +207,14 @@ mod tests {
         let t = Time::from_millis(10) + Duration::from_millis(5);
         assert_eq!(t, Time::from_millis(15));
         assert_eq!(t - Duration::from_millis(5), Time::from_millis(10));
-        assert_eq!(Duration::from_millis(3) + Duration::from_millis(4), Duration::from_millis(7));
-        assert_eq!(Duration::from_millis(10) - Duration::from_millis(4), Duration::from_millis(6));
+        assert_eq!(
+            Duration::from_millis(3) + Duration::from_millis(4),
+            Duration::from_millis(7)
+        );
+        assert_eq!(
+            Duration::from_millis(10) - Duration::from_millis(4),
+            Duration::from_millis(6)
+        );
         assert_eq!(Duration::from_millis(10) * 3, Duration::from_millis(30));
     }
 
@@ -254,7 +262,10 @@ mod tests {
             Duration::from_millis(100).checked_div_duration(Duration::from_millis(30)),
             Some(3)
         );
-        assert_eq!(Duration::from_millis(100).checked_div_duration(Duration::ZERO), None);
+        assert_eq!(
+            Duration::from_millis(100).checked_div_duration(Duration::ZERO),
+            None
+        );
     }
 
     #[test]

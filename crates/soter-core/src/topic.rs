@@ -61,9 +61,10 @@ impl fmt::Display for TopicName {
 /// stack of the case study (coordinates, kinematic state, waypoint paths,
 /// battery charge, control commands) plus generic scalars for writing other
 /// systems and tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     /// The default value of a freshly initialised topic.
+    #[default]
     Unit,
     /// A boolean flag.
     Bool(bool),
@@ -85,12 +86,6 @@ pub enum Value {
     Path(Vec<[f64; 3]>),
     /// A free-form text value.
     Text(String),
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
-    }
 }
 
 impl Value {
@@ -172,7 +167,9 @@ pub struct TopicMap {
 impl TopicMap {
     /// Creates an empty valuation.
     pub fn new() -> Self {
-        TopicMap { values: BTreeMap::new() }
+        TopicMap {
+            values: BTreeMap::new(),
+        }
     }
 
     /// Inserts (publishes) a value for a topic, returning the previous value
@@ -241,7 +238,9 @@ impl TopicMap {
 
 impl FromIterator<(TopicName, Value)> for TopicMap {
     fn from_iter<T: IntoIterator<Item = (TopicName, Value)>>(iter: T) -> Self {
-        TopicMap { values: iter.into_iter().collect() }
+        TopicMap {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -272,8 +271,14 @@ mod tests {
         assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
         assert_eq!(Value::Int(3).as_float(), Some(3.0));
         assert_eq!(Value::Int(3).as_int(), Some(3));
-        assert_eq!(Value::Vector([1.0, 2.0, 3.0]).as_vector(), Some([1.0, 2.0, 3.0]));
-        let s = Value::State { position: [1.0; 3], velocity: [0.0; 3] };
+        assert_eq!(
+            Value::Vector([1.0, 2.0, 3.0]).as_vector(),
+            Some([1.0, 2.0, 3.0])
+        );
+        let s = Value::State {
+            position: [1.0; 3],
+            velocity: [0.0; 3],
+        };
         assert_eq!(s.as_state(), Some(([1.0; 3], [0.0; 3])));
         let p = Value::Path(vec![[0.0; 3], [1.0; 3]]);
         assert_eq!(p.as_path().unwrap().len(), 2);

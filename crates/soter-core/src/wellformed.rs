@@ -95,7 +95,11 @@ impl fmt::Display for WellFormedness {
         writeln!(f, "  P1b (outputs):          {}", self.p1b_outputs)?;
         writeln!(f, "  P2a (SC safety):        {}", self.p2a_sc_safety)?;
         writeln!(f, "  P2b (SC liveness):      {}", self.p2b_sc_liveness)?;
-        write!(f, "  P3  (φ_safer ⇒ 2Δ safe): {}", self.p3_safer_containment)
+        write!(
+            f,
+            "  P3  (φ_safer ⇒ 2Δ safe): {}",
+            self.p3_safer_containment
+        )
     }
 }
 
@@ -148,7 +152,12 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { samples: 64, seed: 0, sc_horizon: 30.0, liveness_budget: 60.0 }
+        SamplingConfig {
+            samples: 64,
+            seed: 0,
+            sc_horizon: 30.0,
+            liveness_budget: 60.0,
+        }
     }
 }
 
@@ -157,7 +166,9 @@ impl Default for SamplingConfig {
 pub fn check_p2a<P: PlantAbstraction>(plant: &P, cfg: &SamplingConfig) -> CheckOutcome {
     let states = plant.sample_safe(cfg.samples, cfg.seed);
     if states.is_empty() {
-        return CheckOutcome::Failed { reason: "plant abstraction produced no φ_safe samples".into() };
+        return CheckOutcome::Failed {
+            reason: "plant abstraction produced no φ_safe samples".into(),
+        };
     }
     for (i, s) in states.iter().enumerate() {
         let trace = plant.evolve_under_sc(s, cfg.sc_horizon);
@@ -170,7 +181,11 @@ pub fn check_p2a<P: PlantAbstraction>(plant: &P, cfg: &SamplingConfig) -> CheckO
         }
     }
     CheckOutcome::Passed {
-        evidence: format!("{} φ_safe samples, SC horizon {}s", states.len(), cfg.sc_horizon),
+        evidence: format!(
+            "{} φ_safe samples, SC horizon {}s",
+            states.len(),
+            cfg.sc_horizon
+        ),
     }
 }
 
@@ -184,7 +199,9 @@ pub fn check_p2b<P: PlantAbstraction>(
 ) -> CheckOutcome {
     let states = plant.sample_safe(cfg.samples, cfg.seed.wrapping_add(1));
     if states.is_empty() {
-        return CheckOutcome::Failed { reason: "plant abstraction produced no φ_safe samples".into() };
+        return CheckOutcome::Failed {
+            reason: "plant abstraction produced no φ_safe samples".into(),
+        };
     }
     for (i, s) in states.iter().enumerate() {
         let trace = plant.evolve_under_sc(s, cfg.liveness_budget);
@@ -242,7 +259,11 @@ pub fn check_p3<P: PlantAbstraction>(
         }
     }
     CheckOutcome::Passed {
-        evidence: format!("{} φ_safer samples contained for 2Δ = {}s", states.len(), 2.0 * delta_secs),
+        evidence: format!(
+            "{} φ_safer samples contained for 2Δ = {}s",
+            states.len(),
+            2.0 * delta_secs
+        ),
     }
 }
 
@@ -258,7 +279,10 @@ pub fn check_module<P: PlantAbstraction>(
     let (ac, sc, dm) = module.node_infos();
     let p1a = if dm.period == delta && ac.period <= delta && sc.period <= delta {
         CheckOutcome::Passed {
-            evidence: format!("δ(DM)={}, δ(AC)={}, δ(SC)={}", dm.period, ac.period, sc.period),
+            evidence: format!(
+                "δ(DM)={}, δ(AC)={}, δ(SC)={}",
+                dm.period, ac.period, sc.period
+            ),
         }
     } else {
         CheckOutcome::Failed {
@@ -273,9 +297,13 @@ pub fn check_module<P: PlantAbstraction>(
     ac_out.sort();
     sc_out.sort();
     let p1b = if ac_out == sc_out {
-        CheckOutcome::Passed { evidence: format!("O(AC) = O(SC) = {ac_out:?}") }
+        CheckOutcome::Passed {
+            evidence: format!("O(AC) = O(SC) = {ac_out:?}"),
+        }
     } else {
-        CheckOutcome::Failed { reason: format!("O(AC) = {ac_out:?} ≠ O(SC) = {sc_out:?}") }
+        CheckOutcome::Failed {
+            reason: format!("O(AC) = {ac_out:?} ≠ O(SC) = {sc_out:?}"),
+        }
     };
     let delta_secs = delta.as_secs_f64();
     WellFormedness {
@@ -291,7 +319,9 @@ pub fn check_module<P: PlantAbstraction>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rta::test_support::line_module;
+    use crate::rta::test_support::{aggressive_node, conservative_node, line_module, LineOracle};
+    use crate::rta::RtaModule;
+    use crate::time::Duration;
 
     /// A 1-D plant: position `x`, the safe controller moves `x` toward 0 at
     /// 1 m/s, any controller moves at most `max_speed`.
@@ -306,7 +336,12 @@ mod tests {
 
     impl LinePlant {
         fn good() -> Self {
-            LinePlant { bound: 10.0, safer_bound: 5.0, max_speed: 1.0, broken_sc: false }
+            LinePlant {
+                bound: 10.0,
+                safer_bound: 5.0,
+                max_speed: 1.0,
+                broken_sc: false,
+            }
         }
     }
 
@@ -368,13 +403,24 @@ mod tests {
     fn good_plant_passes_all_checks() {
         let module = line_module(1000);
         let plant = LinePlant::good();
-        let cfg = SamplingConfig { samples: 32, ..SamplingConfig::default() };
+        let cfg = SamplingConfig {
+            samples: 32,
+            ..SamplingConfig::default()
+        };
         let report = check_module(&module, &plant, &cfg);
         assert!(report.p1a_periods.passed(), "{}", report.p1a_periods);
         assert!(report.p1b_outputs.passed(), "{}", report.p1b_outputs);
         assert!(report.p2a_sc_safety.passed(), "{}", report.p2a_sc_safety);
-        assert!(report.p2b_sc_liveness.passed(), "{}", report.p2b_sc_liveness);
-        assert!(report.p3_safer_containment.passed(), "{}", report.p3_safer_containment);
+        assert!(
+            report.p2b_sc_liveness.passed(),
+            "{}",
+            report.p2b_sc_liveness
+        );
+        assert!(
+            report.p3_safer_containment.passed(),
+            "{}",
+            report.p3_safer_containment
+        );
         assert!(report.is_well_formed());
         let text = format!("{report}");
         assert!(text.contains("P2a") && text.contains("passed"));
@@ -382,16 +428,30 @@ mod tests {
 
     #[test]
     fn broken_safe_controller_fails_p2a() {
-        let plant = LinePlant { broken_sc: true, ..LinePlant::good() };
-        let cfg = SamplingConfig { samples: 16, sc_horizon: 30.0, ..SamplingConfig::default() };
+        let plant = LinePlant {
+            broken_sc: true,
+            ..LinePlant::good()
+        };
+        let cfg = SamplingConfig {
+            samples: 16,
+            sc_horizon: 30.0,
+            ..SamplingConfig::default()
+        };
         let outcome = check_p2a(&plant, &cfg);
         assert!(matches!(outcome, CheckOutcome::Failed { .. }), "{outcome}");
     }
 
     #[test]
     fn broken_safe_controller_fails_p2b() {
-        let plant = LinePlant { broken_sc: true, ..LinePlant::good() };
-        let cfg = SamplingConfig { samples: 8, liveness_budget: 10.0, ..SamplingConfig::default() };
+        let plant = LinePlant {
+            broken_sc: true,
+            ..LinePlant::good()
+        };
+        let cfg = SamplingConfig {
+            samples: 8,
+            liveness_budget: 10.0,
+            ..SamplingConfig::default()
+        };
         let outcome = check_p2b(&plant, &cfg, 1.0);
         assert!(matches!(outcome, CheckOutcome::Failed { .. }));
     }
@@ -400,7 +460,10 @@ mod tests {
     fn too_weak_safer_region_fails_p3() {
         // φ_safer almost as large as φ_safe: with 2Δ = 8 s at 1 m/s the
         // system can escape.
-        let plant = LinePlant { safer_bound: 9.5, ..LinePlant::good() };
+        let plant = LinePlant {
+            safer_bound: 9.5,
+            ..LinePlant::good()
+        };
         let cfg = SamplingConfig::default();
         let outcome = check_p3(&plant, &cfg, 4.0);
         assert!(matches!(outcome, CheckOutcome::Failed { .. }));
@@ -418,18 +481,164 @@ mod tests {
     fn well_formedness_with_skipped_check_still_well_formed() {
         let wf = WellFormedness {
             module: "m".into(),
-            p1a_periods: CheckOutcome::Passed { evidence: "ok".into() },
-            p1b_outputs: CheckOutcome::Passed { evidence: "ok".into() },
-            p2a_sc_safety: CheckOutcome::Passed { evidence: "ok".into() },
+            p1a_periods: CheckOutcome::Passed {
+                evidence: "ok".into(),
+            },
+            p1b_outputs: CheckOutcome::Passed {
+                evidence: "ok".into(),
+            },
+            p2a_sc_safety: CheckOutcome::Passed {
+                evidence: "ok".into(),
+            },
             p2b_sc_liveness: CheckOutcome::Skipped,
-            p3_safer_containment: CheckOutcome::Passed { evidence: "ok".into() },
+            p3_safer_containment: CheckOutcome::Passed {
+                evidence: "ok".into(),
+            },
         };
         assert!(wf.is_well_formed());
         let wf_bad = WellFormedness {
-            p3_safer_containment: CheckOutcome::Failed { reason: "escape".into() },
+            p3_safer_containment: CheckOutcome::Failed {
+                reason: "escape".into(),
+            },
             ..wf
         };
         assert!(!wf_bad.is_well_formed());
+    }
+
+    #[test]
+    fn controller_period_exceeding_delta_is_rejected_at_build() {
+        // P1a: δ(N_ac) ≤ Δ and δ(N_sc) ≤ Δ.  A module whose controllers run
+        // slower than the decision period can never be constructed, so the
+        // sampling checks here only ever see P1a-conformant modules.
+        for (ac_ms, sc_ms) in [(250u64, 100u64), (100, 250)] {
+            let err = RtaModule::builder("slow")
+                .advanced(aggressive_node(Duration::from_millis(ac_ms)))
+                .safe(conservative_node(Duration::from_millis(sc_ms)))
+                .delta(Duration::from_millis(100))
+                .oracle(LineOracle {
+                    bound: 10.0,
+                    safer_bound: 5.0,
+                    max_speed: 1.0,
+                })
+                .build()
+                .unwrap_err();
+            let text = format!("{err}");
+            assert!(
+                text.contains("P1a"),
+                "expected a P1a rejection, got: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_safer_region_is_rejected_by_check_module() {
+        // φ_safer ⊄ φ_safe: the "safer" band |x| ≤ 30 pokes far outside
+        // φ_safe = |x| ≤ 10, so some sampled φ_safer state can (trivially)
+        // leave φ_safe within 2Δ and P3 must produce a counterexample.
+        let module = line_module(1000);
+        let plant = LinePlant {
+            safer_bound: 30.0,
+            ..LinePlant::good()
+        };
+        let report = check_module(&module, &plant, &SamplingConfig::default());
+        assert!(
+            matches!(report.p3_safer_containment, CheckOutcome::Failed { .. }),
+            "P3 must fail for a non-contained φ_safer: {}",
+            report.p3_safer_containment
+        );
+        assert!(
+            !report.is_well_formed(),
+            "module over a disjoint φ_safer is ill-formed"
+        );
+    }
+
+    #[test]
+    fn inconsistent_safer_sampler_is_rejected_by_p3() {
+        /// Delegates to [`LinePlant`] but claims a φ_safer membership test
+        /// inconsistent with its own sampler (the sampler draws from a wider
+        /// band than `is_safer` accepts).
+        struct LyingSampler(LinePlant);
+
+        impl PlantAbstraction for LyingSampler {
+            type State = f64;
+            fn sample_safe(&self, n: usize, seed: u64) -> Vec<f64> {
+                self.0.sample_safe(n, seed)
+            }
+            fn sample_safer(&self, n: usize, seed: u64) -> Vec<f64> {
+                // Draw from φ_safe instead of φ_safer: some samples violate
+                // `is_safer`, which check_p3 must flag as a broken abstraction.
+                self.0.sample_safe(n, seed)
+            }
+            fn is_safe(&self, s: &f64) -> bool {
+                self.0.is_safe(s)
+            }
+            fn is_safer(&self, s: &f64) -> bool {
+                self.0.is_safer(s)
+            }
+            fn evolve_under_sc(&self, s: &f64, duration: f64) -> Vec<f64> {
+                self.0.evolve_under_sc(s, duration)
+            }
+            fn may_leave_safe_any_control(&self, s: &f64, horizon: f64) -> bool {
+                self.0.may_leave_safe_any_control(s, horizon)
+            }
+        }
+
+        let outcome = check_p3(
+            &LyingSampler(LinePlant::good()),
+            &SamplingConfig::default(),
+            1.0,
+        );
+        match outcome {
+            CheckOutcome::Failed { reason } => {
+                assert!(
+                    reason.contains("outside φ_safer"),
+                    "unexpected reason: {reason}"
+                )
+            }
+            other => panic!("expected the sampler inconsistency to fail P3, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_samplers_fail_rather_than_vacuously_pass() {
+        /// A plant abstraction that produces no samples at all: the checks
+        /// must fail loudly instead of passing over the empty set.
+        struct EmptyPlant;
+        impl PlantAbstraction for EmptyPlant {
+            type State = f64;
+            fn sample_safe(&self, _n: usize, _seed: u64) -> Vec<f64> {
+                Vec::new()
+            }
+            fn sample_safer(&self, _n: usize, _seed: u64) -> Vec<f64> {
+                Vec::new()
+            }
+            fn is_safe(&self, _s: &f64) -> bool {
+                true
+            }
+            fn is_safer(&self, _s: &f64) -> bool {
+                true
+            }
+            fn evolve_under_sc(&self, s: &f64, _duration: f64) -> Vec<f64> {
+                vec![*s]
+            }
+            fn may_leave_safe_any_control(&self, _s: &f64, _horizon: f64) -> bool {
+                false
+            }
+        }
+
+        let cfg = SamplingConfig::default();
+        assert!(matches!(
+            check_p2a(&EmptyPlant, &cfg),
+            CheckOutcome::Failed { .. }
+        ));
+        assert!(matches!(
+            check_p2b(&EmptyPlant, &cfg, 1.0),
+            CheckOutcome::Failed { .. }
+        ));
+        assert!(matches!(
+            check_p3(&EmptyPlant, &cfg, 1.0),
+            CheckOutcome::Failed { .. }
+        ));
     }
 
     #[test]

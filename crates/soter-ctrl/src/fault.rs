@@ -65,7 +65,14 @@ pub struct FaultInjector<C> {
 impl<C: MotionController> FaultInjector<C> {
     /// Wraps `inner`, corrupting its output according to `spec`.
     pub fn new(inner: C, spec: FaultSpec, seed: u64) -> Self {
-        FaultInjector { inner, spec, rng: SmallRng::seed_from_u64(seed), seed, step: 0, injected: 0 }
+        FaultInjector {
+            inner,
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            step: 0,
+            injected: 0,
+        }
     }
 
     /// The wrapped controller.
@@ -98,7 +105,11 @@ impl<C: MotionController> MotionController for FaultInjector<C> {
                 self.injected += 1;
                 ControlInput::accel(nominal.acceleration + Vec3::from_array(bias))
             }
-            FaultSpec::StuckOutput { from_step, duration, value } => {
+            FaultSpec::StuckOutput {
+                from_step,
+                duration,
+                value,
+            } => {
                 if self.step >= from_step && self.step < from_step + duration {
                     self.injected += 1;
                     ControlInput::accel(Vec3::from_array(value))
@@ -106,7 +117,10 @@ impl<C: MotionController> MotionController for FaultInjector<C> {
                     nominal
                 }
             }
-            FaultSpec::RandomSpike { probability, magnitude } => {
+            FaultSpec::RandomSpike {
+                probability,
+                magnitude,
+            } => {
                 if self.rng.random::<f64>() < probability {
                     self.injected += 1;
                     let theta = self.rng.random_range(0.0..std::f64::consts::TAU);
@@ -140,7 +154,10 @@ mod tests {
         let mut plain = Px4LikeController::default();
         let mut wrapped = FaultInjector::new(Px4LikeController::default(), FaultSpec::None, 0);
         let target = Vec3::new(10.0, 0.0, 5.0);
-        assert_eq!(plain.control(&state(), target, 0.01), wrapped.control(&state(), target, 0.01));
+        assert_eq!(
+            plain.control(&state(), target, 0.01),
+            wrapped.control(&state(), target, 0.01)
+        );
         assert_eq!(wrapped.injected_count(), 0);
     }
 
@@ -149,7 +166,9 @@ mod tests {
         let mut plain = Px4LikeController::default();
         let mut wrapped = FaultInjector::new(
             Px4LikeController::default(),
-            FaultSpec::Bias { bias: [1.0, 0.0, 0.0] },
+            FaultSpec::Bias {
+                bias: [1.0, 0.0, 0.0],
+            },
             0,
         );
         let target = Vec3::new(10.0, 0.0, 5.0);
@@ -163,11 +182,17 @@ mod tests {
     fn stuck_output_applies_only_in_window() {
         let mut wrapped = FaultInjector::new(
             Px4LikeController::default(),
-            FaultSpec::StuckOutput { from_step: 3, duration: 2, value: [0.0, 6.0, 0.0] },
+            FaultSpec::StuckOutput {
+                from_step: 3,
+                duration: 2,
+                value: [0.0, 6.0, 0.0],
+            },
             0,
         );
         let target = Vec3::new(10.0, 0.0, 5.0);
-        let outs: Vec<ControlInput> = (0..6).map(|_| wrapped.control(&state(), target, 0.01)).collect();
+        let outs: Vec<ControlInput> = (0..6)
+            .map(|_| wrapped.control(&state(), target, 0.01))
+            .collect();
         // Steps are 1-based inside the wrapper: steps 3 and 4 are stuck.
         assert_ne!(outs[1].acceleration.y, 6.0);
         assert_eq!(outs[2].acceleration, Vec3::new(0.0, 6.0, 0.0));
@@ -180,7 +205,10 @@ mod tests {
     fn random_spikes_occur_at_roughly_the_configured_rate() {
         let mut wrapped = FaultInjector::new(
             Px4LikeController::default(),
-            FaultSpec::RandomSpike { probability: 0.1, magnitude: 6.0 },
+            FaultSpec::RandomSpike {
+                probability: 0.1,
+                magnitude: 6.0,
+            },
             42,
         );
         let target = Vec3::new(10.0, 0.0, 5.0);
@@ -188,17 +216,25 @@ mod tests {
             let _ = wrapped.control(&state(), target, 0.01);
         }
         let rate = wrapped.injected_count() as f64 / 5000.0;
-        assert!((rate - 0.1).abs() < 0.03, "spike rate {rate} too far from 0.1");
+        assert!(
+            (rate - 0.1).abs() < 0.03,
+            "spike rate {rate} too far from 0.1"
+        );
     }
 
     #[test]
     fn reset_restores_deterministic_stream() {
         let run = |wrapped: &mut FaultInjector<Px4LikeController>| -> Vec<ControlInput> {
-            (0..100).map(|_| wrapped.control(&state(), Vec3::new(5.0, 5.0, 5.0), 0.01)).collect()
+            (0..100)
+                .map(|_| wrapped.control(&state(), Vec3::new(5.0, 5.0, 5.0), 0.01))
+                .collect()
         };
         let mut wrapped = FaultInjector::new(
             Px4LikeController::default(),
-            FaultSpec::RandomSpike { probability: 0.2, magnitude: 6.0 },
+            FaultSpec::RandomSpike {
+                probability: 0.2,
+                magnitude: 6.0,
+            },
             7,
         );
         let first = run(&mut wrapped);
@@ -206,7 +242,13 @@ mod tests {
         assert_eq!(wrapped.injected_count(), 0);
         let second = run(&mut wrapped);
         assert_eq!(first, second);
-        assert_eq!(wrapped.spec(), &FaultSpec::RandomSpike { probability: 0.2, magnitude: 6.0 });
+        assert_eq!(
+            wrapped.spec(),
+            &FaultSpec::RandomSpike {
+                probability: 0.2,
+                magnitude: 6.0
+            }
+        );
         assert_eq!(wrapped.inner().name(), "px4-like");
     }
 }

@@ -179,7 +179,10 @@ mod tests {
 
     #[test]
     fn mostly_tracks_the_loop_without_glitches() {
-        let config = LearnedConfig { glitch_probability: 0.0, ..LearnedConfig::default() };
+        let config = LearnedConfig {
+            glitch_probability: 0.0,
+            ..LearnedConfig::default()
+        };
         let mut c = LearnedController::new(config, 1);
         let dyn_ = QuadrotorDynamics::default();
         let loop_points = figure_eight(Vec3::new(0.0, 0.0, 20.0), 12.0, 8.0, 32);
@@ -199,8 +202,14 @@ mod tests {
                 .fold(f64::INFINITY, f64::min);
             worst = worst.max(deviation);
         }
-        assert!(wp_index > 32, "should complete at least one loop, reached {wp_index} waypoints");
-        assert!(worst < 6.0, "without glitches the deviation stays moderate, got {worst:.2}");
+        assert!(
+            wp_index > 32,
+            "should complete at least one loop, reached {wp_index} waypoints"
+        );
+        assert!(
+            worst < 6.0,
+            "without glitches the deviation stays moderate, got {worst:.2}"
+        );
     }
 
     #[test]
@@ -224,9 +233,13 @@ mod tests {
     fn reset_restores_the_rng_stream() {
         let mut c = LearnedController::with_seed(9);
         let state = DroneState::at_rest(Vec3::new(1.0, 1.0, 5.0));
-        let first: Vec<_> = (0..200).map(|_| c.control(&state, Vec3::new(5.0, 0.0, 5.0), 0.01)).collect();
+        let first: Vec<_> = (0..200)
+            .map(|_| c.control(&state, Vec3::new(5.0, 0.0, 5.0), 0.01))
+            .collect();
         c.reset();
-        let second: Vec<_> = (0..200).map(|_| c.control(&state, Vec3::new(5.0, 0.0, 5.0), 0.01)).collect();
+        let second: Vec<_> = (0..200)
+            .map(|_| c.control(&state, Vec3::new(5.0, 0.0, 5.0), 0.01))
+            .collect();
         assert_eq!(first, second);
         assert_eq!(c.steps(), 200);
     }

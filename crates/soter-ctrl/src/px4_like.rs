@@ -156,7 +156,8 @@ mod tests {
                 switched = true;
             }
             if switched {
-                max_overshoot = max_overshoot.max(point_segment_distance(&state.position, &w1, &w2));
+                max_overshoot =
+                    max_overshoot.max(point_segment_distance(&state.position, &w1, &w2));
             }
         }
         assert!(switched);

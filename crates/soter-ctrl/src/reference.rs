@@ -30,7 +30,11 @@ pub fn figure_eight(center: Vec3, a: f64, b: f64, n: usize) -> Vec<Vec3> {
     (0..n)
         .map(|i| {
             let t = i as f64 / n as f64 * std::f64::consts::TAU;
-            Vec3::new(center.x + a * t.sin(), center.y + b * (2.0 * t).sin() * 0.5, center.z)
+            Vec3::new(
+                center.x + a * t.sin(),
+                center.y + b * (2.0 * t).sin() * 0.5,
+                center.z,
+            )
         })
         .collect()
 }
@@ -55,9 +59,21 @@ impl WaypointMission {
     ///
     /// Panics if `waypoints` is empty or the tolerance is not positive.
     pub fn new(waypoints: Vec<Vec3>, arrival_tolerance: f64, looping: bool) -> Self {
-        assert!(!waypoints.is_empty(), "a mission needs at least one waypoint");
-        assert!(arrival_tolerance > 0.0, "arrival tolerance must be positive");
-        WaypointMission { waypoints, arrival_tolerance, current: 0, laps: 0, looping }
+        assert!(
+            !waypoints.is_empty(),
+            "a mission needs at least one waypoint"
+        );
+        assert!(
+            arrival_tolerance > 0.0,
+            "arrival tolerance must be positive"
+        );
+        WaypointMission {
+            waypoints,
+            arrival_tolerance,
+            current: 0,
+            laps: 0,
+            looping,
+        }
     }
 
     /// The waypoint currently being tracked.
@@ -89,7 +105,11 @@ impl WaypointMission {
             self.current += 1;
             if self.current >= self.waypoints.len() {
                 self.laps += 1;
-                self.current = if self.looping { 0 } else { self.waypoints.len() - 1 };
+                self.current = if self.looping {
+                    0
+                } else {
+                    self.waypoints.len() - 1
+                };
             }
         }
         self.current_target()

@@ -46,7 +46,12 @@ pub struct SafeTrackingConfig {
 
 impl Default for SafeTrackingConfig {
     fn default() -> Self {
-        SafeTrackingConfig { speed_cap: 2.0, kp: 1.2, kv: 4.0, max_accel: 6.0 }
+        SafeTrackingConfig {
+            speed_cap: 2.0,
+            kp: 1.2,
+            kv: 4.0,
+            max_accel: 6.0,
+        }
     }
 }
 
@@ -117,7 +122,11 @@ pub struct SafeLandingConfig {
 
 impl Default for SafeLandingConfig {
     fn default() -> Self {
-        SafeLandingConfig { descent_rate: 1.0, kv: 4.0, max_accel: 6.0 }
+        SafeLandingConfig {
+            descent_rate: 1.0,
+            kv: 4.0,
+            max_accel: 6.0,
+        }
     }
 }
 
@@ -138,7 +147,10 @@ impl Default for SafeLandingController {
 impl SafeLandingController {
     /// Creates the controller with the given tuning.
     pub fn new(config: SafeLandingConfig) -> Self {
-        SafeLandingController { config, hold_position: None }
+        SafeLandingController {
+            config,
+            hold_position: None,
+        }
     }
 
     /// The horizontal position the controller latched onto when engaged (if
@@ -162,7 +174,11 @@ impl MotionController for SafeLandingController {
             .get_or_insert_with(|| Vec3::new(state.position.x, state.position.y, 0.0));
         let c = &self.config;
         let horizontal_error = Vec3::new(hold.x - state.position.x, hold.y - state.position.y, 0.0);
-        let descend = if state.position.z > 0.05 { -c.descent_rate } else { 0.0 };
+        let descend = if state.position.z > 0.05 {
+            -c.descent_rate
+        } else {
+            0.0
+        };
         let desired_velocity =
             Vec3::new(horizontal_error.x * 0.8, horizontal_error.y * 0.8, descend).clamp_norm(2.0);
         let accel = (desired_velocity - state.velocity) * c.kv;
@@ -201,10 +217,22 @@ mod tests {
         let mut c = SafeTrackingController::default();
         let cap = c.envelope().max_speed;
         let start = DroneState::at_rest(Vec3::new(0.0, 0.0, 5.0));
-        let (_, states) =
-            simulate_to_waypoint(&mut c, &dynamics(), start, Vec3::new(30.0, 20.0, 5.0), 0.01, 60.0, 0.3);
+        let (_, states) = simulate_to_waypoint(
+            &mut c,
+            &dynamics(),
+            start,
+            Vec3::new(30.0, 20.0, 5.0),
+            0.01,
+            60.0,
+            0.3,
+        );
         for s in &states {
-            assert!(s.speed() <= cap + 0.2, "speed {} exceeded certified cap {}", s.speed(), cap);
+            assert!(
+                s.speed() <= cap + 0.2,
+                "speed {} exceeded certified cap {}",
+                s.speed(),
+                cap
+            );
         }
     }
 
@@ -226,7 +254,10 @@ mod tests {
                 let mut c = SafeTrackingController::default();
                 let start_pos = Vec3::new(0.0, 0.0, 30.0);
                 let target = Vec3::new(20.0, 0.0, 30.0);
-                let mut state = DroneState { position: start_pos, velocity: dir.normalized() * speed };
+                let mut state = DroneState {
+                    position: start_pos,
+                    velocity: dir.normalized() * speed,
+                };
                 let mut worst = 0.0f64;
                 for _ in 0..3000 {
                     let u = c.control(&state, target, 0.01);
@@ -254,8 +285,16 @@ mod tests {
             let u = c.control(&state, Vec3::ZERO, 0.01);
             state = dyn_.step(&state, &u, Vec3::ZERO, 0.01);
         }
-        assert!(state.position.z < 0.1, "must land, z = {}", state.position.z);
-        assert!(state.speed() < 0.3, "must come to rest, speed = {}", state.speed());
+        assert!(
+            state.position.z < 0.1,
+            "must land, z = {}",
+            state.position.z
+        );
+        assert!(
+            state.speed() < 0.3,
+            "must come to rest, speed = {}",
+            state.speed()
+        );
         let hold = c.hold_position().unwrap();
         // The latch point is the position at engagement (possibly displaced a
         // little by the initial horizontal speed); touchdown must be near it.

@@ -86,7 +86,8 @@ impl ShieldedSafeController {
                 // from its centre as hard as the field allows.
                 repulse += (position - inflated.center()).normalized() * c.repulsion_gain * 4.0;
             } else if distance < c.influence {
-                repulse += away.normalized() * c.repulsion_gain * (1.0 / distance - 1.0 / c.influence);
+                repulse +=
+                    away.normalized() * c.repulsion_gain * (1.0 / distance - 1.0 / c.influence);
             }
         }
         // Horizontal workspace walls (the geofence); the ground and ceiling
@@ -157,7 +158,11 @@ mod tests {
         let start = DroneState::at_rest(Vec3::new(3.0, 3.0, 5.0));
         let (end, collided, max_speed) = run(&mut c, start, Vec3::new(17.0, 3.0, 5.0), 15_000);
         assert!(!collided);
-        assert!(end.position.distance(&Vec3::new(17.0, 3.0, 5.0)) < 1.0, "ended at {}", end.position);
+        assert!(
+            end.position.distance(&Vec3::new(17.0, 3.0, 5.0)) < 1.0,
+            "ended at {}",
+            end.position
+        );
         assert!(max_speed <= c.config().speed_cap + 0.2);
     }
 
@@ -168,7 +173,10 @@ mod tests {
         let mut c = controller();
         let start = DroneState::at_rest(Vec3::new(3.0, 10.0, 5.0));
         let (_end, collided, _) = run(&mut c, start, Vec3::new(10.0, 10.0, 5.0), 10_000);
-        assert!(!collided, "the shielded controller must never enter the obstacle");
+        assert!(
+            !collided,
+            "the shielded controller must never enter the obstacle"
+        );
     }
 
     #[test]
@@ -182,7 +190,10 @@ mod tests {
             velocity: Vec3::new(6.0, 0.0, 0.0),
         };
         let (_end, collided, _) = run(&mut c, start, Vec3::new(17.0, 10.0, 5.0), 10_000);
-        assert!(!collided, "braking plus repulsion must prevent the collision");
+        assert!(
+            !collided,
+            "braking plus repulsion must prevent the collision"
+        );
     }
 
     #[test]
@@ -190,7 +201,10 @@ mod tests {
         let mut c = controller();
         let start = DroneState::at_rest(Vec3::new(3.0, 3.0, 5.0));
         let (_, _, max_speed) = run(&mut c, start, Vec3::new(17.0, 17.0, 5.0), 5_000);
-        assert!(max_speed <= c.config().speed_cap + 0.2, "max speed {max_speed}");
+        assert!(
+            max_speed <= c.config().speed_cap + 0.2,
+            "max speed {max_speed}"
+        );
     }
 
     #[test]
@@ -205,7 +219,11 @@ mod tests {
         for _ in 0..8000 {
             let u = c.control(&state, Vec3::new(30.0, 17.0, 5.0), 0.01);
             state = dynamics.step(&state, &u, Vec3::ZERO, 0.01);
-            assert!(world.bounds().contains(&state.position), "left the geofence at {}", state.position);
+            assert!(
+                world.bounds().contains(&state.position),
+                "left the geofence at {}",
+                state.position
+            );
         }
     }
 }

@@ -20,7 +20,6 @@ pub trait MotionController: Send {
     fn reset(&mut self) {}
 }
 
-
 impl MotionController for Box<dyn MotionController> {
     fn name(&self) -> &str {
         (**self).name()

@@ -110,7 +110,8 @@ impl PlantAbstraction for MotionPrimitivePlant {
 
     fn is_safer(&self, state: &DroneState) -> bool {
         let occupancy = self.reach.occupancy(state, self.safer_horizon);
-        self.workspace.region_is_free_with_margin(&occupancy, self.sample_margin)
+        self.workspace
+            .region_is_free_with_margin(&occupancy, self.sample_margin)
     }
 
     fn evolve_under_sc(&self, state: &DroneState, duration: f64) -> Vec<DroneState> {
@@ -176,7 +177,12 @@ mod tests {
         };
         let module = config.motion_primitive_module();
         let plant = MotionPrimitivePlant::from_config(&config);
-        let sampling = SamplingConfig { samples: 24, sc_horizon: 20.0, liveness_budget: 40.0, seed: 7 };
+        let sampling = SamplingConfig {
+            samples: 24,
+            sc_horizon: 20.0,
+            liveness_budget: 40.0,
+            seed: 7,
+        };
         let report = check_module(&module, &plant, &sampling);
         assert!(report.p1a_periods.passed(), "{report}");
         assert!(report.p1b_outputs.passed(), "{report}");

@@ -20,7 +20,9 @@ use crate::report::{
     AblationRow, Fig12aReport, Fig12aRow, Fig12bReport, Fig12cReport, Fig5Report, PlannerRtaReport,
     StressReport,
 };
-use crate::stack::{build_circuit_stack, build_full_stack, AdvancedKind, DroneStackConfig, Protection};
+use crate::stack::{
+    build_circuit_stack, build_full_stack, AdvancedKind, DroneStackConfig, Protection,
+};
 use crate::topics;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,9 +30,9 @@ use soter_core::composition::RtaSystem;
 use soter_core::rta::{Mode, SafetyOracle};
 use soter_core::time::Duration;
 use soter_core::topic::Value;
+use soter_plan::astar::GridAstar;
 use soter_plan::buggy::{BuggyRrtStar, BuggyRrtStarConfig};
 use soter_plan::rrt_star::RrtStarConfig;
-use soter_plan::astar::GridAstar;
 use soter_plan::surveillance::TargetPolicy;
 use soter_plan::traits::MotionPlanner;
 use soter_plan::validate::validate_plan;
@@ -79,12 +81,15 @@ pub fn run_stack(
     target_progress: Option<i64>,
     jitter: JitterModel,
 ) -> RunOutcome {
-    let config = ExecutorConfig { jitter, record_trace: false, monitor_invariants: true };
+    let config = ExecutorConfig {
+        jitter,
+        record_trace: false,
+        monitor_invariants: true,
+    };
     // When the motion primitive is not wrapped in an RTA module (AC-only or
     // SC-only baselines), the "safe mode" annotation of the trajectory is
     // constant: true when only the safe controller is present.
-    let unprotected_safe_mode =
-        system.free_nodes().iter().any(|n| n.name() == "mpr_sc");
+    let unprotected_safe_mode = system.free_nodes().iter().any(|n| n.name() == "mpr_sc");
     let mut exec = Executor::with_config(system, config);
     let mut trajectory = Trajectory::new();
     let mut completion_time = None;
@@ -98,7 +103,10 @@ pub fn run_stack(
             break;
         }
         let topics_map = exec.topics();
-        if let Some(truth) = topics_map.get(topics::GROUND_TRUTH).and_then(topics::value_to_state) {
+        if let Some(truth) = topics_map
+            .get(topics::GROUND_TRUTH)
+            .and_then(topics::value_to_state)
+        {
             let safe_mode = exec
                 .module_mode("safe_motion_primitive")
                 .map(|m| m == Mode::Sc)
@@ -114,7 +122,9 @@ pub fn run_stack(
             }
         }
         if let Some(mode) = exec.module_mode("battery_safety") {
-            if battery_prev_mode == Some(Mode::Ac) && mode == Mode::Sc && battery_switch_charge.is_none()
+            if battery_prev_mode == Some(Mode::Ac)
+                && mode == Mode::Sc
+                && battery_switch_charge.is_none()
             {
                 battery_switch_charge = exec
                     .topics()
@@ -143,8 +153,7 @@ pub fn run_stack(
         .and_then(Value::as_int)
         .unwrap_or(0)
         .max(0) as usize;
-    let invariant_violations: usize =
-        exec.monitors().iter().map(|m| m.violations().len()).sum();
+    let invariant_violations: usize = exec.monitors().iter().map(|m| m.violations().len()).sum();
     let (mpr_dis, mpr_re) = exec
         .system()
         .modules()
@@ -219,7 +228,13 @@ pub fn circuit_lap(protection: Protection, seed: u64, max_time: f64) -> (Fig12aR
     let waypoints = circuit_waypoints(&workspace);
     let lap_target = waypoints.len() as i64;
     let (system, handle) = build_circuit_stack(&config, waypoints, false);
-    let outcome = run_stack(system, handle, max_time, Some(lap_target), JitterModel::none());
+    let outcome = run_stack(
+        system,
+        handle,
+        max_time,
+        Some(lap_target),
+        JitterModel::none(),
+    );
     let metrics = MissionMetrics::from_trajectory(
         &outcome.trajectory,
         &workspace,
@@ -330,12 +345,18 @@ pub fn planner_rta(seed: u64, queries: usize) -> PlannerRtaReport {
         }
     }
     let mut unprotected = BuggyRrtStar::new(BuggyRrtStarConfig {
-        inner: RrtStarConfig { seed, ..RrtStarConfig::default() },
+        inner: RrtStarConfig {
+            seed,
+            ..RrtStarConfig::default()
+        },
         bug_probability: 0.3,
         bug_seed: seed.wrapping_add(17),
     });
     let mut protected_ac = BuggyRrtStar::new(BuggyRrtStarConfig {
-        inner: RrtStarConfig { seed, ..RrtStarConfig::default() },
+        inner: RrtStarConfig {
+            seed,
+            ..RrtStarConfig::default()
+        },
         bug_probability: 0.3,
         bug_seed: seed.wrapping_add(17),
     });
@@ -425,7 +446,12 @@ pub fn stress_campaign(seed: u64, simulated_seconds: f64, with_jitter: bool) -> 
 
 /// Remark 3.3 ablation: sweep the decision period Δ and the φ_safer
 /// hysteresis factor and report how performance and conservativeness change.
-pub fn ablation_delta(deltas_ms: &[u64], safer_factors: &[f64], seed: u64, max_time: f64) -> Vec<AblationRow> {
+pub fn ablation_delta(
+    deltas_ms: &[u64],
+    safer_factors: &[f64],
+    seed: u64,
+    max_time: f64,
+) -> Vec<AblationRow> {
     let workspace = Workspace::corner_cut_course();
     let mut rows = Vec::new();
     for &delta_ms in deltas_ms {
@@ -443,8 +469,13 @@ pub fn ablation_delta(deltas_ms: &[u64], safer_factors: &[f64], seed: u64, max_t
             let waypoints = circuit_waypoints(&workspace);
             let lap_target = waypoints.len() as i64;
             let (system, handle) = build_circuit_stack(&config, waypoints, false);
-            let outcome =
-                run_stack(system, handle, max_time, Some(lap_target), JitterModel::none());
+            let outcome = run_stack(
+                system,
+                handle,
+                max_time,
+                Some(lap_target),
+                JitterModel::none(),
+            );
             let metrics = MissionMetrics::from_trajectory(
                 &outcome.trajectory,
                 &workspace,
@@ -486,7 +517,10 @@ mod tests {
     #[test]
     fn fig5_px4_like_eventually_violates_safety() {
         let report = fig5_unprotected(AdvancedKind::Px4Like, 1, 120.0);
-        assert!(report.waypoints_reached > 0, "the circuit must make progress");
+        assert!(
+            report.waypoints_reached > 0,
+            "the circuit must make progress"
+        );
         assert!(
             report.metrics.collisions > 0 || report.max_deviation > 1.5,
             "the unprotected aggressive controller should overshoot dangerously: {report:?}"
@@ -497,11 +531,20 @@ mod tests {
     fn fig12a_rta_is_safe_and_between_the_baselines() {
         let report = fig12a_comparison(3, 300.0);
         let rta = report.row("rta").unwrap();
-        assert_eq!(rta.metrics.collisions, 0, "RTA must keep the circuit collision-free");
+        assert_eq!(
+            rta.metrics.collisions, 0,
+            "RTA must keep the circuit collision-free"
+        );
         let sc = report.row("sc-only").unwrap();
-        assert_eq!(sc.metrics.collisions, 0, "the safe controller alone is safe");
+        assert_eq!(
+            sc.metrics.collisions, 0,
+            "the safe controller alone is safe"
+        );
         if let (Some(t_rta), Some(t_sc)) = (rta.completion_time, sc.completion_time) {
-            assert!(t_rta <= t_sc, "RTA ({t_rta:.1}s) must not be slower than SC-only ({t_sc:.1}s)");
+            assert!(
+                t_rta <= t_sc,
+                "RTA ({t_rta:.1}s) must not be slower than SC-only ({t_sc:.1}s)"
+            );
         }
     }
 
@@ -520,7 +563,15 @@ mod tests {
             workspace: Workspace::corner_cut_course(),
             ..DroneStackConfig::default()
         };
-        assert!(!dm_reachability_query(&config, Vec3::new(3.0, 3.0, 5.0), 0.0));
-        assert!(dm_reachability_query(&config, Vec3::new(8.0, 10.0, 5.0), 7.0));
+        assert!(!dm_reachability_query(
+            &config,
+            Vec3::new(3.0, 3.0, 5.0),
+            0.0
+        ));
+        assert!(dm_reachability_query(
+            &config,
+            Vec3::new(8.0, 10.0, 5.0),
+            7.0
+        ));
     }
 }

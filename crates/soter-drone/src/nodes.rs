@@ -77,7 +77,9 @@ impl Node for ControllerNode {
 
     fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
         let mut out = TopicMap::new();
-        let Some(state) = inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state)
+        let Some(state) = inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
         else {
             return out;
         };
@@ -85,10 +87,10 @@ impl Node for ControllerNode {
             .get(topics::TARGET_WAYPOINT)
             .and_then(Value::as_vector)
             .map(Vec3::from_array)
-            .unwrap_or_else(|| {
-                Vec3::new(state.position.x, state.position.y, self.hold_altitude)
-            });
-        let control = self.controller.control(&state, target, self.period.as_secs_f64());
+            .unwrap_or_else(|| Vec3::new(state.position.x, state.position.y, self.hold_altitude));
+        let control = self
+            .controller
+            .control(&state, target, self.period.as_secs_f64());
         out.insert(topics::CONTROL_ACTION, topics::control_to_value(&control));
         out
     }
@@ -154,14 +156,20 @@ impl Node for PlannerNode {
         else {
             return out;
         };
-        let Some(state) = inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state)
+        let Some(state) = inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
         else {
             return out;
         };
         // Re-plan only when the application issues a new target (planning is
         // expensive; this also matches the paper's planner, which is invoked
         // per target location).
-        if self.last_target.map(|t| t.distance(&target) < 0.5).unwrap_or(false) {
+        if self
+            .last_target
+            .map(|t| t.distance(&target) < 0.5)
+            .unwrap_or(false)
+        {
             return out;
         }
         if let Some(plan) = self.planner.plan(&self.workspace, state.position, target) {
@@ -222,13 +230,18 @@ impl Node for PlanFollowerNode {
 
     fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
         let mut out = TopicMap::new();
-        if let Some(plan) = inputs.get(topics::MOTION_PLAN).and_then(topics::value_to_plan) {
+        if let Some(plan) = inputs
+            .get(topics::MOTION_PLAN)
+            .and_then(topics::value_to_plan)
+        {
             if plan != self.plan {
                 self.plan = plan;
                 self.index = 0;
             }
         }
-        let Some(state) = inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state)
+        let Some(state) = inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
         else {
             return out;
         };
@@ -262,7 +275,10 @@ pub struct LandingNode {
 impl LandingNode {
     /// Creates the landing node.
     pub fn new(name: impl Into<String>, period: Duration) -> Self {
-        LandingNode { name: name.into(), period }
+        LandingNode {
+            name: name.into(),
+            period,
+        }
     }
 }
 
@@ -288,7 +304,10 @@ impl Node for LandingNode {
 
     fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
         let mut out = TopicMap::new();
-        if let Some(state) = inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state) {
+        if let Some(state) = inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
+        {
             let touchdown = Vec3::new(state.position.x, state.position.y, 0.0);
             out.insert(topics::TARGET_WAYPOINT, Value::Vector(touchdown.to_array()));
         }
@@ -348,7 +367,9 @@ impl Node for SurveillanceNode {
 
     fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
         let mut out = TopicMap::new();
-        let state = inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state);
+        let state = inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state);
         let need_new_target = match (self.current_target, state) {
             (None, _) => true,
             (Some(t), Some(s)) => {
@@ -409,7 +430,10 @@ impl Node for CircuitNode {
 
     fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
         let mut out = TopicMap::new();
-        let target = match inputs.get(topics::LOCAL_POSITION).and_then(topics::value_to_state) {
+        let target = match inputs
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
+        {
             Some(state) => self.mission.update(&state),
             None => self.mission.current_target(),
         };
@@ -433,7 +457,10 @@ mod tests {
 
     fn state_inputs(pos: Vec3) -> TopicMap {
         let mut m = TopicMap::new();
-        m.insert(topics::LOCAL_POSITION, topics::state_to_value(&DroneState::at_rest(pos)));
+        m.insert(
+            topics::LOCAL_POSITION,
+            topics::state_to_value(&DroneState::at_rest(pos)),
+        );
         m
     }
 
@@ -448,7 +475,10 @@ mod tests {
         let mut inputs = state_inputs(Vec3::new(0.0, 0.0, 3.0));
         inputs.insert(topics::TARGET_WAYPOINT, Value::Vector([10.0, 0.0, 3.0]));
         let out = node.step(Time::ZERO, &inputs);
-        let u = out.get(topics::CONTROL_ACTION).and_then(topics::value_to_control).unwrap();
+        let u = out
+            .get(topics::CONTROL_ACTION)
+            .and_then(topics::value_to_control)
+            .unwrap();
         assert!(u.acceleration.x > 0.0, "must accelerate toward the target");
     }
 
@@ -473,14 +503,22 @@ mod tests {
             3.0,
         );
         let out = node.step(Time::ZERO, &state_inputs(Vec3::new(5.0, 5.0, 3.0)));
-        let u = out.get(topics::CONTROL_ACTION).and_then(topics::value_to_control).unwrap();
+        let u = out
+            .get(topics::CONTROL_ACTION)
+            .and_then(topics::value_to_control)
+            .unwrap();
         assert!(u.acceleration.norm() < 1.0, "hover command should be small");
     }
 
     #[test]
     fn planner_node_plans_once_per_target() {
         let w = Workspace::city_block();
-        let mut node = PlannerNode::new("planner_sc", GridAstar::default(), w, Duration::from_millis(500));
+        let mut node = PlannerNode::new(
+            "planner_sc",
+            GridAstar::default(),
+            w,
+            Duration::from_millis(500),
+        );
         let mut inputs = state_inputs(Vec3::new(3.0, 3.0, 2.5));
         inputs.insert(topics::TARGET_LOCATION, Value::Vector([3.0, 40.0, 2.5]));
         let out1 = node.step(Time::ZERO, &inputs);
@@ -497,22 +535,35 @@ mod tests {
     #[test]
     fn plan_follower_walks_the_plan() {
         let mut node = PlanFollowerNode::new("bat_ac", Duration::from_millis(100), 1.0);
-        let plan = vec![Vec3::new(0.0, 0.0, 2.0), Vec3::new(5.0, 0.0, 2.0), Vec3::new(10.0, 0.0, 2.0)];
+        let plan = vec![
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(5.0, 0.0, 2.0),
+            Vec3::new(10.0, 0.0, 2.0),
+        ];
         let mut inputs = state_inputs(Vec3::new(0.0, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
         let out = node.step(Time::ZERO, &inputs);
         // At the first waypoint already: advances to the second.
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([5.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([5.0, 0.0, 2.0])
+        );
         // Move near the second waypoint: target becomes the third.
         let mut inputs = state_inputs(Vec3::new(4.8, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
         let out = node.step(Time::from_millis(100), &inputs);
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([10.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([10.0, 0.0, 2.0])
+        );
         // Far from everything: target stays the third (the last one).
         let mut inputs = state_inputs(Vec3::new(20.0, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
         let out = node.step(Time::from_millis(200), &inputs);
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([10.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([10.0, 0.0, 2.0])
+        );
     }
 
     #[test]
@@ -526,7 +577,10 @@ mod tests {
     fn landing_node_targets_the_ground_below() {
         let mut node = LandingNode::new("bat_sc", Duration::from_millis(100));
         let out = node.step(Time::ZERO, &state_inputs(Vec3::new(7.0, 9.0, 6.0)));
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([7.0, 9.0, 0.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([7.0, 9.0, 0.0])
+        );
     }
 
     #[test]
@@ -535,7 +589,10 @@ mod tests {
         let app = SurveillanceApp::new(&w, soter_plan::surveillance::TargetPolicy::RoundRobin);
         let mut node = SurveillanceNode::new(app, w.clone(), Duration::from_millis(500), 1.5);
         let out = node.step(Time::ZERO, &state_inputs(Vec3::new(25.0, 21.0, 2.5)));
-        let first_target = out.get(topics::TARGET_LOCATION).and_then(Value::as_vector).unwrap();
+        let first_target = out
+            .get(topics::TARGET_LOCATION)
+            .and_then(Value::as_vector)
+            .unwrap();
         assert_eq!(out.get(topics::MISSION_PROGRESS), Some(&Value::Int(0)));
         // Arrive at the first target: progress increments and a new target is
         // issued.
@@ -544,7 +601,10 @@ mod tests {
             &state_inputs(Vec3::from_array(first_target)),
         );
         assert_eq!(out.get(topics::MISSION_PROGRESS), Some(&Value::Int(1)));
-        let second_target = out.get(topics::TARGET_LOCATION).and_then(Value::as_vector).unwrap();
+        let second_target = out
+            .get(topics::TARGET_LOCATION)
+            .and_then(Value::as_vector)
+            .unwrap();
         assert_ne!(first_target, second_target);
     }
 
@@ -555,12 +615,21 @@ mod tests {
         let mut node = CircuitNode::new(mission, Duration::from_millis(100));
         // No state yet: publishes the first waypoint.
         let out = node.step(Time::ZERO, &TopicMap::new());
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([0.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([0.0, 0.0, 2.0])
+        );
         // At the first waypoint: advances.
         let out = node.step(Time::from_millis(100), &state_inputs(wps[0]));
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([10.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([10.0, 0.0, 2.0])
+        );
         node.reset();
         let out = node.step(Time::from_millis(200), &TopicMap::new());
-        assert_eq!(out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector), Some([0.0, 0.0, 2.0]));
+        assert_eq!(
+            out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
+            Some([0.0, 0.0, 2.0])
+        );
     }
 }

@@ -42,7 +42,11 @@ impl MotionPrimitiveOracle {
     /// so the factor must not weaken the region).
     pub fn new(ttf: ObstacleTtf, safer_factor: f64) -> Self {
         assert!(safer_factor >= 1.0, "safer_factor must be at least 1.0");
-        MotionPrimitiveOracle { ttf, safer_factor, delta_hint: 0.1 }
+        MotionPrimitiveOracle {
+            ttf,
+            safer_factor,
+            delta_hint: 0.1,
+        }
     }
 
     /// The underlying time-to-failure checker.
@@ -51,7 +55,9 @@ impl MotionPrimitiveOracle {
     }
 
     fn observed_state(observed: &TopicMap) -> Option<soter_sim::dynamics::DroneState> {
-        observed.get(topics::LOCAL_POSITION).and_then(topics::value_to_state)
+        observed
+            .get(topics::LOCAL_POSITION)
+            .and_then(topics::value_to_state)
     }
 }
 
@@ -133,7 +139,9 @@ impl BatteryOracle {
     }
 
     fn charge(observed: &TopicMap) -> Option<f64> {
-        observed.get(topics::BATTERY_CHARGE).and_then(Value::as_float)
+        observed
+            .get(topics::BATTERY_CHARGE)
+            .and_then(Value::as_float)
     }
 }
 
@@ -143,14 +151,18 @@ impl SafetyOracle for BatteryOracle {
     }
 
     fn is_safer(&self, observed: &TopicMap) -> bool {
-        Self::charge(observed).map(|bt| bt > self.safer_threshold).unwrap_or(false)
+        Self::charge(observed)
+            .map(|bt| bt > self.safer_threshold)
+            .unwrap_or(false)
     }
 
     fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
         match Self::charge(observed) {
             // The paper's ttf_2Δ: bt − cost* < T_max, with cost* the
             // worst-case discharge over the horizon.
-            Some(bt) => bt - self.model.worst_case_cost(horizon.as_secs_f64()) < self.landing_reserve,
+            Some(bt) => {
+                bt - self.model.worst_case_cost(horizon.as_secs_f64()) < self.landing_reserve
+            }
             None => true,
         }
     }
@@ -172,7 +184,10 @@ impl PlanOracle {
     }
 
     fn plan_is_valid(&self, observed: &TopicMap) -> bool {
-        match observed.get(topics::MOTION_PLAN).and_then(topics::value_to_plan) {
+        match observed
+            .get(topics::MOTION_PLAN)
+            .and_then(topics::value_to_plan)
+        {
             Some(plan) => validate_plan(&self.workspace, &plan, self.margin).is_ok(),
             // No plan published yet: vacuously valid (there is nothing for
             // downstream modules to follow).
@@ -215,7 +230,10 @@ mod tests {
         let mut m = TopicMap::new();
         m.insert(
             topics::LOCAL_POSITION,
-            topics::state_to_value(&DroneState { position: pos, velocity: vel }),
+            topics::state_to_value(&DroneState {
+                position: pos,
+                velocity: vel,
+            }),
         );
         m
     }
@@ -228,7 +246,10 @@ mod tests {
         assert!(o.is_safer(&safe_obs));
         assert!(!o.may_leave_safe_within(&safe_obs, Duration::from_millis(200)));
         let hot_obs = observe_state(Vec3::new(8.0, 13.0, 3.0), Vec3::new(7.0, 0.0, 0.0));
-        assert!(o.is_safe(&hot_obs), "the state itself is still in free space");
+        assert!(
+            o.is_safe(&hot_obs),
+            "the state itself is still in free space"
+        );
         assert!(o.may_leave_safe_within(&hot_obs, Duration::from_millis(200)));
         assert!(!o.is_safer(&hot_obs));
         let crash_obs = observe_state(Vec3::new(13.0, 13.0, 3.0), Vec3::ZERO);
@@ -278,7 +299,10 @@ mod tests {
         assert!(!o.may_leave_safe_within(&obs, Duration::from_secs(4)));
         // Just above the landing reserve: the worst-case 2Δ discharge pushes
         // the remaining charge below T_max, so the DM must switch.
-        obs.insert(topics::BATTERY_CHARGE, Value::Float(o.landing_reserve() + 0.001));
+        obs.insert(
+            topics::BATTERY_CHARGE,
+            Value::Float(o.landing_reserve() + 0.001),
+        );
         assert!(o.may_leave_safe_within(&obs, Duration::from_secs(4)));
         // Full battery is safer.
         obs.insert(topics::BATTERY_CHARGE, Value::Float(0.95));

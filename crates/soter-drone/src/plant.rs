@@ -34,7 +34,14 @@ impl PlantNode {
     /// the node and a shared handle to the vehicle.
     pub fn new(drone: Drone, period: Duration) -> (Self, PlantHandle) {
         let handle: PlantHandle = Arc::new(Mutex::new(drone));
-        (PlantNode { drone: Arc::clone(&handle), period, last_time: None }, handle)
+        (
+            PlantNode {
+                drone: Arc::clone(&handle),
+                period,
+                last_time: None,
+            },
+            handle,
+        )
     }
 }
 
@@ -97,28 +104,39 @@ mod tests {
 
     #[test]
     fn publishes_state_and_battery() {
-        let (mut node, handle) = PlantNode::new(Drone::at(Vec3::new(1.0, 2.0, 3.0)), Duration::from_millis(10));
+        let (mut node, handle) = PlantNode::new(
+            Drone::at(Vec3::new(1.0, 2.0, 3.0)),
+            Duration::from_millis(10),
+        );
         assert_eq!(node.name(), "plant");
         assert_eq!(node.period(), Duration::from_millis(10));
         let out = node.step(Time::from_millis(10), &TopicMap::new());
         assert!(out.contains(topics::LOCAL_POSITION));
         assert!(out.contains(topics::GROUND_TRUTH));
-        let charge = out.get(topics::BATTERY_CHARGE).and_then(Value::as_float).unwrap();
+        let charge = out
+            .get(topics::BATTERY_CHARGE)
+            .and_then(Value::as_float)
+            .unwrap();
         assert!(charge > 0.99);
         assert!(handle.lock().elapsed() > 0.0);
     }
 
     #[test]
     fn applies_control_from_topic() {
-        let (mut node, handle) =
-            PlantNode::new(Drone::at(Vec3::new(0.0, 0.0, 5.0)), Duration::from_millis(10));
+        let (mut node, handle) = PlantNode::new(
+            Drone::at(Vec3::new(0.0, 0.0, 5.0)),
+            Duration::from_millis(10),
+        );
         let mut inputs = TopicMap::new();
         inputs.insert(topics::CONTROL_ACTION, Value::Vector([3.0, 0.0, 0.0]));
         for i in 1..=200 {
             node.step(Time::from_millis(10 * i), &inputs);
         }
         let drone = handle.lock();
-        assert!(drone.state().position.x > 0.5, "control must move the drone");
+        assert!(
+            drone.state().position.x > 0.5,
+            "control must move the drone"
+        );
         assert!(drone.battery_charge() < 1.0);
     }
 
@@ -127,8 +145,14 @@ mod tests {
         // Two plants: one stepped every 10 ms, one stepped at irregular
         // instants covering the same span; both should reach (roughly) the
         // same ground-truth time.
-        let (mut regular, h1) = PlantNode::new(Drone::at(Vec3::new(0.0, 0.0, 5.0)), Duration::from_millis(10));
-        let (mut jittered, h2) = PlantNode::new(Drone::at(Vec3::new(0.0, 0.0, 5.0)), Duration::from_millis(10));
+        let (mut regular, h1) = PlantNode::new(
+            Drone::at(Vec3::new(0.0, 0.0, 5.0)),
+            Duration::from_millis(10),
+        );
+        let (mut jittered, h2) = PlantNode::new(
+            Drone::at(Vec3::new(0.0, 0.0, 5.0)),
+            Duration::from_millis(10),
+        );
         for i in 1..=100 {
             regular.step(Time::from_millis(10 * i), &TopicMap::new());
         }

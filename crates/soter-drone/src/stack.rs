@@ -5,8 +5,8 @@
 //! * the **circuit stack** — plant + a fixed-waypoint mission feeder + the
 //!   motion primitive, used by the Fig. 5 and Fig. 12a experiments (no
 //!   planner or battery module in the loop), and
-//! * the **full surveillance stack** of Fig. 8 — plant + application layer
-//!   + RTA-protected motion planner + RTA-protected battery safety +
+//! * the **full surveillance stack** of Fig. 8 — plant + application layer +
+//!   RTA-protected motion planner + RTA-protected battery safety +
 //!   RTA-protected motion primitive.
 //!
 //! Both can be built in three protection configurations: the RTA-protected
@@ -153,9 +153,11 @@ impl DroneStackConfig {
         match self.advanced {
             AdvancedKind::Px4Like => Box::new(Px4LikeController::default()),
             AdvancedKind::Learned { seed } => Box::new(LearnedController::with_seed(seed)),
-            AdvancedKind::Faulted { fault, seed } => {
-                Box::new(FaultInjector::new(Px4LikeController::default(), fault, seed))
-            }
+            AdvancedKind::Faulted { fault, seed } => Box::new(FaultInjector::new(
+                Px4LikeController::default(),
+                fault,
+                seed,
+            )),
         }
     }
 
@@ -164,17 +166,25 @@ impl DroneStackConfig {
     pub fn safe_controller(&self) -> ShieldedSafeController {
         ShieldedSafeController::new(
             self.workspace.clone(),
-            ShieldedSafeConfig { speed_cap: self.sc_speed_cap, ..ShieldedSafeConfig::default() },
+            ShieldedSafeConfig {
+                speed_cap: self.sc_speed_cap,
+                ..ShieldedSafeConfig::default()
+            },
         )
     }
 
     /// Builds the simulated vehicle.
     pub fn drone(&self) -> Drone {
-        let mut dcfg = DroneConfig::default();
-        dcfg.seed = self.seed;
-        dcfg.battery = self.battery_model;
+        let dcfg = DroneConfig {
+            seed: self.seed,
+            battery: self.battery_model,
+            ..DroneConfig::default()
+        };
         let mut drone = Drone::with_config(DroneState::at_rest(self.start), dcfg);
-        drone.set_battery(Battery::with_charge(self.battery_model, self.initial_battery));
+        drone.set_battery(Battery::with_charge(
+            self.battery_model,
+            self.initial_battery,
+        ));
         drone
     }
 
@@ -232,14 +242,25 @@ impl DroneStackConfig {
     pub fn planner_module(&self) -> RtaModule {
         let advanced: Box<dyn MotionPlanner> = if self.buggy_planner {
             Box::new(BuggyRrtStar::new(BuggyRrtStarConfig {
-                inner: RrtStarConfig { seed: self.seed, ..RrtStarConfig::default() },
+                inner: RrtStarConfig {
+                    seed: self.seed,
+                    ..RrtStarConfig::default()
+                },
                 bug_probability: 0.3,
                 bug_seed: self.seed.wrapping_add(17),
             }))
         } else {
-            Box::new(RrtStar::new(RrtStarConfig { seed: self.seed, ..RrtStarConfig::default() }))
+            Box::new(RrtStar::new(RrtStarConfig {
+                seed: self.seed,
+                ..RrtStarConfig::default()
+            }))
         };
-        let ac = PlannerNode::new("planner_ac", advanced, self.workspace.clone(), self.delta_plan);
+        let ac = PlannerNode::new(
+            "planner_ac",
+            advanced,
+            self.workspace.clone(),
+            self.delta_plan,
+        );
         let sc = PlannerNode::new(
             "planner_sc",
             GridAstar::default(),
@@ -323,8 +344,12 @@ pub fn build_full_stack(
             2.0,
         ))
         .expect("application layer composes");
-    system.add_module(config.planner_module()).expect("planner module composes");
-    system.add_module(config.battery_module()).expect("battery module composes");
+    system
+        .add_module(config.planner_module())
+        .expect("planner module composes");
+    system
+        .add_module(config.battery_module())
+        .expect("battery module composes");
     config.add_motion_primitive(&mut system);
     (system, handle)
 }
@@ -343,13 +368,19 @@ mod tests {
         let bat = cfg.battery_module();
         assert_eq!(bat.delta(), Duration::from_secs(2));
         let planner = cfg.planner_module();
-        assert_eq!(planner.node_names(), vec!["planner_ac", "planner_sc", "safe_motion_planner_dm"]);
+        assert_eq!(
+            planner.node_names(),
+            vec!["planner_ac", "planner_sc", "safe_motion_planner_dm"]
+        );
     }
 
     #[test]
     fn circuit_stack_composes_under_all_protections() {
         for protection in [Protection::Rta, Protection::AcOnly, Protection::ScOnly] {
-            let cfg = DroneStackConfig { protection, ..DroneStackConfig::default() };
+            let cfg = DroneStackConfig {
+                protection,
+                ..DroneStackConfig::default()
+            };
             let wps = cfg.workspace.surveillance_points().to_vec();
             let (system, handle) = build_circuit_stack(&cfg, wps, true);
             let expected_nodes = match protection {
@@ -363,7 +394,10 @@ mod tests {
 
     #[test]
     fn full_stack_composes_with_three_modules() {
-        let cfg = DroneStackConfig { buggy_planner: true, ..DroneStackConfig::default() };
+        let cfg = DroneStackConfig {
+            buggy_planner: true,
+            ..DroneStackConfig::default()
+        };
         let (system, _handle) = build_full_stack(&cfg, TargetPolicy::RoundRobin);
         assert_eq!(system.modules().len(), 3);
         // plant + application + 3 modules × 3 nodes
@@ -371,7 +405,11 @@ mod tests {
         // All three module output topics are disjoint — Theorem 4.1's
         // composability precondition.
         let outputs = system.output_topics();
-        for t in [topics::CONTROL_ACTION, topics::MOTION_PLAN, topics::TARGET_WAYPOINT] {
+        for t in [
+            topics::CONTROL_ACTION,
+            topics::MOTION_PLAN,
+            topics::TARGET_WAYPOINT,
+        ] {
             assert!(outputs.contains(t));
         }
     }
@@ -387,7 +425,10 @@ mod tests {
         assert_eq!(cfg.advanced_controller().name(), "learned");
         let cfg = DroneStackConfig {
             advanced: AdvancedKind::Faulted {
-                fault: FaultSpec::RandomSpike { probability: 0.1, magnitude: 6.0 },
+                fault: FaultSpec::RandomSpike {
+                    probability: 0.1,
+                    magnitude: 6.0,
+                },
                 seed: 2,
             },
             ..DroneStackConfig::default()

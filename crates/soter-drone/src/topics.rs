@@ -34,7 +34,10 @@ pub const MISSION_PROGRESS: &str = "missionProgress";
 
 /// Converts a simulator state into a topic value.
 pub fn state_to_value(state: &DroneState) -> Value {
-    Value::State { position: state.position.to_array(), velocity: state.velocity.to_array() }
+    Value::State {
+        position: state.position.to_array(),
+        velocity: state.velocity.to_array(),
+    }
 }
 
 /// Reads a simulator state from a topic value, if it is a `State`.
@@ -52,7 +55,9 @@ pub fn control_to_value(control: &ControlInput) -> Value {
 
 /// Reads a control input from a topic value, if it is a `Vector`.
 pub fn value_to_control(value: &Value) -> Option<ControlInput> {
-    value.as_vector().map(|a| ControlInput::accel(Vec3::from_array(a)))
+    value
+        .as_vector()
+        .map(|a| ControlInput::accel(Vec3::from_array(a)))
 }
 
 /// Converts a waypoint plan into a topic value.
@@ -62,7 +67,9 @@ pub fn plan_to_value(plan: &[Vec3]) -> Value {
 
 /// Reads a waypoint plan from a topic value, if it is a `Path`.
 pub fn value_to_plan(value: &Value) -> Option<Vec<Vec3>> {
-    value.as_path().map(|p| p.iter().map(|a| Vec3::from_array(*a)).collect())
+    value
+        .as_path()
+        .map(|p| p.iter().map(|a| Vec3::from_array(*a)).collect())
 }
 
 #[cfg(test)]

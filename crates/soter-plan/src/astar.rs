@@ -29,7 +29,11 @@ pub struct GridAstarConfig {
 
 impl Default for GridAstarConfig {
     fn default() -> Self {
-        GridAstarConfig { resolution: 1.0, margin: 0.5, max_expansions: 2_000_000 }
+        GridAstarConfig {
+            resolution: 1.0,
+            margin: 0.5,
+            max_expansions: 2_000_000,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl GridAstar {
 
     fn to_cell(&self, p: Vec3) -> (i64, i64, i64) {
         let r = self.config.resolution;
-        ((p.x / r).round() as i64, (p.y / r).round() as i64, (p.z / r).round() as i64)
+        (
+            (p.x / r).round() as i64,
+            (p.y / r).round() as i64,
+            (p.z / r).round() as i64,
+        )
     }
 
     fn to_point(&self, c: (i64, i64, i64)) -> Vec3 {
@@ -130,7 +138,10 @@ impl MotionPlanner for GridAstar {
         let mut g_score: HashMap<(i64, i64, i64), f64> = HashMap::new();
         let mut came_from: HashMap<(i64, i64, i64), (i64, i64, i64)> = HashMap::new();
         g_score.insert(start_cell, 0.0);
-        open.push(QueueEntry { f: self.heuristic(start_cell, goal_cell), cell: start_cell });
+        open.push(QueueEntry {
+            f: self.heuristic(start_cell, goal_cell),
+            cell: start_cell,
+        });
         let neighbors = [
             (1, 0, 0),
             (-1, 0, 0),
@@ -160,7 +171,10 @@ impl MotionPlanner for GridAstar {
                 if tentative < *g_score.get(&n).unwrap_or(&f64::INFINITY) {
                     g_score.insert(n, tentative);
                     came_from.insert(n, cell);
-                    open.push(QueueEntry { f: tentative + self.heuristic(n, goal_cell), cell: n });
+                    open.push(QueueEntry {
+                        f: tentative + self.heuristic(n, goal_cell),
+                        cell: n,
+                    });
                 }
             }
         }
@@ -198,8 +212,13 @@ mod tests {
         let pts = w.surveillance_points().to_vec();
         for (i, a) in pts.iter().enumerate() {
             for b in pts.iter().skip(i + 1) {
-                let plan = p.plan(&w, *a, *b).unwrap_or_else(|| panic!("no plan {a} -> {b}"));
-                assert!(validate_plan(&w, &plan, 0.0).is_ok(), "colliding plan {a} -> {b}");
+                let plan = p
+                    .plan(&w, *a, *b)
+                    .unwrap_or_else(|| panic!("no plan {a} -> {b}"));
+                assert!(
+                    validate_plan(&w, &plan, 0.0).is_ok(),
+                    "colliding plan {a} -> {b}"
+                );
                 assert_eq!(plan[0], *a);
                 assert_eq!(*plan.last().unwrap(), *b);
             }
@@ -224,15 +243,22 @@ mod tests {
     fn goal_in_collision_returns_none() {
         let w = Workspace::city_block();
         let mut p = GridAstar::default();
-        assert!(p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 3.0)).is_none());
+        assert!(p
+            .plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 3.0))
+            .is_none());
     }
 
     #[test]
     fn expansion_budget_is_respected() {
         let w = Workspace::city_block();
-        let mut p = GridAstar::new(GridAstarConfig { max_expansions: 10, ..Default::default() });
+        let mut p = GridAstar::new(GridAstarConfig {
+            max_expansions: 10,
+            ..Default::default()
+        });
         // A long query cannot be solved within 10 expansions.
-        assert!(p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5)).is_none());
+        assert!(p
+            .plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5))
+            .is_none());
     }
 
     #[test]

@@ -115,14 +115,19 @@ mod tests {
         let mut colliding = 0;
         let mut valid = 0;
         for _ in 0..40 {
-            let plan = p.plan(&w, start, goal).expect("planner always returns something here");
+            let plan = p
+                .plan(&w, start, goal)
+                .expect("planner always returns something here");
             if validate_plan(&w, &plan, 0.0).is_err() {
                 colliding += 1;
             } else {
                 valid += 1;
             }
         }
-        assert!(colliding > 0, "the injected bug must show up across 40 queries");
+        assert!(
+            colliding > 0,
+            "the injected bug must show up across 40 queries"
+        );
         assert!(valid > 0, "the planner is not always buggy");
         assert_eq!(p.total_plan_count(), 40);
         assert!(p.buggy_plan_count() >= colliding);

@@ -71,7 +71,10 @@ impl Default for RrtStar {
 impl RrtStar {
     /// Creates an RRT* planner with the given configuration.
     pub fn new(config: RrtStarConfig) -> Self {
-        RrtStar { config, rng: SmallRng::seed_from_u64(config.seed) }
+        RrtStar {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
     }
 
     /// The planner configuration.
@@ -114,7 +117,12 @@ impl RrtStar {
     }
 
     /// Extracts and shortcut-smooths the path ending at `goal_index`.
-    fn extract_path(&self, workspace: &Workspace, tree: &[TreeNode], goal_index: usize) -> Vec<Vec3> {
+    fn extract_path(
+        &self,
+        workspace: &Workspace,
+        tree: &[TreeNode],
+        goal_index: usize,
+    ) -> Vec<Vec3> {
         let mut path = Vec::new();
         let mut idx = Some(goal_index);
         while let Some(i) = idx {
@@ -162,7 +170,11 @@ impl MotionPlanner for RrtStar {
         if workspace.segment_is_free_with_margin(start, goal, cfg.margin) {
             return Some(vec![start, goal]);
         }
-        let mut tree = vec![TreeNode { position: start, parent: None, cost: 0.0 }];
+        let mut tree = vec![TreeNode {
+            position: start,
+            parent: None,
+            cost: 0.0,
+        }];
         let mut best_goal: Option<(usize, f64)> = None;
         for _ in 0..cfg.max_iterations {
             let sample = self.sample(workspace, goal);
@@ -193,7 +205,11 @@ impl MotionPlanner for RrtStar {
                 }
             }
             let new_index = tree.len();
-            tree.push(TreeNode { position: new_pos, parent: Some(parent), cost });
+            tree.push(TreeNode {
+                position: new_pos,
+                parent: Some(parent),
+                cost,
+            });
             // Rewire the neighbourhood through the new node when cheaper.
             for &i in &neighbors {
                 let through_new = cost + new_pos.distance(&tree[i].position);
@@ -217,7 +233,11 @@ impl MotionPlanner for RrtStar {
         }
         let (goal_parent, _) = best_goal?;
         let mut path = self.extract_path(workspace, &tree, goal_parent);
-        if path.last().map(|p| p.distance(&goal) > 1e-9).unwrap_or(true) {
+        if path
+            .last()
+            .map(|p| p.distance(&goal) > 1e-9)
+            .unwrap_or(true)
+        {
             path.push(goal);
         }
         Some(path)
@@ -240,7 +260,11 @@ mod tests {
         let plan = p
             .plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(3.0, 40.0, 2.5))
             .expect("open-street query must succeed");
-        assert_eq!(plan.len(), 2, "straight shot should not need intermediate waypoints");
+        assert_eq!(
+            plan.len(),
+            2,
+            "straight shot should not need intermediate waypoints"
+        );
     }
 
     #[test]
@@ -249,11 +273,19 @@ mod tests {
         let mut p = RrtStar::default();
         let start = Vec3::new(3.0, 13.0, 2.5);
         let goal = Vec3::new(47.0, 21.0, 2.5);
-        let plan = p.plan(&w, start, goal).expect("cross-block query must succeed");
-        assert!(plan.len() >= 3, "the straight line is blocked, so waypoints are needed");
+        let plan = p
+            .plan(&w, start, goal)
+            .expect("cross-block query must succeed");
+        assert!(
+            plan.len() >= 3,
+            "the straight line is blocked, so waypoints are needed"
+        );
         assert_eq!(plan[0], start);
         assert_eq!(*plan.last().unwrap(), goal);
-        assert!(validate_plan(&w, &plan, 0.0).is_ok(), "RRT* plans must be collision-free");
+        assert!(
+            validate_plan(&w, &plan, 0.0).is_ok(),
+            "RRT* plans must be collision-free"
+        );
     }
 
     #[test]
@@ -263,8 +295,13 @@ mod tests {
         let pts = w.surveillance_points().to_vec();
         for (i, a) in pts.iter().enumerate() {
             for b in pts.iter().skip(i + 1) {
-                let plan = p.plan(&w, *a, *b).unwrap_or_else(|| panic!("no plan {a} -> {b}"));
-                assert!(validate_plan(&w, &plan, 0.0).is_ok(), "colliding plan {a} -> {b}");
+                let plan = p
+                    .plan(&w, *a, *b)
+                    .unwrap_or_else(|| panic!("no plan {a} -> {b}"));
+                assert!(
+                    validate_plan(&w, &plan, 0.0).is_ok(),
+                    "colliding plan {a} -> {b}"
+                );
             }
         }
     }
@@ -274,16 +311,23 @@ mod tests {
         let w = Workspace::city_block();
         let mut p = RrtStar::default();
         // Goal inside a building.
-        assert!(p.plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 2.0)).is_none());
+        assert!(p
+            .plan(&w, Vec3::new(3.0, 3.0, 2.5), Vec3::new(13.0, 13.0, 2.0))
+            .is_none());
         // Start outside the workspace.
-        assert!(p.plan(&w, Vec3::new(-5.0, 3.0, 2.5), Vec3::new(3.0, 3.0, 2.5)).is_none());
+        assert!(p
+            .plan(&w, Vec3::new(-5.0, 3.0, 2.5), Vec3::new(3.0, 3.0, 2.5))
+            .is_none());
     }
 
     #[test]
     fn planning_is_deterministic_per_seed() {
         let w = Workspace::city_block();
         let run = |seed| {
-            let mut p = RrtStar::new(RrtStarConfig { seed, ..RrtStarConfig::default() });
+            let mut p = RrtStar::new(RrtStarConfig {
+                seed,
+                ..RrtStarConfig::default()
+            });
             p.plan(&w, Vec3::new(3.0, 13.0, 2.5), Vec3::new(47.0, 21.0, 2.5))
         };
         assert_eq!(run(5), run(5));

@@ -123,7 +123,11 @@ mod tests {
             issued.push(app.next_target(&w));
         }
         assert_eq!(app.targets_issued(), 2 * n);
-        assert_eq!(app.min_visits(), 2, "every point must have been issued twice");
+        assert_eq!(
+            app.min_visits(),
+            2,
+            "every point must have been issued twice"
+        );
         // The cycle repeats.
         assert_eq!(issued[0], issued[n]);
     }
@@ -154,7 +158,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn workspace_without_points_panics() {
-        let w = Workspace::empty(soter_sim::geometry::Aabb::new(Vec3::ZERO, Vec3::splat(10.0)));
+        let w = Workspace::empty(soter_sim::geometry::Aabb::new(
+            Vec3::ZERO,
+            Vec3::splat(10.0),
+        ));
         let _ = SurveillanceApp::new(&w, TargetPolicy::RoundRobin);
     }
 }

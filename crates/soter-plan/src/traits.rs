@@ -22,7 +22,6 @@ pub trait MotionPlanner: Send {
     fn reset(&mut self) {}
 }
 
-
 impl MotionPlanner for Box<dyn MotionPlanner> {
     fn name(&self) -> &str {
         (**self).name()
@@ -56,7 +55,9 @@ mod tests {
     fn trait_object_is_usable() {
         let mut p: Box<dyn MotionPlanner> = Box::new(StraightLine);
         let w = Workspace::city_block();
-        let plan = p.plan(&w, Vec3::new(0.0, 0.0, 2.0), Vec3::new(5.0, 5.0, 2.0)).unwrap();
+        let plan = p
+            .plan(&w, Vec3::new(0.0, 0.0, 2.0), Vec3::new(5.0, 5.0, 2.0))
+            .unwrap();
         assert_eq!(plan.len(), 2);
         assert_eq!(p.name(), "straight");
         p.reset();

@@ -157,7 +157,11 @@ impl ReachGrid {
                 CellClass::Safer => counts[2] += 1,
             }
         }
-        (counts[0] as f64 / total, counts[1] as f64 / total, counts[2] as f64 / total)
+        (
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+        )
     }
 }
 
@@ -182,7 +186,12 @@ mod tests {
     #[test]
     fn open_street_cells_far_from_obstacles_are_safer() {
         let g = grid(0.1);
-        assert_eq!(g.classify(4.0, 4.0), Some(CellClass::Safer), "{:?}", g.coverage());
+        assert_eq!(
+            g.classify(4.0, 4.0),
+            Some(CellClass::Safer),
+            "{:?}",
+            g.coverage()
+        );
     }
 
     #[test]

@@ -37,15 +37,23 @@ impl ForwardReach {
     /// negative.
     pub fn new(dynamics: QuadrotorDynamics, plant_step: f64, estimation_error: f64) -> Self {
         assert!(plant_step > 0.0, "plant step must be positive");
-        assert!(estimation_error >= 0.0, "estimation error must be non-negative");
-        ForwardReach { dynamics, plant_step, estimation_error }
+        assert!(
+            estimation_error >= 0.0,
+            "estimation error must be non-negative"
+        );
+        ForwardReach {
+            dynamics,
+            plant_step,
+            estimation_error,
+        }
     }
 
     /// Radius of the position ball reachable from a state with the given
     /// speed within `horizon` seconds under any admissible control,
     /// including the estimation-error inflation.
     pub fn excursion_radius(&self, speed: f64, horizon: f64) -> f64 {
-        self.dynamics.max_excursion_with_step(speed, horizon, self.plant_step)
+        self.dynamics
+            .max_excursion_with_step(speed, horizon, self.plant_step)
             + self.estimation_error
     }
 
@@ -139,8 +147,8 @@ impl ForwardReach {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use soter_sim::dynamics::ControlInput;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use soter_sim::dynamics::ControlInput;
 
     fn reach() -> ForwardReach {
         ForwardReach::new(QuadrotorDynamics::default(), 0.01, 0.1)
@@ -149,7 +157,10 @@ mod tests {
     #[test]
     fn occupancy_contains_start_position() {
         let r = reach();
-        let s = DroneState { position: Vec3::new(1.0, 2.0, 3.0), velocity: Vec3::new(2.0, 0.0, 0.0) };
+        let s = DroneState {
+            position: Vec3::new(1.0, 2.0, 3.0),
+            velocity: Vec3::new(2.0, 0.0, 0.0),
+        };
         let occ = r.occupancy(&s, 0.5);
         assert!(occ.contains(&s.position));
     }
@@ -158,7 +169,10 @@ mod tests {
     fn occupancy_grows_with_horizon_and_speed() {
         let r = reach();
         let slow = DroneState::at_rest(Vec3::ZERO);
-        let fast = DroneState { position: Vec3::ZERO, velocity: Vec3::new(6.0, 0.0, 0.0) };
+        let fast = DroneState {
+            position: Vec3::ZERO,
+            velocity: Vec3::new(6.0, 0.0, 0.0),
+        };
         assert!(r.occupancy(&slow, 0.5).volume() < r.occupancy(&slow, 1.0).volume());
         assert!(r.occupancy(&slow, 0.5).volume() < r.occupancy(&fast, 0.5).volume());
     }
@@ -175,7 +189,10 @@ mod tests {
     #[test]
     fn sc_occupancy_is_tighter_than_any_control() {
         let r = reach();
-        let s = DroneState { position: Vec3::ZERO, velocity: Vec3::new(1.0, 0.0, 0.0) };
+        let s = DroneState {
+            position: Vec3::ZERO,
+            velocity: Vec3::new(1.0, 0.0, 0.0),
+        };
         let any = r.occupancy(&s, 1.0);
         let sc = r.occupancy_under_safe_controller(&s, 1.0, 1.5, 0.3);
         assert!(sc.volume() < any.volume());

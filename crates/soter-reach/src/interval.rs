@@ -39,7 +39,10 @@ impl Interval {
     /// Panics if `r` is negative.
     pub fn centered(c: f64, r: f64) -> Self {
         assert!(r >= 0.0, "radius must be non-negative");
-        Interval { lo: c - r, hi: c + r }
+        Interval {
+            lo: c - r,
+            hi: c + r,
+        }
     }
 
     /// Width of the interval.
@@ -69,12 +72,18 @@ impl Interval {
 
     /// Interval addition.
     pub fn add(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
     }
 
     /// Adds a scalar to both endpoints.
     pub fn shift(&self, x: f64) -> Interval {
-        Interval { lo: self.lo + x, hi: self.hi + x }
+        Interval {
+            lo: self.lo + x,
+            hi: self.hi + x,
+        }
     }
 
     /// Scales the interval by a scalar (which may be negative).
@@ -89,12 +98,18 @@ impl Interval {
     /// Panics if `margin` is negative.
     pub fn inflate(&self, margin: f64) -> Interval {
         assert!(margin >= 0.0, "margin must be non-negative");
-        Interval { lo: self.lo - margin, hi: self.hi + margin }
+        Interval {
+            lo: self.lo - margin,
+            hi: self.hi + margin,
+        }
     }
 
     /// Smallest interval containing both operands (interval hull).
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Largest absolute value attained in the interval.

@@ -87,7 +87,10 @@ mod tests {
     fn collision_state_is_unsafe() {
         let t = ttf();
         let s = DroneState::at_rest(Vec3::new(13.0, 13.0, 3.0));
-        assert_eq!(classify(&t, &s, 0.2, |s| safer(&t, s)), OperatingRegion::Unsafe);
+        assert_eq!(
+            classify(&t, &s, 0.2, |s| safer(&t, s)),
+            OperatingRegion::Unsafe
+        );
     }
 
     #[test]
@@ -97,7 +100,10 @@ mod tests {
             position: Vec3::new(8.0, 13.0, 3.0),
             velocity: Vec3::new(7.0, 0.0, 0.0),
         };
-        assert_eq!(classify(&t, &s, 0.2, |s| safer(&t, s)), OperatingRegion::Switching);
+        assert_eq!(
+            classify(&t, &s, 0.2, |s| safer(&t, s)),
+            OperatingRegion::Switching
+        );
     }
 
     #[test]
@@ -106,7 +112,10 @@ mod tests {
         // Mid-street, mid-altitude: the 0.4 s worst-case reach-and-brake box
         // stays clear of the houses, the ground and the flight ceiling.
         let s = DroneState::at_rest(Vec3::new(4.0, 4.0, 5.0));
-        assert_eq!(classify(&t, &s, 0.2, |s| safer(&t, s)), OperatingRegion::Safer);
+        assert_eq!(
+            classify(&t, &s, 0.2, |s| safer(&t, s)),
+            OperatingRegion::Safer
+        );
     }
 
     #[test]
@@ -120,7 +129,12 @@ mod tests {
             velocity: Vec3::new(4.5, 0.0, 0.0),
         };
         let region = classify(&t, &s, 0.2, |s| safer(&t, s));
-        assert_eq!(region, OperatingRegion::Recoverable, "ttf = {}", t.time_to_failure(&s, 5.0, 0.01));
+        assert_eq!(
+            region,
+            OperatingRegion::Recoverable,
+            "ttf = {}",
+            t.time_to_failure(&s, 5.0, 0.01)
+        );
     }
 
     #[test]
@@ -131,15 +145,24 @@ mod tests {
         let t = ttf();
         let samples = [
             DroneState::at_rest(Vec3::new(4.0, 4.0, 2.0)),
-            DroneState { position: Vec3::new(8.0, 13.0, 3.0), velocity: Vec3::new(5.0, 0.0, 0.0) },
-            DroneState { position: Vec3::new(20.0, 21.0, 3.0), velocity: Vec3::new(0.0, 3.0, 0.0) },
+            DroneState {
+                position: Vec3::new(8.0, 13.0, 3.0),
+                velocity: Vec3::new(5.0, 0.0, 0.0),
+            },
+            DroneState {
+                position: Vec3::new(20.0, 21.0, 3.0),
+                velocity: Vec3::new(0.0, 3.0, 0.0),
+            },
         ];
         for s in samples {
             let short = classify(&t, &s, 0.2, |s| safer(&t, s));
             let long = classify(&t, &s, 1.0, |s| safer(&t, s));
             if long != OperatingRegion::Switching && long != OperatingRegion::Unsafe {
-                assert_ne!(short, OperatingRegion::Switching,
-                    "a state safe for a long horizon cannot be switching for a short one");
+                assert_ne!(
+                    short,
+                    OperatingRegion::Switching,
+                    "a state safe for a long horizon cannot be switching for a short one"
+                );
             }
         }
     }

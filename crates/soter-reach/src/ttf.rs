@@ -33,7 +33,11 @@ impl ObstacleTtf {
     /// Panics if `margin` is negative.
     pub fn new(workspace: Workspace, reach: ForwardReach, margin: f64) -> Self {
         assert!(margin >= 0.0, "margin must be non-negative");
-        ObstacleTtf { workspace, reach, margin }
+        ObstacleTtf {
+            workspace,
+            reach,
+            margin,
+        }
     }
 
     /// The workspace defining `φ_safe`.
@@ -68,7 +72,9 @@ impl ObstacleTtf {
     /// recover) is not entirely contained in free space.
     pub fn may_leave_safe_within(&self, state: &DroneState, horizon: f64) -> bool {
         let occupancy = self.reach.occupancy_directed(state, horizon, true);
-        !self.workspace.region_is_free_with_margin(&occupancy, self.margin)
+        !self
+            .workspace
+            .region_is_free_with_margin(&occupancy, self.margin)
     }
 
     /// A scalar time-to-failure estimate: the largest horizon `t ≤ max_horizon`

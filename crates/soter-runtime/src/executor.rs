@@ -133,7 +133,11 @@ impl Executor {
         for (i, n) in system.free_nodes().iter().enumerate() {
             calendar.push((NodeRef::Free(i), Time::ZERO + n.period()));
         }
-        let trace = if config.record_trace { Trace::new() } else { Trace::disabled() };
+        let trace = if config.record_trace {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
         let jitter = config.jitter.sampler();
         Executor {
             system,
@@ -216,7 +220,11 @@ impl Executor {
 
     /// The mode of a module by name, if it exists.
     pub fn module_mode(&self, name: &str) -> Option<Mode> {
-        self.system.modules().iter().find(|m| m.name() == name).map(|m| m.mode())
+        self.system
+            .modules()
+            .iter()
+            .find(|m| m.name() == name)
+            .map(|m| m.mode())
     }
 
     /// The modes of all modules, in module order.
@@ -282,7 +290,10 @@ impl Executor {
                 }
                 let matches_kind = matches!(
                     (kind, node),
-                    (0, NodeRef::Dm(_)) | (1, NodeRef::Ac(_)) | (2, NodeRef::Sc(_)) | (3, NodeRef::Free(_))
+                    (0, NodeRef::Dm(_))
+                        | (1, NodeRef::Ac(_))
+                        | (2, NodeRef::Sc(_))
+                        | (3, NodeRef::Free(_))
                 );
                 if matches_kind {
                     fireable.push(*node);
@@ -461,10 +472,18 @@ mod tests {
 
     impl SafetyOracle for LineOracle {
         fn is_safe(&self, observed: &TopicMap) -> bool {
-            observed.get("state").and_then(Value::as_float).map(|x| x.abs() <= 10.0).unwrap_or(false)
+            observed
+                .get("state")
+                .and_then(Value::as_float)
+                .map(|x| x.abs() <= 10.0)
+                .unwrap_or(false)
         }
         fn is_safer(&self, observed: &TopicMap) -> bool {
-            observed.get("state").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(false)
+            observed
+                .get("state")
+                .and_then(Value::as_float)
+                .map(|x| x.abs() <= 5.0)
+                .unwrap_or(false)
         }
         fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
             match observed.get("state").and_then(Value::as_float) {
@@ -493,7 +512,13 @@ mod tests {
             .period(Duration::from_millis(100))
             .step(|_, inputs, out| {
                 let x = inputs.get("state").and_then(Value::as_float).unwrap_or(0.0);
-                let v = if x.abs() < 0.1 { 0.0 } else if x > 0.0 { -1.0 } else { 1.0 };
+                let v = if x.abs() < 0.1 {
+                    0.0
+                } else if x > 0.0 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 out.insert("command", Value::Float(v));
             })
             .build();
@@ -510,7 +535,10 @@ mod tests {
             .publishes(["state"])
             .period(Duration::from_millis(10))
             .step(move |_, inputs, out| {
-                let v = inputs.get("command").and_then(Value::as_float).unwrap_or(0.0);
+                let v = inputs
+                    .get("command")
+                    .and_then(Value::as_float)
+                    .unwrap_or(0.0);
                 state += v * 0.01;
                 out.insert("state", Value::Float(state));
             })
@@ -549,16 +577,33 @@ mod tests {
         exec.run_until(Time::from_secs_f64(2.0));
         // The state starts at 0 (φ_safer), so the DM hands control to the AC.
         assert_eq!(exec.module_mode("line"), Some(Mode::Ac));
-        let x = exec.topics().get("state").and_then(Value::as_float).unwrap();
-        assert!(x > 0.0, "the aggressive AC should be driving the state outward");
+        let x = exec
+            .topics()
+            .get("state")
+            .and_then(Value::as_float)
+            .unwrap();
+        assert!(
+            x > 0.0,
+            "the aggressive AC should be driving the state outward"
+        );
         // Run long enough for the AC to approach the boundary: the DM must
         // disengage it before |x| > 10 and the invariant must never break.
         exec.run_until(Time::from_secs_f64(60.0));
-        let x = exec.topics().get("state").and_then(Value::as_float).unwrap();
+        let x = exec
+            .topics()
+            .get("state")
+            .and_then(Value::as_float)
+            .unwrap();
         assert!(x.abs() <= 10.0, "safety must hold, got {x}");
-        assert!(exec.monitors()[0].is_clean(), "Theorem 3.1 invariant must hold");
+        assert!(
+            exec.monitors()[0].is_clean(),
+            "Theorem 3.1 invariant must hold"
+        );
         let switches = exec.trace().mode_switches("line");
-        assert!(!switches.is_empty(), "the DM must have switched at least once");
+        assert!(
+            !switches.is_empty(),
+            "the DM must have switched at least once"
+        );
         // The module keeps oscillating between the boundary and φ_safer, so
         // both disengagements and re-engagements occur.
         assert!(exec.system().modules()[0].dm().disengagement_count() >= 1);
@@ -610,14 +655,19 @@ mod tests {
             .events()
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::NodeFired { node, output_enabled, .. } if node == "ac" => {
-                    Some(*output_enabled)
-                }
+                TraceEvent::NodeFired {
+                    node,
+                    output_enabled,
+                    ..
+                } if node == "ac" => Some(*output_enabled),
                 _ => None,
             })
             .collect();
         assert!(!ac_firings.is_empty());
-        assert!(ac_firings.iter().all(|enabled| !enabled), "AC output must be gated off in SC mode");
+        assert!(
+            ac_firings.iter().all(|enabled| !enabled),
+            "AC output must be gated off in SC mode"
+        );
     }
 
     #[test]
@@ -699,7 +749,10 @@ mod tests {
         // With jitter, the plant fires fewer times than the ideal 100.
         let ideal = 100;
         let actual = exec.trace().firing_count("plant");
-        assert!(actual < ideal, "jitter should reduce firing count ({actual} >= {ideal})");
+        assert!(
+            actual < ideal,
+            "jitter should reduce firing count ({actual} >= {ideal})"
+        );
         assert!(actual > 30, "but the node still fires regularly");
     }
 
@@ -710,13 +763,7 @@ mod tests {
         let mut picked = Vec::new();
         while exec.now() < Time::from_millis(100) {
             let before = exec.trace().len();
-            exec.step_instant_with_order(|names| {
-                if names.len() > 1 {
-                    names.len() - 1
-                } else {
-                    0
-                }
-            });
+            exec.step_instant_with_order(|names| if names.len() > 1 { names.len() - 1 } else { 0 });
             picked.push(exec.trace().len() - before);
         }
         assert!(exec.topics().get("state").is_some());

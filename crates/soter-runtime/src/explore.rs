@@ -20,13 +20,13 @@
 //! checker.
 
 use crate::executor::{Executor, ExecutorConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use soter_core::composition::RtaSystem;
 use soter_core::rta::Mode;
 use soter_core::time::Time;
 use soter_core::topic::TopicMap;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The verdict of exploring one schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,7 +107,10 @@ impl SystematicTester {
         let system = (self.factory)();
         let mut exec = Executor::with_config(
             system,
-            ExecutorConfig { record_trace: false, ..ExecutorConfig::default() },
+            ExecutorConfig {
+                record_trace: false,
+                ..ExecutorConfig::default()
+            },
         );
         let mut choice_idx = 0usize;
         let mut choice_count = 0usize;
@@ -142,7 +145,11 @@ impl SystematicTester {
             }
         }
         (
-            ScheduleResult { choices: taken, safe, violation_time },
+            ScheduleResult {
+                choices: taken,
+                safe,
+                violation_time,
+            },
             choice_count,
             exec.fired_steps(),
         )

@@ -36,17 +36,28 @@ impl JitterModel {
             (0.0..=1.0).contains(&probability),
             "probability must be within [0, 1]"
         );
-        JitterModel { probability, max_delay, seed }
+        JitterModel {
+            probability,
+            max_delay,
+            seed,
+        }
     }
 
     /// A model that never delays anything.
     pub fn none() -> Self {
-        JitterModel { probability: 0.0, max_delay: Duration::ZERO, seed: 0 }
+        JitterModel {
+            probability: 0.0,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
     }
 
     /// Builds the sampler used by the executor.
     pub fn sampler(&self) -> JitterSampler {
-        JitterSampler { model: *self, rng: SmallRng::seed_from_u64(self.seed) }
+        JitterSampler {
+            model: *self,
+            rng: SmallRng::seed_from_u64(self.seed),
+        }
     }
 }
 
@@ -101,15 +112,24 @@ mod tests {
         };
         let low = count_delays(0.05);
         let high = count_delays(0.9);
-        assert!(low < high, "higher probability must delay more often ({low} vs {high})");
+        assert!(
+            low < high,
+            "higher probability must delay more often ({low} vs {high})"
+        );
         assert!(low > 0 && high < 1000);
     }
 
     #[test]
     fn sampler_is_deterministic_per_seed() {
         let model = JitterModel::new(0.5, Duration::from_millis(20), 11);
-        let a: Vec<Duration> = { let mut s = model.sampler(); (0..50).map(|_| s.sample()).collect() };
-        let b: Vec<Duration> = { let mut s = model.sampler(); (0..50).map(|_| s.sample()).collect() };
+        let a: Vec<Duration> = {
+            let mut s = model.sampler();
+            (0..50).map(|_| s.sample()).collect()
+        };
+        let b: Vec<Duration> = {
+            let mut s = model.sampler();
+            (0..50).map(|_| s.sample()).collect()
+        };
         assert_eq!(a, b);
     }
 

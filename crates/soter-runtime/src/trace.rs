@@ -75,13 +75,19 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace; recording is enabled by default.
     pub fn new() -> Self {
-        Trace { events: Vec::new(), enabled: true }
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Creates a disabled trace that drops every event (for long campaigns
     /// where only aggregate statistics matter).
     pub fn disabled() -> Self {
-        Trace { events: Vec::new(), enabled: false }
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// Whether recording is enabled.
@@ -116,9 +122,12 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::ModeSwitch { time, module: m, from, to } if m == module => {
-                    Some((*time, *from, *to))
-                }
+                TraceEvent::ModeSwitch {
+                    time,
+                    module: m,
+                    from,
+                    to,
+                } if m == module => Some((*time, *from, *to)),
                 _ => None,
             })
             .collect()
@@ -177,7 +186,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.firing_count("ac"), 1);
         assert_eq!(t.firing_count("sc"), 0);
-        assert_eq!(t.mode_switches("mpr"), vec![(Time::from_millis(20), Mode::Sc, Mode::Ac)]);
+        assert_eq!(
+            t.mode_switches("mpr"),
+            vec![(Time::from_millis(20), Mode::Sc, Mode::Ac)]
+        );
         assert!(t.mode_switches("other").is_empty());
         assert_eq!(t.invariant_violations().len(), 1);
         assert_eq!(t.events()[3].time(), Time::from_millis(40));
@@ -188,7 +200,10 @@ mod tests {
     #[test]
     fn disabled_trace_drops_events() {
         let mut t = Trace::disabled();
-        t.record(TraceEvent::EnvironmentInput { time: Time::ZERO, topic: "x".into() });
+        t.record(TraceEvent::EnvironmentInput {
+            time: Time::ZERO,
+            topic: "x".into(),
+        });
         assert!(t.is_empty());
         assert!(!t.is_enabled());
     }

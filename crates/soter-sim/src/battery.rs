@@ -97,7 +97,10 @@ impl Battery {
     ///
     /// Panics if `charge` is outside `[0, 1]`.
     pub fn with_charge(model: BatteryModel, charge: f64) -> Self {
-        assert!((0.0..=1.0).contains(&charge), "charge must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&charge),
+            "charge must be within [0, 1]"
+        );
         Battery { charge, model }
     }
 
@@ -149,7 +152,10 @@ mod tests {
         let model = BatteryModel::default();
         let mut b = Battery::full(model);
         b.discharge(&ControlInput::ZERO, 1200.0);
-        assert!(b.charge() < 1e-9, "20 minutes of hover should drain the default battery");
+        assert!(
+            b.charge() < 1e-9,
+            "20 minutes of hover should drain the default battery"
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl Drone {
 
     /// A bounded-error state estimate (what the software stack sees).
     pub fn estimated_state(&mut self) -> DroneState {
-        self.config.estimator.estimate(&self.state.clone(), &mut self.rng)
+        self.config
+            .estimator
+            .estimate(&self.state.clone(), &mut self.rng)
     }
 
     /// Battery charge estimate (assumed exact, like the paper's trusted
@@ -195,18 +197,20 @@ mod tests {
 
     #[test]
     fn depleted_battery_causes_fall() {
-        let mut config = DroneConfig::default();
-        config.seed = 5;
-        let mut d = Drone::with_config(
-            DroneState::at_rest(Vec3::new(0.0, 0.0, 10.0)),
-            config,
-        );
+        let config = DroneConfig {
+            seed: 5,
+            ..DroneConfig::default()
+        };
+        let mut d = Drone::with_config(DroneState::at_rest(Vec3::new(0.0, 0.0, 10.0)), config);
         d.set_battery(Battery::with_charge(BatteryModel::default(), 0.0));
         for _ in 0..500 {
             // Commanding full upward thrust does nothing with a dead battery.
             d.step(ControlInput::accel(Vec3::new(0.0, 0.0, 6.0)), 0.01);
         }
-        assert!(d.state().position.z < 10.0, "vehicle must fall with a dead battery");
+        assert!(
+            d.state().position.z < 10.0,
+            "vehicle must fall with a dead battery"
+        );
     }
 
     #[test]
@@ -219,8 +223,10 @@ mod tests {
 
     #[test]
     fn estimation_error_is_bounded() {
-        let mut config = DroneConfig::default();
-        config.estimator = StateEstimator::new(0.1, 0.1);
+        let config = DroneConfig {
+            estimator: StateEstimator::new(0.1, 0.1),
+            ..DroneConfig::default()
+        };
         let mut d = Drone::with_config(DroneState::at_rest(Vec3::new(5.0, 5.0, 5.0)), config);
         for _ in 0..100 {
             let est = d.estimated_state();
@@ -231,9 +237,11 @@ mod tests {
     #[test]
     fn identical_seeds_give_identical_runs() {
         let run = |seed: u64| {
-            let mut config = DroneConfig::default();
-            config.seed = seed;
-            config.wind = WindModel::Gusty { magnitude: 0.5 };
+            let config = DroneConfig {
+                seed,
+                wind: WindModel::Gusty { magnitude: 0.5 },
+                ..DroneConfig::default()
+            };
             let mut d = Drone::with_config(DroneState::at_rest(Vec3::new(0.0, 0.0, 2.0)), config);
             for _ in 0..200 {
                 d.step(ControlInput::accel(Vec3::new(1.0, 0.5, 0.0)), 0.01);

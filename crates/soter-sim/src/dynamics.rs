@@ -24,7 +24,10 @@ pub struct DroneState {
 impl DroneState {
     /// A state at rest at `position`.
     pub fn at_rest(position: Vec3) -> Self {
-        DroneState { position, velocity: Vec3::ZERO }
+        DroneState {
+            position,
+            velocity: Vec3::ZERO,
+        }
     }
 
     /// Speed (velocity norm).
@@ -48,7 +51,9 @@ impl ControlInput {
     }
 
     /// The zero (hover / coast) command.
-    pub const ZERO: ControlInput = ControlInput { acceleration: Vec3::ZERO };
+    pub const ZERO: ControlInput = ControlInput {
+        acceleration: Vec3::ZERO,
+    };
 }
 
 /// Parameters of the discrete-time quadrotor model.
@@ -76,7 +81,11 @@ pub struct QuadrotorDynamics {
 impl Default for QuadrotorDynamics {
     fn default() -> Self {
         // Roughly a 3DR-Iris-class vehicle flown by a position controller.
-        QuadrotorDynamics { max_acceleration: 6.0, max_speed: 8.0, drag: 0.15 }
+        QuadrotorDynamics {
+            max_acceleration: 6.0,
+            max_speed: 8.0,
+            drag: 0.15,
+        }
     }
 }
 
@@ -90,7 +99,11 @@ impl QuadrotorDynamics {
         assert!(max_acceleration > 0.0, "max_acceleration must be positive");
         assert!(max_speed > 0.0, "max_speed must be positive");
         assert!(drag >= 0.0, "drag must be non-negative");
-        QuadrotorDynamics { max_acceleration, max_speed, drag }
+        QuadrotorDynamics {
+            max_acceleration,
+            max_speed,
+            drag,
+        }
     }
 
     /// Advances the state by `dt` seconds under control `u` and an external
@@ -115,7 +128,10 @@ impl QuadrotorDynamics {
         if new_position.z < 0.0 {
             new_position.z = 0.0;
         }
-        let mut next = DroneState { position: new_position, velocity: new_velocity };
+        let mut next = DroneState {
+            position: new_position,
+            velocity: new_velocity,
+        };
         if next.position.z == 0.0 && next.velocity.z < 0.0 {
             next.velocity.z = 0.0;
         }
@@ -142,7 +158,10 @@ impl QuadrotorDynamics {
     /// per second of horizon, so the bound tightens considerably when the
     /// plant steps much faster than the decision period.
     pub fn max_excursion_with_step(&self, speed: f64, horizon: f64, step: f64) -> f64 {
-        assert!(horizon >= 0.0 && step >= 0.0, "horizon and step must be non-negative");
+        assert!(
+            horizon >= 0.0 && step >= 0.0,
+            "horizon and step must be non-negative"
+        );
         let v0 = speed.min(self.max_speed);
         let a_eff = self.max_acceleration + self.drag * self.max_speed;
         // Continuous-time envelope: accelerate at the effective limit until
@@ -194,10 +213,23 @@ mod tests {
         let d = dyn_default();
         let mut s = DroneState::at_rest(Vec3::new(0.0, 0.0, 2.0));
         for _ in 0..100 {
-            s = d.step(&s, &ControlInput::accel(Vec3::new(2.0, 0.0, 0.0)), Vec3::ZERO, 0.01);
+            s = d.step(
+                &s,
+                &ControlInput::accel(Vec3::new(2.0, 0.0, 0.0)),
+                Vec3::ZERO,
+                0.01,
+            );
         }
-        assert!(s.velocity.x > 1.0, "velocity should build up, got {}", s.velocity.x);
-        assert!(s.position.x > 0.5, "position should advance, got {}", s.position.x);
+        assert!(
+            s.velocity.x > 1.0,
+            "velocity should build up, got {}",
+            s.velocity.x
+        );
+        assert!(
+            s.position.x > 0.5,
+            "position should advance, got {}",
+            s.position.x
+        );
         assert!(s.velocity.y.abs() < 1e-9 && s.velocity.z.abs() < 1e-9);
     }
 
@@ -206,7 +238,12 @@ mod tests {
         let d = dyn_default();
         let mut s = DroneState::at_rest(Vec3::new(0.0, 0.0, 2.0));
         for _ in 0..5000 {
-            s = d.step(&s, &ControlInput::accel(Vec3::new(100.0, 0.0, 0.0)), Vec3::ZERO, 0.01);
+            s = d.step(
+                &s,
+                &ControlInput::accel(Vec3::new(100.0, 0.0, 0.0)),
+                Vec3::ZERO,
+                0.01,
+            );
         }
         assert!(s.speed() <= d.max_speed + 1e-9);
     }
@@ -215,7 +252,12 @@ mod tests {
     fn commanded_acceleration_is_clamped() {
         let d = QuadrotorDynamics::new(1.0, 100.0, 0.0);
         let s = DroneState::at_rest(Vec3::ZERO);
-        let next = d.step(&s, &ControlInput::accel(Vec3::new(1000.0, 0.0, 0.0)), Vec3::ZERO, 1.0);
+        let next = d.step(
+            &s,
+            &ControlInput::accel(Vec3::new(1000.0, 0.0, 0.0)),
+            Vec3::ZERO,
+            1.0,
+        );
         // With a_max = 1 and dt = 1 starting at rest, velocity can be at most 1.
         assert!(next.velocity.norm() <= 1.0 + 1e-9);
     }
@@ -229,7 +271,10 @@ mod tests {
         };
         let next = d.step(&s, &ControlInput::ZERO, Vec3::ZERO, 0.1);
         assert_eq!(next.position.z, 0.0);
-        assert!(next.velocity.z >= 0.0, "downward velocity is zeroed on the ground");
+        assert!(
+            next.velocity.z >= 0.0,
+            "downward velocity is zeroed on the ground"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct Aabb {
 impl Aabb {
     /// Creates a box from two opposite corners (in any order).
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(&b), max: a.max(&b) }
+        Aabb {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// Creates a box from a centre point and full extents along each axis.
@@ -48,7 +51,10 @@ impl Aabb {
             "extents must be non-negative"
         );
         let half = extents * 0.5;
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// The centre of the box.
@@ -101,7 +107,10 @@ impl Aabb {
 
     /// Smallest box containing both `self` and `other`.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+        Aabb {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
     }
 
     /// Euclidean distance from a point to the box (zero if inside).
@@ -265,7 +274,10 @@ mod tests {
         let b = unit_box();
         assert_eq!(b.distance_to_point(&Vec3::splat(0.5)), 0.0);
         assert!((b.distance_to_point(&Vec3::new(2.0, 0.5, 0.5)) - 1.0).abs() < 1e-12);
-        assert_eq!(b.closest_point(&Vec3::new(2.0, 0.5, 0.5)), Vec3::new(1.0, 0.5, 0.5));
+        assert_eq!(
+            b.closest_point(&Vec3::new(2.0, 0.5, 0.5)),
+            Vec3::new(1.0, 0.5, 0.5)
+        );
         let p = Vec3::new(2.0, 2.0, 2.0);
         assert!((b.distance_to_point(&p) - (3.0f64).sqrt()).abs() < 1e-12);
     }

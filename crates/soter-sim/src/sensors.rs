@@ -25,14 +25,20 @@ pub struct StateEstimator {
 impl Default for StateEstimator {
     fn default() -> Self {
         // GPS/VIO-class accuracy, matching the "within bounds" assumption.
-        StateEstimator { position_error: 0.05, velocity_error: 0.05 }
+        StateEstimator {
+            position_error: 0.05,
+            velocity_error: 0.05,
+        }
     }
 }
 
 impl StateEstimator {
     /// A perfect estimator (zero error) — useful for deterministic tests.
     pub fn perfect() -> Self {
-        StateEstimator { position_error: 0.0, velocity_error: 0.0 }
+        StateEstimator {
+            position_error: 0.0,
+            velocity_error: 0.0,
+        }
     }
 
     /// Creates an estimator with the given per-component error bounds.
@@ -41,8 +47,14 @@ impl StateEstimator {
     ///
     /// Panics if either bound is negative.
     pub fn new(position_error: f64, velocity_error: f64) -> Self {
-        assert!(position_error >= 0.0 && velocity_error >= 0.0, "error bounds must be non-negative");
-        StateEstimator { position_error, velocity_error }
+        assert!(
+            position_error >= 0.0 && velocity_error >= 0.0,
+            "error bounds must be non-negative"
+        );
+        StateEstimator {
+            position_error,
+            velocity_error,
+        }
     }
 
     /// Produces an estimate of the true state with error bounded by the

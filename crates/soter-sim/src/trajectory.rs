@@ -35,7 +35,9 @@ pub struct Trajectory {
 impl Trajectory {
     /// Creates an empty trajectory.
     pub fn new() -> Self {
-        Trajectory { samples: Vec::new() }
+        Trajectory {
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample.  Samples must be pushed in non-decreasing time
@@ -48,7 +50,11 @@ impl Trajectory {
         if let Some(last) = self.samples.last() {
             assert!(time >= last.time, "samples must be time-ordered");
         }
-        self.samples.push(TrajectorySample { time, state, safe_mode });
+        self.samples.push(TrajectorySample {
+            time,
+            state,
+            safe_mode,
+        });
     }
 
     /// Number of recorded samples.
@@ -85,7 +91,10 @@ impl Trajectory {
     /// Number of samples in which the vehicle was in collision with the
     /// workspace (ground-truth φ_obs violations).
     pub fn collision_samples(&self, world: &Workspace) -> usize {
-        self.samples.iter().filter(|s| world.in_collision(s.state.position)).count()
+        self.samples
+            .iter()
+            .filter(|s| world.in_collision(s.state.position))
+            .count()
     }
 
     /// Returns `true` if the trajectory never collides.
@@ -271,7 +280,10 @@ mod tests {
         let bounds = Aabb::new(Vec3::ZERO, Vec3::splat(20.0));
         let world = Workspace::new(
             bounds,
-            vec![Aabb::from_center_extents(Vec3::new(5.0, 0.0, 2.0), Vec3::splat(1.0))],
+            vec![Aabb::from_center_extents(
+                Vec3::new(5.0, 0.0, 2.0),
+                Vec3::splat(1.0),
+            )],
             0.0,
         );
         let t = straight_run(1000);

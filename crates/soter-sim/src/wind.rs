@@ -14,9 +14,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A wind/disturbance model producing a disturbance acceleration each step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum WindModel {
     /// No wind — the nominal setting of the paper's case study.
+    #[default]
     Calm,
     /// A constant wind acceleration.
     Constant {
@@ -29,12 +30,6 @@ pub enum WindModel {
         /// Maximum magnitude per component (m/s²).
         magnitude: f64,
     },
-}
-
-impl Default for WindModel {
-    fn default() -> Self {
-        WindModel::Calm
-    }
 }
 
 impl WindModel {
@@ -84,7 +79,9 @@ mod tests {
     #[test]
     fn constant_returns_configured_value() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let w = WindModel::Constant { acceleration: Vec3::new(0.5, 0.0, 0.0) };
+        let w = WindModel::Constant {
+            acceleration: Vec3::new(0.5, 0.0, 0.0),
+        };
         assert_eq!(w.sample(&mut rng), Vec3::new(0.5, 0.0, 0.0));
         assert!((w.worst_case_magnitude() - 0.5).abs() < 1e-12);
     }

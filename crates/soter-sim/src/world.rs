@@ -37,7 +37,12 @@ impl Workspace {
     /// Panics if `robot_radius` is negative.
     pub fn new(bounds: Aabb, obstacles: Vec<Aabb>, robot_radius: f64) -> Self {
         assert!(robot_radius >= 0.0, "robot radius must be non-negative");
-        Workspace { bounds, obstacles, surveillance_points: Vec::new(), robot_radius }
+        Workspace {
+            bounds,
+            obstacles,
+            surveillance_points: Vec::new(),
+            robot_radius,
+        }
     }
 
     /// An empty workspace (no obstacles) with the given bounds — useful in
@@ -240,7 +245,10 @@ impl Workspace {
                 let inflated = o.inflate(self.robot_radius);
                 if inflated.contains(&p) {
                     // Inside an obstacle: negative penetration depth estimate.
-                    -inflated.closest_point(&p).distance(&inflated.center()).max(1e-6)
+                    -inflated
+                        .closest_point(&p)
+                        .distance(&inflated.center())
+                        .max(1e-6)
                 } else {
                     inflated.distance_to_point(&p)
                 }
@@ -348,7 +356,10 @@ mod tests {
         assert!(!w.region_is_free(&bad_region));
         let out_region =
             Aabb::from_center_extents(Vec3::new(0.0, 0.0, 2.0), Vec3::new(3.0, 3.0, 1.0));
-        assert!(!w.region_is_free(&out_region), "regions leaving the bounds are unsafe");
+        assert!(
+            !w.region_is_free(&out_region),
+            "regions leaving the bounds are unsafe"
+        );
     }
 
     #[test]
@@ -363,7 +374,9 @@ mod tests {
         let w = Workspace::city_block();
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..50 {
-            let p = w.sample_free_point(&mut rng, 100).expect("sampling must succeed");
+            let p = w
+                .sample_free_point(&mut rng, 100)
+                .expect("sampling must succeed");
             assert!(w.is_free(p));
         }
     }
@@ -390,7 +403,10 @@ mod tests {
         for i in 0..pts.len() {
             let a = pts[i];
             let b = pts[(i + 1) % pts.len()];
-            assert!(w.segment_is_free(a, b), "circuit leg {a} -> {b} must be free");
+            assert!(
+                w.segment_is_free(a, b),
+                "circuit leg {a} -> {b} must be free"
+            );
         }
         assert!(w.in_collision(Vec3::new(18.7, 3.0, 5.0)));
     }

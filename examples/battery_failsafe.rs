@@ -12,13 +12,25 @@ fn main() {
         Some(c) => println!("DM switched to landing SC at  : {:.1} % charge", 100.0 * c),
         None => println!("DM never had to switch (battery stayed healthy)"),
     }
-    println!("final charge                  : {:.1} %", 100.0 * report.final_charge);
+    println!(
+        "final charge                  : {:.1} %",
+        100.0 * report.final_charge
+    );
     println!("landed safely                 : {}", report.landed);
-    println!("φ_bat violated (dead mid-air) : {}", report.battery_violation);
+    println!(
+        "φ_bat violated (dead mid-air) : {}",
+        report.battery_violation
+    );
     println!("profile samples               : {}", report.profile.len());
     // Print a coarse altitude/charge profile, the data behind Fig. 12c.
     for (t, alt, charge) in report.profile.iter().step_by(20) {
-        println!("  t = {t:6.1} s   altitude = {alt:5.2} m   charge = {:5.1} %", 100.0 * charge);
+        println!(
+            "  t = {t:6.1} s   altitude = {alt:5.2} m   charge = {:5.1} %",
+            100.0 * charge
+        );
     }
-    assert!(!report.battery_violation, "the drone must never run out of charge mid-air");
+    assert!(
+        !report.battery_violation,
+        "the drone must never run out of charge mid-air"
+    );
 }

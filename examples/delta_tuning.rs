@@ -8,17 +8,25 @@ use soter::drone::experiments::ablation_delta;
 fn main() {
     let rows = ablation_delta(&[50, 100, 200, 400], &[1.0, 1.5, 2.5], 3, 240.0);
     println!("=== Remark 3.3: Δ / φ_safer ablation (g1..g4 circuit) ===");
-    println!("{:>8} {:>8} {:>12} {:>14} {:>10} {:>11}", "Δ (s)", "k_safer", "lap time (s)", "disengagements", "AC time %", "collisions");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>10} {:>11}",
+        "Δ (s)", "k_safer", "lap time (s)", "disengagements", "AC time %", "collisions"
+    );
     for r in &rows {
         println!(
             "{:>8.2} {:>8.1} {:>12} {:>14} {:>10.1} {:>11}",
             r.delta,
             r.safer_factor,
-            r.completion_time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "timeout".into()),
+            r.completion_time
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "timeout".into()),
             r.disengagements,
             100.0 * r.ac_fraction,
             r.collisions
         );
     }
-    assert!(rows.iter().all(|r| r.collisions == 0), "every well-formed setting must stay safe");
+    assert!(
+        rows.iter().all(|r| r.collisions == 0),
+        "every well-formed setting must stay safe"
+    );
 }

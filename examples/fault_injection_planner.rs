@@ -11,9 +11,18 @@ fn main() {
     let report = planner_rta(23, 60);
     println!("=== Sec. V-C: RTA-protected motion planner ===");
     println!("planning queries               : {}", report.queries);
-    println!("colliding plans (unprotected)  : {}", report.unprotected_colliding_plans);
-    println!("colliding plans (RTA-protected): {}", report.protected_colliding_plans);
-    println!("DM fallbacks to safe planner   : {}", report.dm_switches_to_safe);
+    println!(
+        "colliding plans (unprotected)  : {}",
+        report.unprotected_colliding_plans
+    );
+    println!(
+        "colliding plans (RTA-protected): {}",
+        report.protected_colliding_plans
+    );
+    println!(
+        "DM fallbacks to safe planner   : {}",
+        report.dm_switches_to_safe
+    );
     assert!(report.unprotected_colliding_plans > 0);
     assert_eq!(report.protected_colliding_plans, 0);
 }

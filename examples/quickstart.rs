@@ -12,10 +12,16 @@ struct LineOracle;
 
 impl SafetyOracle for LineOracle {
     fn is_safe(&self, obs: &TopicMap) -> bool {
-        obs.get("state").and_then(Value::as_float).map(|x| x.abs() <= 10.0).unwrap_or(false)
+        obs.get("state")
+            .and_then(Value::as_float)
+            .map(|x| x.abs() <= 10.0)
+            .unwrap_or(false)
     }
     fn is_safer(&self, obs: &TopicMap) -> bool {
-        obs.get("state").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(false)
+        obs.get("state")
+            .and_then(Value::as_float)
+            .map(|x| x.abs() <= 5.0)
+            .unwrap_or(false)
     }
     fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
         match obs.get("state").and_then(Value::as_float) {
@@ -71,13 +77,26 @@ fn main() -> Result<(), SoterError> {
     let mut exec = Executor::new(system);
     exec.run_until(Time::from_secs_f64(60.0));
 
-    let x = exec.topics().get("state").and_then(Value::as_float).unwrap_or(0.0);
+    let x = exec
+        .topics()
+        .get("state")
+        .and_then(Value::as_float)
+        .unwrap_or(0.0);
     let dm = exec.system().modules()[0].dm();
     println!("final state                 : {x:.2} (φ_safe = |x| ≤ 10)");
-    println!("current mode                : {}", exec.system().modules()[0].mode());
+    println!(
+        "current mode                : {}",
+        exec.system().modules()[0].mode()
+    );
     println!("AC→SC disengagements        : {}", dm.disengagement_count());
     println!("SC→AC re-engagements        : {}", dm.reengagement_count());
-    println!("Theorem 3.1 monitor clean   : {}", exec.monitors()[0].is_clean());
-    assert!(x.abs() <= 10.0, "the RTA module must keep the state inside φ_safe");
+    println!(
+        "Theorem 3.1 monitor clean   : {}",
+        exec.monitors()[0].is_clean()
+    );
+    assert!(
+        x.abs() <= 10.0,
+        "the RTA module must keep the state inside φ_safe"
+    );
     Ok(())
 }

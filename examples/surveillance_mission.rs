@@ -9,13 +9,31 @@ fn main() {
     let report = fig12b_surveillance(7, 6, 400.0);
     println!("=== Fig. 12b: RTA-protected surveillance mission ===");
     println!("targets reached            : {}", report.targets_reached);
-    println!("mission duration           : {:.1} s", report.metrics.duration);
-    println!("distance flown             : {:.1} m", report.metrics.distance);
+    println!(
+        "mission duration           : {:.1} s",
+        report.metrics.duration
+    );
+    println!(
+        "distance flown             : {:.1} m",
+        report.metrics.distance
+    );
     println!("ground-truth collisions    : {}", report.metrics.collisions);
-    println!("min obstacle clearance     : {:.2} m", report.metrics.min_clearance);
+    println!(
+        "min obstacle clearance     : {:.2} m",
+        report.metrics.min_clearance
+    );
     println!("AC→SC disengagements       : {}", report.mpr_disengagements);
     println!("SC→AC re-engagements       : {}", report.mpr_reengagements);
-    println!("time in AC mode            : {:.1} %", 100.0 * report.metrics.ac_fraction);
-    println!("invariant violations       : {}", report.invariant_violations);
-    assert_eq!(report.metrics.collisions, 0, "the protected stack must stay collision-free");
+    println!(
+        "time in AC mode            : {:.1} %",
+        100.0 * report.metrics.ac_fraction
+    );
+    println!(
+        "invariant violations       : {}",
+        report.invariant_violations
+    );
+    assert_eq!(
+        report.metrics.collisions, 0,
+        "the protected stack must stay collision-free"
+    );
 }

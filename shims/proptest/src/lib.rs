@@ -1,0 +1,75 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! See `shims/README.md`: crates.io is unreachable from the build container,
+//! so this shim implements the subset of proptest the SOTER tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - `x in strategy` bindings over range strategies, tuples of strategies
+//!   and [`strategy::Strategy::prop_map`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! each test runs a fixed number of cases drawn from a deterministic
+//! per-test RNG (seeded from the test's name), so failures reproduce
+//! exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(x in strategy, ..) { .. }`
+/// item expands to a normal `#[test]` that samples its inputs `cases` times
+/// from a deterministic RNG and runs the body on every sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            // `#[test]` arrives as one of the captured attributes and is
+            // re-emitted with the rest.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! See `shims/README.md`: the container has no crates.io access, so this
+//! façade provides just enough surface for `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` to compile.  The
+//! derives expand to nothing, and the traits are empty markers — no code in
+//! the workspace performs (de)serialization at runtime yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

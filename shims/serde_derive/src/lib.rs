@@ -1,0 +1,199 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal shim.  The shim's `serde::Serialize` /
+//! `serde::Deserialize` are empty marker traits, which lets these derives
+//! emit trivially-correct impls: the macro token-parses just enough of the
+//! item (attributes → visibility → `struct`/`enum` → name → generics) to
+//! name the type, without needing `syn`/`quote`.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored.  When a real
+//! wire format is needed, drop in the real serde and delete `shims/`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// `#[derive(Serialize)]` → `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", "")
+}
+
+/// `#[derive(Deserialize)]` → `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", "'de")
+}
+
+/// Emits `impl<EXTRA, GENERICS> serde::TRAIT<EXTRA> for NAME<ARGS> {}`.
+fn marker_impl(input: TokenStream, trait_name: &str, extra_lifetime: &str) -> TokenStream {
+    let Some(item) = parse_item(input) else {
+        // Unrecognized item shape: emit nothing rather than a broken impl.
+        return TokenStream::new();
+    };
+    let mut impl_params: Vec<String> = Vec::new();
+    if !extra_lifetime.is_empty() {
+        impl_params.push(extra_lifetime.to_string());
+    }
+    impl_params.extend(item.generic_params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_args = if extra_lifetime.is_empty() {
+        String::new()
+    } else {
+        format!("<{extra_lifetime}>")
+    };
+    let type_args = if item.generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generic_args.join(", "))
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::{trait_name}{trait_args} \
+         for {name}{type_args} {{}}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated marker impl is valid Rust")
+}
+
+struct Item {
+    name: String,
+    /// Declaration-side params with bounds, defaults stripped (`T: Clone`).
+    generic_params: Vec<String>,
+    /// Use-side args (`T`, `'a`, `N`).
+    generic_args: Vec<String>,
+}
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes `#[...]` and the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next()? {
+        TokenTree::Ident(kw) if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {}
+        _ => return None,
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+
+    // Optional generics: collect tokens between the outermost < >.
+    let mut generics: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                generics.push(tt);
+            }
+        }
+    }
+    let (generic_params, generic_args) = split_generics(&generics);
+    Some(Item {
+        name,
+        generic_params,
+        generic_args,
+    })
+}
+
+/// Splits the token list between the outer `< >` into per-parameter
+/// declaration strings (defaults stripped) and use-site argument names.
+fn split_generics(tokens: &[TokenTree]) -> (Vec<String>, Vec<String>) {
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0usize;
+    let flush = |current: &mut Vec<TokenTree>, params: &mut Vec<String>, args: &mut Vec<String>| {
+        if current.is_empty() {
+            return;
+        }
+        if let Some(arg) = param_arg_name(current) {
+            args.push(arg);
+        }
+        params.push(strip_default(current));
+        current.clear();
+    };
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                flush(&mut current, &mut params, &mut args);
+            }
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                current.push(tt.clone());
+            }
+            _ => current.push(tt.clone()),
+        }
+    }
+    flush(&mut current, &mut params, &mut args);
+    (params, args)
+}
+
+/// The use-site name of one generic parameter: `'a: 'b` → `'a`,
+/// `T: Clone` → `T`, `const N: usize` → `N`.
+fn param_arg_name(tokens: &[TokenTree]) -> Option<String> {
+    let mut iter = tokens.iter();
+    match iter.next()? {
+        TokenTree::Punct(p) if p.as_char() == '\'' => {
+            let id = iter.next()?;
+            Some(format!("'{id}"))
+        }
+        TokenTree::Ident(id) if id.to_string() == "const" => iter.next().map(|id| id.to_string()),
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Re-renders a parameter declaration without any `= default` suffix.
+fn strip_default(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        out.push_str(&tt.to_string());
+        out.push(' ');
+    }
+    out.trim_end().to_string()
+}

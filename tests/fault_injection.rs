@@ -25,25 +25,44 @@ fn faulted_lap(fault: FaultSpec, seed: u64) -> MissionMetrics {
     let laps = waypoints.len() as i64;
     let (system, handle) = build_circuit_stack(&config, waypoints, false);
     let outcome = run_stack(system, handle, 300.0, Some(laps), JitterModel::none());
-    MissionMetrics::from_trajectory(&outcome.trajectory, &workspace, outcome.completion_time.is_some())
+    MissionMetrics::from_trajectory(
+        &outcome.trajectory,
+        &workspace,
+        outcome.completion_time.is_some(),
+    )
 }
 
 #[test]
 fn rta_contains_random_spike_faults() {
-    let metrics = faulted_lap(FaultSpec::RandomSpike { probability: 0.05, magnitude: 6.0 }, 2);
+    let metrics = faulted_lap(
+        FaultSpec::RandomSpike {
+            probability: 0.05,
+            magnitude: 6.0,
+        },
+        2,
+    );
     assert_eq!(metrics.collisions, 0, "{metrics:?}");
 }
 
 #[test]
 fn rta_contains_bias_faults() {
-    let metrics = faulted_lap(FaultSpec::Bias { bias: [1.5, 1.5, 0.0] }, 3);
+    let metrics = faulted_lap(
+        FaultSpec::Bias {
+            bias: [1.5, 1.5, 0.0],
+        },
+        3,
+    );
     assert_eq!(metrics.collisions, 0, "{metrics:?}");
 }
 
 #[test]
 fn rta_contains_stuck_output_faults() {
     let metrics = faulted_lap(
-        FaultSpec::StuckOutput { from_step: 200, duration: 400, value: [6.0, 0.0, 0.0] },
+        FaultSpec::StuckOutput {
+            from_step: 200,
+            duration: 400,
+            value: [6.0, 0.0, 0.0],
+        },
         4,
     );
     assert_eq!(metrics.collisions, 0, "{metrics:?}");
@@ -65,8 +84,11 @@ fn moderate_scheduling_jitter_preserves_safety_most_of_the_time() {
     let (system, handle) = build_circuit_stack(&config, waypoints, false);
     let jitter = JitterModel::new(0.05, Duration::from_millis(30), 9);
     let outcome = run_stack(system, handle, 200.0, Some(4), jitter);
-    let metrics =
-        MissionMetrics::from_trajectory(&outcome.trajectory, &workspace, outcome.completion_time.is_some());
+    let metrics = MissionMetrics::from_trajectory(
+        &outcome.trajectory,
+        &workspace,
+        outcome.completion_time.is_some(),
+    );
     assert_eq!(metrics.collisions, 0, "{metrics:?}");
 }
 
@@ -91,10 +113,16 @@ fn systematic_testing_covers_interleavings_of_a_small_module() {
         struct O;
         impl SafetyOracle for O {
             fn is_safe(&self, obs: &TopicMap) -> bool {
-                obs.get("x").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(true)
+                obs.get("x")
+                    .and_then(Value::as_float)
+                    .map(|x| x.abs() <= 5.0)
+                    .unwrap_or(true)
             }
             fn is_safer(&self, obs: &TopicMap) -> bool {
-                obs.get("x").and_then(Value::as_float).map(|x| x.abs() <= 2.0).unwrap_or(false)
+                obs.get("x")
+                    .and_then(Value::as_float)
+                    .map(|x| x.abs() <= 2.0)
+                    .unwrap_or(false)
             }
             fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
                 match obs.get("x").and_then(Value::as_float) {
@@ -145,7 +173,11 @@ fn systematic_testing_covers_interleavings_of_a_small_module() {
     let tester = SystematicTester::new(
         factory,
         |_, topics, _| {
-            topics.get("x").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(true)
+            topics
+                .get("x")
+                .and_then(Value::as_float)
+                .map(|x| x.abs() <= 5.0)
+                .unwrap_or(true)
         },
         Time::from_secs_f64(10.0),
     );

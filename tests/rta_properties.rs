@@ -16,7 +16,10 @@ struct LineOracle {
 
 impl SafetyOracle for LineOracle {
     fn is_safe(&self, obs: &TopicMap) -> bool {
-        obs.get(&self.topic).and_then(Value::as_float).map(|x| x.abs() <= self.bound).unwrap_or(false)
+        obs.get(&self.topic)
+            .and_then(Value::as_float)
+            .map(|x| x.abs() <= self.bound)
+            .unwrap_or(false)
     }
     fn is_safer(&self, obs: &TopicMap) -> bool {
         obs.get(&self.topic)
@@ -52,7 +55,13 @@ fn line_module(idx: usize, bound: f64, speed: f64, delta_ms: u64) -> (RtaModule,
         .period(Duration::from_millis(delta_ms))
         .step(move |_, inp, out| {
             let x = inp.get(&st_sc).and_then(Value::as_float).unwrap_or(0.0);
-            let v = if x.abs() < 0.05 { 0.0 } else if x > 0.0 { -speed } else { speed };
+            let v = if x.abs() < 0.05 {
+                0.0
+            } else if x > 0.0 {
+                -speed
+            } else {
+                speed
+            };
             out.insert(cmd_sc.as_str(), Value::Float(v));
         })
         .build();
@@ -60,7 +69,11 @@ fn line_module(idx: usize, bound: f64, speed: f64, delta_ms: u64) -> (RtaModule,
         .advanced(ac)
         .safe(sc)
         .delta(Duration::from_millis(delta_ms))
-        .oracle(LineOracle { topic: state_topic.clone(), bound, speed })
+        .oracle(LineOracle {
+            topic: state_topic.clone(),
+            bound,
+            speed,
+        })
         .build()
         .expect("well-formed module");
     let mut x = 0.0f64;
@@ -149,7 +162,11 @@ fn ill_formed_composition_is_rejected() {
         .advanced(ac)
         .safe(sc)
         .delta(Duration::from_millis(100))
-        .oracle(LineOracle { topic: "state7".into(), bound: 5.0, speed: 1.0 })
+        .oracle(LineOracle {
+            topic: "state7".into(),
+            bound: 5.0,
+            speed: 1.0,
+        })
         .build()
         .unwrap();
     let mut system = RtaSystem::new("bad");
