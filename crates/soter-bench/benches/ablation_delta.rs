@@ -4,7 +4,7 @@
 //! whole sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::ablation_delta;
+use soter_scenarios::experiments::ablation_delta;
 use std::hint::black_box;
 
 fn print_table() {

@@ -1,0 +1,67 @@
+//! Bench + table for the scenario campaign engine: wall-clock throughput
+//! (runs/second) of a fixed scenario × seed matrix at 1, 4 and 8 worker
+//! threads.  Per-run results are deterministic regardless of the worker
+//! count (pinned by `tests/campaign.rs`), so this bench measures pure
+//! fan-out scaling of the thread pool.  On a single-core host the three
+//! rows coincide; the speedup shows on multi-core machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::stack::Protection;
+use soter_scenarios::campaign::Campaign;
+use soter_scenarios::catalog;
+use soter_scenarios::spec::Scenario;
+use std::hint::black_box;
+
+/// A small, fixed matrix: three scenario families × four seeds.  Horizons
+/// are short so one campaign stays well under a second per worker.
+fn matrix() -> Vec<Scenario> {
+    vec![
+        catalog::fig12a(Protection::Rta, 3, 25.0),
+        catalog::fig12a(Protection::ScOnly, 3, 25.0),
+        catalog::planner_rta(5, 6),
+    ]
+}
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+fn print_table() {
+    println!("\n=== Campaign throughput: 3 scenarios x 4 seeds ===");
+    println!(
+        "{:<10} {:>8} {:>14} {:>12}",
+        "workers", "runs", "wall clock", "runs/s"
+    );
+    for workers in [1, 4, 8] {
+        let report = Campaign::new(matrix())
+            .with_seeds(SEEDS)
+            .with_workers(workers)
+            .run();
+        println!(
+            "{:<10} {:>8} {:>12.2} s {:>12.1}",
+            workers,
+            report.runs(),
+            report.wall_clock,
+            report.runs_per_second()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        group.bench_function(format!("matrix_12_runs_{workers}_workers"), |b| {
+            b.iter(|| {
+                let report = Campaign::new(matrix())
+                    .with_seeds(SEEDS)
+                    .with_workers(workers)
+                    .run();
+                black_box(report.records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

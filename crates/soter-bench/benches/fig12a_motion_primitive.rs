@@ -3,8 +3,8 @@
 //! reports 10 s / 14 s / 24 s with collisions only in the AC-only case).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::{circuit_lap, fig12a_comparison};
 use soter_drone::stack::Protection;
+use soter_scenarios::experiments::{circuit_lap, fig12a_comparison};
 use std::hint::black_box;
 
 fn print_table() {

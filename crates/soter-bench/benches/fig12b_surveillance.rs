@@ -4,7 +4,7 @@
 //! of the mission).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::fig12b_surveillance;
+use soter_scenarios::experiments::fig12b_surveillance;
 use std::hint::black_box;
 
 fn print_table() {

@@ -3,7 +3,7 @@
 //! the worst-case 2Δ discharge plus the landing reserve.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::fig12c_battery;
+use soter_scenarios::experiments::fig12c_battery;
 use std::hint::black_box;
 
 fn print_table() {

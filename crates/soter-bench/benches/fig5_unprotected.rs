@@ -6,8 +6,8 @@
 //! circuit segment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::fig5_unprotected;
 use soter_drone::stack::AdvancedKind;
+use soter_scenarios::experiments::fig5_unprotected;
 use std::hint::black_box;
 
 fn print_table() {

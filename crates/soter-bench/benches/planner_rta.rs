@@ -2,7 +2,7 @@
 //! every colliding plan produced by the fault-injected RRT*.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::planner_rta;
+use soter_scenarios::experiments::planner_rta;
 use std::hint::black_box;
 
 fn print_table() {

@@ -3,10 +3,10 @@
 //! backward-reachable-set grid computation used to derive φ_safer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use soter_drone::experiments::dm_reachability_query;
 use soter_drone::stack::DroneStackConfig;
 use soter_reach::backward::ReachGrid;
 use soter_reach::forward::ForwardReach;
+use soter_scenarios::experiments::dm_reachability_query;
 use soter_sim::dynamics::QuadrotorDynamics;
 use soter_sim::vec3::Vec3;
 use soter_sim::world::Workspace;

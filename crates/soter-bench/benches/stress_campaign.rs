@@ -7,7 +7,7 @@
 //! controller.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use soter_drone::experiments::stress_campaign;
+use soter_scenarios::experiments::stress_campaign;
 use std::hint::black_box;
 
 fn print_table() {

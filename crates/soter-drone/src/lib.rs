@@ -19,16 +19,17 @@
 //!   buildable in unprotected (AC-only) and SC-only configurations,
 //! * [`evidence`] — the `PlantAbstraction` used to discharge the
 //!   well-formedness conditions P2a/P2b/P3 for the motion-primitive module,
-//! * [`experiments`] — one driver per table/figure of the evaluation
-//!   section (Fig. 5, Fig. 12a–c, the Sec. V-C planner experiment, the
-//!   Sec. V-D stress campaign, and the Remark 3.3 Δ ablation),
-//! * [`report`] — the result records those drivers produce.
+//! * [`report`] — the result records the experiment drivers produce.
+//!
+//! The experiment drivers themselves (one per table/figure of the
+//! evaluation section) live in the `soter-scenarios` crate as named
+//! declarative scenarios; see `soter_scenarios::experiments` for the
+//! original entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod evidence;
-pub mod experiments;
 pub mod nodes;
 pub mod oracles;
 pub mod plant;

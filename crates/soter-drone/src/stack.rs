@@ -39,6 +39,7 @@ use soter_sim::battery::{Battery, BatteryModel};
 use soter_sim::drone::{Drone, DroneConfig};
 use soter_sim::dynamics::DroneState;
 use soter_sim::vec3::Vec3;
+use soter_sim::wind::WindModel;
 use soter_sim::world::Workspace;
 
 /// Which protection configuration to build.
@@ -119,6 +120,9 @@ pub struct DroneStackConfig {
     pub buggy_planner: bool,
     /// Speed cap of the certified safe controller.
     pub sc_speed_cap: f64,
+    /// Wind/disturbance model applied by the plant (the paper's nominal
+    /// setting is [`WindModel::Calm`]).
+    pub wind: WindModel,
     /// Simulation seed (sensor noise, planners, faults).
     pub seed: u64,
 }
@@ -141,6 +145,7 @@ impl Default for DroneStackConfig {
             clearance_margin: 0.3,
             buggy_planner: false,
             sc_speed_cap: 2.0,
+            wind: WindModel::Calm,
             seed: 0,
         }
     }
@@ -178,6 +183,7 @@ impl DroneStackConfig {
         let dcfg = DroneConfig {
             seed: self.seed,
             battery: self.battery_model,
+            wind: self.wind,
             ..DroneConfig::default()
         };
         let mut drone = Drone::with_config(DroneState::at_rest(self.start), dcfg);

@@ -775,6 +775,85 @@ mod tests {
         assert!(exec.step_instant().is_none());
     }
 
+    /// Regression test: jitter seeding is explicit per run (the sampler is
+    /// constructed from `ExecutorConfig::jitter.seed` alone), so consecutive
+    /// or interleaved runs must not couple through any shared state.
+    #[test]
+    fn jitter_seeding_is_per_run_and_uncoupled() {
+        let config = ExecutorConfig {
+            jitter: JitterModel::new(0.5, Duration::from_millis(30), 99),
+            ..ExecutorConfig::default()
+        };
+        let run_alone = |cfg: &ExecutorConfig| {
+            let mut exec = Executor::with_config(line_system(), cfg.clone());
+            exec.run_until(Time::from_secs_f64(3.0));
+            (exec.trace().digest(), exec.fired_steps())
+        };
+        let first = run_alone(&config);
+        // A second run from the same config must be byte-identical: nothing
+        // from the first run may leak into the second.
+        assert_eq!(first, run_alone(&config), "consecutive runs are coupled");
+        // Two executors advanced in lock-step must each reproduce their
+        // standalone runs — per-executor samplers share no state.
+        let mut a = Executor::with_config(line_system(), config.clone());
+        let mut b = Executor::with_config(line_system(), config.clone());
+        loop {
+            let sa = a.now() < Time::from_secs_f64(3.0) && a.step_instant().is_some();
+            let sb = b.now() < Time::from_secs_f64(3.0) && b.step_instant().is_some();
+            if !sa && !sb {
+                break;
+            }
+        }
+        assert_eq!((a.trace().digest(), a.fired_steps()), first);
+        assert_eq!((b.trace().digest(), b.fired_steps()), first);
+    }
+
+    /// The streaming trace digest is stable per seed, differs across jitter
+    /// seeds, and distinguishes jittered from ideal-calendar runs.
+    #[test]
+    fn trace_digest_separates_jitter_configurations() {
+        let digest_with = |jitter: JitterModel| {
+            let config = ExecutorConfig {
+                jitter,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::with_config(line_system(), config);
+            exec.run_until(Time::from_secs_f64(2.0));
+            exec.trace().digest()
+        };
+        let ideal = digest_with(JitterModel::none());
+        assert_eq!(ideal, digest_with(JitterModel::none()));
+        let jittered = digest_with(JitterModel::new(0.8, Duration::from_millis(25), 7));
+        assert_eq!(
+            jittered,
+            digest_with(JitterModel::new(0.8, Duration::from_millis(25), 7))
+        );
+        assert_ne!(ideal, jittered, "jitter must perturb the firing schedule");
+        assert_ne!(
+            jittered,
+            digest_with(JitterModel::new(0.8, Duration::from_millis(25), 8)),
+            "different jitter seeds must explore different schedules"
+        );
+    }
+
+    /// Trace storage (on/off) must not affect the digest — long campaigns
+    /// run with `record_trace: false` and still regression-compare digests.
+    #[test]
+    fn digest_is_independent_of_trace_storage() {
+        let run = |record_trace: bool| {
+            let config = ExecutorConfig {
+                record_trace,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::with_config(line_system(), config);
+            exec.run_until(Time::from_secs_f64(2.0));
+            (exec.trace().digest(), exec.trace().recorded_events())
+        };
+        let stored = run(true);
+        let dropped = run(false);
+        assert_eq!(stored, dropped);
+    }
+
     #[test]
     fn into_system_returns_final_state() {
         let mut exec = Executor::new(line_system());

@@ -47,4 +47,4 @@ pub mod trace;
 pub use executor::{EnvironmentModel, Executor, ExecutorConfig};
 pub use explore::{ExplorationReport, SystematicTester};
 pub use jitter::JitterModel;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceHasher};

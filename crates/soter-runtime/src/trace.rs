@@ -5,10 +5,81 @@
 //! violations observed by the built-in monitors.  The experiment harness of
 //! the drone case study summarises these traces into the statistics the
 //! paper reports (disengagement counts, fraction of time in AC mode, …).
+//!
+//! Every trace also maintains a streaming [`TraceHasher`] digest that is
+//! updated on *every* recorded event, even when event storage is disabled
+//! for long campaigns.  Two runs with the same digest fired the same nodes
+//! at the same instants with the same mode switches — the property the
+//! golden-trace regression facility of `soter-scenarios` pins down.
 
 use serde::{Deserialize, Serialize};
 use soter_core::rta::Mode;
 use soter_core::time::Time;
+
+/// A streaming 64-bit FNV-1a hasher used to digest executions.
+///
+/// The digest is a cheap, deterministic fingerprint — not a cryptographic
+/// hash.  It is stable across platforms because every input is reduced to
+/// explicit little-endian bytes before hashing (floats via their IEEE-754
+/// bit patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHasher {
+    state: u64,
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        TraceHasher::new()
+    }
+}
+
+impl TraceHasher {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        TraceHasher {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `u8`.
+    pub fn write_u8(&mut self, v: u8) -> &mut Self {
+        self.write_bytes(&[v])
+    }
+
+    /// Absorbs an `f64` via its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a string (length-prefixed, so `("ab", "c")` and
+    /// `("a", "bc")` digest differently).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
 
 /// One event of an execution trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +141,8 @@ impl TraceEvent {
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
+    hasher: TraceHasher,
+    recorded: u64,
 }
 
 impl Trace {
@@ -78,15 +151,20 @@ impl Trace {
         Trace {
             events: Vec::new(),
             enabled: true,
+            hasher: TraceHasher::new(),
+            recorded: 0,
         }
     }
 
     /// Creates a disabled trace that drops every event (for long campaigns
-    /// where only aggregate statistics matter).
+    /// where only aggregate statistics matter).  The streaming digest is
+    /// still maintained, so disabled traces remain comparable.
     pub fn disabled() -> Self {
         Trace {
             events: Vec::new(),
             enabled: false,
+            hasher: TraceHasher::new(),
+            recorded: 0,
         }
     }
 
@@ -95,11 +173,65 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled).
+    /// Records an event.  The event is folded into the streaming digest
+    /// unconditionally; it is stored only when recording is enabled.
     pub fn record(&mut self, event: TraceEvent) {
+        self.digest_event(&event);
+        self.recorded += 1;
         if self.enabled {
             self.events.push(event);
         }
+    }
+
+    fn digest_event(&mut self, event: &TraceEvent) {
+        let h = &mut self.hasher;
+        match event {
+            TraceEvent::NodeFired {
+                time,
+                node,
+                output_enabled,
+            } => {
+                h.write_u8(0);
+                h.write_u64(time.as_micros());
+                h.write_str(node);
+                h.write_u8(*output_enabled as u8);
+            }
+            TraceEvent::ModeSwitch {
+                time,
+                module,
+                from,
+                to,
+            } => {
+                h.write_u8(1);
+                h.write_u64(time.as_micros());
+                h.write_str(module);
+                h.write_u8(matches!(from, Mode::Ac) as u8);
+                h.write_u8(matches!(to, Mode::Ac) as u8);
+            }
+            TraceEvent::InvariantViolation { time, module, mode } => {
+                h.write_u8(2);
+                h.write_u64(time.as_micros());
+                h.write_str(module);
+                h.write_u8(matches!(mode, Mode::Ac) as u8);
+            }
+            TraceEvent::EnvironmentInput { time, topic } => {
+                h.write_u8(3);
+                h.write_u64(time.as_micros());
+                h.write_str(topic);
+            }
+        }
+    }
+
+    /// The streaming digest over every event recorded so far (including
+    /// events dropped because storage is disabled).
+    pub fn digest(&self) -> u64 {
+        self.hasher.finish()
+    }
+
+    /// Total number of events recorded so far, counting events dropped by a
+    /// disabled trace.
+    pub fn recorded_events(&self) -> u64 {
+        self.recorded
     }
 
     /// All recorded events in order.
@@ -149,9 +281,11 @@ impl Trace {
             .collect()
     }
 
-    /// Clears the trace.
+    /// Clears the trace, resetting the streaming digest as well.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.hasher = TraceHasher::new();
+        self.recorded = 0;
     }
 }
 
@@ -206,5 +340,146 @@ mod tests {
         });
         assert!(t.is_empty());
         assert!(!t.is_enabled());
+        assert_eq!(t.recorded_events(), 1, "the digest still counts events");
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::NodeFired {
+                time: Time::from_millis(10),
+                node: "ac".into(),
+                output_enabled: true,
+            },
+            TraceEvent::ModeSwitch {
+                time: Time::from_millis(20),
+                module: "mpr".into(),
+                from: Mode::Sc,
+                to: Mode::Ac,
+            },
+            TraceEvent::ModeSwitch {
+                time: Time::from_millis(30),
+                module: "mpr".into(),
+                from: Mode::Ac,
+                to: Mode::Sc,
+            },
+            TraceEvent::EnvironmentInput {
+                time: Time::from_millis(40),
+                topic: "wind".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let events = sample_events();
+        let digest_of = |evs: &[TraceEvent]| {
+            let mut t = Trace::new();
+            for e in evs {
+                t.record(e.clone());
+            }
+            t.digest()
+        };
+        assert_eq!(
+            digest_of(&events),
+            digest_of(&events),
+            "the digest must be a pure function of the event sequence"
+        );
+        let mut reordered = events.clone();
+        reordered.swap(1, 2);
+        assert_ne!(
+            digest_of(&events),
+            digest_of(&reordered),
+            "reordering events must change the digest"
+        );
+        assert_ne!(
+            digest_of(&events[..3]),
+            digest_of(&events),
+            "a prefix must digest differently from the full trace"
+        );
+    }
+
+    #[test]
+    fn disabled_and_enabled_traces_agree_on_the_digest() {
+        let mut enabled = Trace::new();
+        let mut disabled = Trace::disabled();
+        for e in sample_events() {
+            enabled.record(e.clone());
+            disabled.record(e);
+        }
+        assert_eq!(
+            enabled.digest(),
+            disabled.digest(),
+            "storage on/off must not change the digest"
+        );
+        assert_eq!(enabled.recorded_events(), disabled.recorded_events());
+    }
+
+    #[test]
+    fn empty_traces_share_the_initial_digest() {
+        assert_eq!(Trace::new().digest(), Trace::disabled().digest());
+        assert_eq!(Trace::new().digest(), TraceHasher::new().finish());
+    }
+
+    #[test]
+    fn clear_resets_the_digest() {
+        let mut t = Trace::new();
+        let initial = t.digest();
+        for e in sample_events() {
+            t.record(e);
+        }
+        assert_ne!(t.digest(), initial);
+        t.clear();
+        assert_eq!(t.digest(), initial);
+        assert_eq!(t.recorded_events(), 0);
+    }
+
+    #[test]
+    fn mode_switch_counting_distinguishes_modules() {
+        let mut t = Trace::new();
+        for e in sample_events() {
+            t.record(e);
+        }
+        t.record(TraceEvent::ModeSwitch {
+            time: Time::from_millis(50),
+            module: "battery".into(),
+            from: Mode::Ac,
+            to: Mode::Sc,
+        });
+        assert_eq!(t.mode_switches("mpr").len(), 2);
+        assert_eq!(t.mode_switches("battery").len(), 1);
+        assert_eq!(t.mode_switches("planner").len(), 0);
+        // Switches come back in recording order.
+        let mpr = t.mode_switches("mpr");
+        assert!(mpr[0].0 < mpr[1].0);
+        assert_eq!(mpr[0].2, Mode::Ac);
+        assert_eq!(mpr[1].2, Mode::Sc);
+    }
+
+    #[test]
+    fn hasher_primitives_are_length_prefixed() {
+        let a = {
+            let mut h = TraceHasher::new();
+            h.write_str("ab");
+            h.write_str("c");
+            h.finish()
+        };
+        let b = {
+            let mut h = TraceHasher::new();
+            h.write_str("a");
+            h.write_str("bc");
+            h.finish()
+        };
+        assert_ne!(a, b);
+        let f = {
+            let mut h = TraceHasher::new();
+            h.write_f64(1.5);
+            h.finish()
+        };
+        let g = {
+            let mut h = TraceHasher::new();
+            h.write_u64(1.5f64.to_bits());
+            h.finish()
+        };
+        assert_eq!(f, g, "floats digest via their bit patterns");
     }
 }

@@ -1,0 +1,354 @@
+//! Campaign fan-out: run a scenario × seed matrix on a thread pool.
+//!
+//! A [`Campaign`] is a matrix of scenarios and seeds.  [`Campaign::run`]
+//! executes every (scenario, seed) job on `workers` std threads pulling
+//! from a shared atomic cursor; because each job is an independent,
+//! seed-deterministic simulation, the per-run results are identical
+//! whatever the schedule — the report's records always come back in matrix
+//! order, so an 8-worker campaign is byte-for-byte comparable with a
+//! sequential one (this is pinned by `tests/campaign.rs`).
+
+use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::spec::Scenario;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A scenario × seed matrix with a worker count.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    scenarios: Vec<Scenario>,
+    seeds: Vec<u64>,
+    workers: usize,
+}
+
+impl Campaign {
+    /// A campaign over the given scenarios, each run once with its own
+    /// built-in seed, on one worker.
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        Campaign {
+            scenarios,
+            seeds: Vec::new(),
+            workers: 1,
+        }
+    }
+
+    /// Fans every scenario out across the given seeds (replacing each
+    /// scenario's built-in seed).  An empty slice restores built-in seeds.
+    pub fn with_seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = seeds.into();
+        self
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The fully expanded job list, in deterministic matrix order
+    /// (scenario-major, then seed).
+    pub fn jobs(&self) -> Vec<Scenario> {
+        if self.seeds.is_empty() {
+            self.scenarios.clone()
+        } else {
+            self.scenarios
+                .iter()
+                .flat_map(|s| self.seeds.iter().map(|&seed| s.clone().with_seed(seed)))
+                .collect()
+        }
+    }
+
+    /// Runs every job and aggregates a [`CampaignReport`].
+    pub fn run(&self) -> CampaignReport {
+        let jobs = self.jobs();
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunRecord>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let record = RunRecord::from_outcome(&run_scenario(&jobs[i]));
+                    *slots[i].lock().expect("no panics while holding the slot") = Some(record);
+                });
+            }
+        });
+        let records: Vec<RunRecord> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked")
+                    .expect("every job was claimed and completed")
+            })
+            .collect();
+        let wall_clock = started.elapsed().as_secs_f64();
+        CampaignReport {
+            records,
+            workers: self.workers,
+            wall_clock,
+        }
+    }
+}
+
+/// The compact, fully deterministic result of one campaign run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Behavioural digest of the run (see
+    /// [`ScenarioOutcome::digest`](crate::runner::ScenarioOutcome)).
+    pub digest: u64,
+    /// φ_safe violations observed.
+    pub safety_violations: usize,
+    /// Theorem 3.1 invariant-monitor violations.
+    pub invariant_violations: usize,
+    /// RTA mode switches (see `ScenarioOutcome::mode_switches`).
+    pub mode_switches: usize,
+    /// Surveillance targets / circuit waypoints reached.
+    pub targets_reached: usize,
+    /// Whether the mission objective completed within the horizon.
+    pub completed: bool,
+}
+
+impl RunRecord {
+    /// Summarises a scenario outcome (dropping the heavyweight trajectory).
+    pub fn from_outcome(outcome: &ScenarioOutcome) -> Self {
+        RunRecord {
+            scenario: outcome.scenario.clone(),
+            seed: outcome.seed,
+            digest: outcome.digest,
+            safety_violations: outcome.safety_violations,
+            invariant_violations: outcome.invariant_violations,
+            mode_switches: outcome.mode_switches,
+            targets_reached: outcome.targets_reached(),
+            completed: outcome.completed,
+        }
+    }
+}
+
+/// Per-scenario aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioStats {
+    /// Scenario name.
+    pub scenario: String,
+    /// Number of (seed) runs aggregated.
+    pub runs: usize,
+    /// Total φ_safe violations across runs.
+    pub safety_violations: usize,
+    /// Total invariant-monitor violations across runs.
+    pub invariant_violations: usize,
+    /// Total mode switches across runs.
+    pub mode_switches: usize,
+    /// Mean mode switches per run.
+    pub mean_mode_switches: f64,
+    /// Runs whose mission objective completed.
+    pub completed_runs: usize,
+}
+
+/// The aggregated result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One record per job, in deterministic matrix order.
+    pub records: Vec<RunRecord>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the campaign (seconds).
+    pub wall_clock: f64,
+}
+
+impl CampaignReport {
+    /// Total number of runs.
+    pub fn runs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Wall-clock throughput in runs per second.
+    pub fn runs_per_second(&self) -> f64 {
+        if self.wall_clock > 0.0 {
+            self.records.len() as f64 / self.wall_clock
+        } else {
+            0.0
+        }
+    }
+
+    /// Total φ_safe violations across every run.
+    pub fn total_safety_violations(&self) -> usize {
+        self.records.iter().map(|r| r.safety_violations).sum()
+    }
+
+    /// Total invariant-monitor violations across every run.
+    pub fn total_invariant_violations(&self) -> usize {
+        self.records.iter().map(|r| r.invariant_violations).sum()
+    }
+
+    /// Per-scenario aggregates, in first-appearance order.
+    pub fn per_scenario(&self) -> Vec<ScenarioStats> {
+        let mut stats: Vec<ScenarioStats> = Vec::new();
+        for record in &self.records {
+            let entry = match stats.iter_mut().find(|s| s.scenario == record.scenario) {
+                Some(entry) => entry,
+                None => {
+                    stats.push(ScenarioStats {
+                        scenario: record.scenario.clone(),
+                        runs: 0,
+                        safety_violations: 0,
+                        invariant_violations: 0,
+                        mode_switches: 0,
+                        mean_mode_switches: 0.0,
+                        completed_runs: 0,
+                    });
+                    stats.last_mut().expect("just pushed")
+                }
+            };
+            entry.runs += 1;
+            entry.safety_violations += record.safety_violations;
+            entry.invariant_violations += record.invariant_violations;
+            entry.mode_switches += record.mode_switches;
+            entry.completed_runs += record.completed as usize;
+        }
+        for entry in &mut stats {
+            entry.mean_mode_switches = entry.mode_switches as f64 / entry.runs.max(1) as f64;
+        }
+        stats
+    }
+
+    /// A human-readable summary table (what the CI campaign-smoke job
+    /// uploads as a build artifact).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} runs on {} workers",
+            self.runs(),
+            self.workers
+        );
+        let _ = writeln!(
+            out,
+            "wall clock: {:.2} s ({:.1} runs/s)",
+            self.wall_clock,
+            self.runs_per_second()
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>10} {:>10} {:>10} {:>10}",
+            "scenario", "runs", "phi-viol", "inv-viol", "switches", "completed"
+        );
+        for s in self.per_scenario() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>5} {:>10} {:>10} {:>10} {:>10}",
+                s.scenario,
+                s.runs,
+                s.safety_violations,
+                s.invariant_violations,
+                s.mode_switches,
+                s.completed_runs
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} phi_safe violations, {} invariant violations",
+            self.total_safety_violations(),
+            self.total_invariant_violations()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MissionSpec, WorkspaceSpec};
+
+    fn tiny_scenario(name: &str) -> Scenario {
+        Scenario::new(name)
+            .with_workspace(WorkspaceSpec::CornerCutCourse)
+            .with_mission(MissionSpec::CircuitLap)
+            .with_horizon(10.0)
+    }
+
+    #[test]
+    fn jobs_expand_in_matrix_order() {
+        let campaign =
+            Campaign::new(vec![tiny_scenario("a"), tiny_scenario("b")]).with_seeds([1, 2, 3]);
+        let jobs = campaign.jobs();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs[0].name, "a");
+        assert_eq!(jobs[0].seed, 1);
+        assert_eq!(jobs[2].seed, 3);
+        assert_eq!(jobs[3].name, "b");
+        assert_eq!(jobs[3].seed, 1);
+    }
+
+    #[test]
+    fn empty_seed_list_keeps_built_in_seeds() {
+        let campaign = Campaign::new(vec![tiny_scenario("a").with_seed(42)]);
+        let jobs = campaign.jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].seed, 42);
+    }
+
+    #[test]
+    fn report_aggregates_per_scenario() {
+        let record = |scenario: &str, seed: u64, violations: usize, completed: bool| RunRecord {
+            scenario: scenario.into(),
+            seed,
+            digest: seed,
+            safety_violations: violations,
+            invariant_violations: 0,
+            mode_switches: 2,
+            targets_reached: 4,
+            completed,
+        };
+        let report = CampaignReport {
+            records: vec![
+                record("a", 1, 0, true),
+                record("a", 2, 1, false),
+                record("b", 1, 0, true),
+            ],
+            workers: 4,
+            wall_clock: 2.0,
+        };
+        assert_eq!(report.runs(), 3);
+        assert_eq!(report.runs_per_second(), 1.5);
+        assert_eq!(report.total_safety_violations(), 1);
+        let stats = report.per_scenario();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].scenario, "a");
+        assert_eq!(stats[0].runs, 2);
+        assert_eq!(stats[0].safety_violations, 1);
+        assert_eq!(stats[0].completed_runs, 1);
+        assert_eq!(stats[0].mean_mode_switches, 2.0);
+        let summary = report.summary();
+        assert!(summary.contains("3 runs on 4 workers"));
+        assert!(summary.contains("scenario"));
+    }
+
+    #[test]
+    fn workers_are_clamped_to_one() {
+        let campaign = Campaign::new(vec![tiny_scenario("a")]).with_workers(0);
+        assert_eq!(campaign.workers, 1);
+    }
+
+    #[test]
+    fn small_campaign_runs_deterministically_across_worker_counts() {
+        let scenarios = vec![tiny_scenario("det")];
+        let sequential = Campaign::new(scenarios.clone())
+            .with_seeds([1, 2])
+            .with_workers(1)
+            .run();
+        let parallel = Campaign::new(scenarios)
+            .with_seeds([1, 2])
+            .with_workers(4)
+            .run();
+        assert_eq!(sequential.records, parallel.records);
+    }
+}

@@ -1,0 +1,206 @@
+//! Named scenarios reproducing the paper's seven experiment drivers.
+//!
+//! Each constructor returns the `Scenario` that, run through
+//! [`crate::runner::run_scenario`], reproduces the corresponding
+//! pre-refactor driver of `soter-drone` exactly (same stack, same seeds,
+//! same numbers).  The thin wrappers in [`crate::experiments`] re-package
+//! the outcomes into the paper's report records; the golden-trace tests pin
+//! the digests of the suite returned by [`golden_suite`].
+
+use crate::spec::{JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec};
+use soter_core::time::Duration;
+use soter_drone::stack::{AdvancedKind, Protection};
+use soter_sim::battery::BatteryModel;
+
+fn advanced_label(advanced: AdvancedKind) -> &'static str {
+    match advanced {
+        AdvancedKind::Px4Like => "px4like",
+        AdvancedKind::Learned { .. } => "learned",
+        AdvancedKind::Faulted { .. } => "faulted",
+    }
+}
+
+fn protection_label(protection: Protection) -> &'static str {
+    match protection {
+        Protection::AcOnly => "ac-only",
+        Protection::Rta => "rta",
+        Protection::ScOnly => "sc-only",
+    }
+}
+
+/// Fig. 5: the corner-cut circuit flown by an *unprotected* advanced
+/// controller, demonstrating that third-party / learned controllers are
+/// unsafe on their own.
+pub fn fig5(advanced: AdvancedKind, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("fig5-{}", advanced_label(advanced)))
+        .with_workspace(WorkspaceSpec::CornerCutCourse)
+        .with_mission(MissionSpec::CircuitLoop)
+        .with_protection(Protection::AcOnly)
+        .with_advanced(advanced)
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// Fig. 12a / Sec. V-A: one lap of the `g1..g4` circuit under the given
+/// protection configuration.
+pub fn fig12a(protection: Protection, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("fig12a-{}", protection_label(protection)))
+        .with_workspace(WorkspaceSpec::CornerCutCourse)
+        .with_mission(MissionSpec::CircuitLap)
+        .with_protection(protection)
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// Fig. 12b: the RTA-protected surveillance mission over the city block.
+pub fn fig12b(seed: u64, targets: i64, horizon: f64) -> Scenario {
+    Scenario::new("fig12b-surveillance")
+        .with_mission(MissionSpec::Surveillance {
+            policy: TargetPolicySpec::RoundRobin,
+            targets: Some(targets),
+        })
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// The fast-draining battery model of the Fig. 12c experiment: ~100 s of
+/// hover endurance instead of 20 minutes, so the emergency occurs within a
+/// short simulation.
+pub fn fig12c_battery_model() -> BatteryModel {
+    BatteryModel {
+        idle_rate: 1.0 / 100.0,
+        accel_rate: 0.0003,
+        ..BatteryModel::default()
+    }
+}
+
+/// Fig. 12c: the battery-safety module aborts the mission and lands the
+/// drone before the charge runs out.
+pub fn fig12c(seed: u64, horizon: f64) -> Scenario {
+    Scenario::new("fig12c-battery")
+        .with_mission(MissionSpec::Surveillance {
+            policy: TargetPolicySpec::RoundRobin,
+            targets: None,
+        })
+        .with_battery(fig12c_battery_model(), 1.0)
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// Sec. V-C: randomized planner queries comparing the unprotected
+/// fault-injected RRT* with the RTA-protected planner module.
+pub fn planner_rta(seed: u64, queries: usize) -> Scenario {
+    Scenario::new("planner-rta")
+        .with_mission(MissionSpec::PlannerQueries {
+            queries,
+            bug_probability: 0.3,
+        })
+        .with_seed(seed)
+}
+
+/// The aggressive jitter of the Sec. V-D stress campaign: up to three
+/// decision periods of delay, often.
+pub fn stress_jitter() -> JitterSpec {
+    JitterSpec {
+        probability: 0.2,
+        max_delay: Duration::from_millis(300),
+    }
+}
+
+/// Sec. V-D (scaled): a long randomized surveillance campaign, optionally
+/// with the scheduling jitter that produced the paper's 34 crashes.
+pub fn stress(seed: u64, horizon: f64, with_jitter: bool) -> Scenario {
+    let jitter = if with_jitter {
+        stress_jitter()
+    } else {
+        JitterSpec::none()
+    };
+    Scenario::new(if with_jitter {
+        "stress-jitter"
+    } else {
+        "stress-ideal"
+    })
+    .with_mission(MissionSpec::Surveillance {
+        policy: TargetPolicySpec::Random,
+        targets: None,
+    })
+    .with_jitter(jitter)
+    .with_horizon(horizon)
+    .with_seed(seed)
+}
+
+/// Remark 3.3: one cell of the Δ / φ_safer ablation — a protected circuit
+/// lap with an explicit decision period and hysteresis factor.
+pub fn ablation(delta_ms: u64, safer_factor: f64, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("ablation-d{delta_ms}-f{safer_factor}"))
+        .with_workspace(WorkspaceSpec::CornerCutCourse)
+        .with_mission(MissionSpec::CircuitLap)
+        .with_delta_mpr(Duration::from_millis(delta_ms))
+        .with_safer_factor(safer_factor)
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// The pinned scenario suite covering every experiment driver, used by the
+/// golden-trace regression tests.  Horizons are kept short so the whole
+/// suite stays inside the `cargo test` time budget.
+pub fn golden_suite() -> Vec<Scenario> {
+    vec![
+        fig5(AdvancedKind::Px4Like, 1, 60.0),
+        fig5(AdvancedKind::Learned { seed: 1 }, 1, 60.0),
+        fig12a(Protection::AcOnly, 3, 120.0),
+        fig12a(Protection::Rta, 3, 120.0),
+        fig12a(Protection::ScOnly, 3, 120.0),
+        fig12b(7, 2, 150.0),
+        fig12c(11, 150.0),
+        planner_rta(5, 20),
+        stress(13, 60.0, false),
+        stress(13, 60.0, true),
+        ablation(100, 1.5, 3, 120.0),
+        ablation(200, 2.0, 3, 120.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn golden_suite_covers_all_seven_drivers() {
+        let suite = golden_suite();
+        let prefixes: BTreeSet<&str> = suite
+            .iter()
+            .map(|s| s.name.split('-').next().unwrap())
+            .collect();
+        for driver in [
+            "fig5", "fig12a", "fig12b", "fig12c", "planner", "stress", "ablation",
+        ] {
+            assert!(prefixes.contains(driver), "missing driver {driver}");
+        }
+    }
+
+    #[test]
+    fn golden_suite_names_are_unique_and_file_friendly() {
+        let suite = golden_suite();
+        let names: BTreeSet<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate scenario names");
+        for name in names {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'),
+                "name {name:?} is not filesystem-friendly"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_scenarios_differ_only_in_jitter() {
+        let ideal = stress(13, 60.0, false);
+        let jittery = stress(13, 60.0, true);
+        assert!(!ideal.jitter.is_enabled());
+        assert!(jittery.jitter.is_enabled());
+        assert_eq!(ideal.seed, jittery.seed);
+        assert_eq!(ideal.mission, jittery.mission);
+    }
+}

@@ -1,0 +1,218 @@
+//! Golden-trace regression: snapshot a scenario's behavioural digest to a
+//! compact text file and verify later runs against it.
+//!
+//! A golden file is a serialised [`RunRecord`] — the scenario's digest plus
+//! a handful of human-auditable summary statistics (the same compact record
+//! the campaign engine aggregates).  [`verify_against_golden`] re-runs the
+//! scenario and compares; any drift in the executor schedule, the simulated
+//! physics, a controller, an oracle or the RNG streams shows up as a digest
+//! mismatch.  Regenerate snapshots by running the golden tests with
+//! `SOTER_BLESS=1` in the environment.
+
+use crate::campaign::RunRecord;
+use crate::runner::run_scenario;
+use crate::spec::Scenario;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The environment variable that switches verification into re-blessing.
+pub const BLESS_ENV: &str = "SOTER_BLESS";
+
+/// Serialises a record to the `key = value` text format stored under
+/// `tests/golden/`.
+pub fn record_to_text(record: &RunRecord) -> String {
+    format!(
+        "scenario = {}\nseed = {}\ndigest = {:#018x}\nsafety_violations = {}\n\
+         invariant_violations = {}\nmode_switches = {}\ntargets_reached = {}\n\
+         completed = {}\n",
+        record.scenario,
+        record.seed,
+        record.digest,
+        record.safety_violations,
+        record.invariant_violations,
+        record.mode_switches,
+        record.targets_reached,
+        record.completed
+    )
+}
+
+/// Parses the text format produced by [`record_to_text`].
+pub fn record_from_text(text: &str) -> Result<RunRecord, GoldenError> {
+    let field = |key: &str| -> Result<String, GoldenError> {
+        text.lines()
+            .find_map(|line| {
+                let (k, v) = line.split_once('=')?;
+                (k.trim() == key).then(|| v.trim().to_string())
+            })
+            .ok_or_else(|| GoldenError::Parse(format!("missing field `{key}`")))
+    };
+    let parse_usize = |key: &str, v: String| {
+        v.parse::<usize>()
+            .map_err(|_| GoldenError::Parse(format!("field `{key}` is not an integer: {v}")))
+    };
+    let digest_text = field("digest")?;
+    let digest = digest_text
+        .strip_prefix("0x")
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| GoldenError::Parse(format!("bad digest: {digest_text}")))?;
+    Ok(RunRecord {
+        scenario: field("scenario")?,
+        seed: field("seed")?
+            .parse()
+            .map_err(|_| GoldenError::Parse("bad seed".into()))?,
+        digest,
+        safety_violations: parse_usize("safety_violations", field("safety_violations")?)?,
+        invariant_violations: parse_usize("invariant_violations", field("invariant_violations")?)?,
+        mode_switches: parse_usize("mode_switches", field("mode_switches")?)?,
+        targets_reached: parse_usize("targets_reached", field("targets_reached")?)?,
+        completed: field("completed")? == "true",
+    })
+}
+
+/// Errors from golden-trace verification.
+#[derive(Debug)]
+pub enum GoldenError {
+    /// No snapshot exists for the scenario (run with `SOTER_BLESS=1` to
+    /// create it).
+    Missing(PathBuf),
+    /// The snapshot file could not be read or written.
+    Io(std::io::Error),
+    /// The snapshot file is malformed.
+    Parse(String),
+    /// The scenario's behaviour diverged from the snapshot.
+    Mismatch {
+        /// What the snapshot recorded.
+        expected: Box<RunRecord>,
+        /// What the run produced.
+        actual: Box<RunRecord>,
+    },
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Missing(path) => write!(
+                f,
+                "no golden snapshot at {} (re-run with {BLESS_ENV}=1 to create it)",
+                path.display()
+            ),
+            GoldenError::Io(e) => write!(f, "golden snapshot I/O error: {e}"),
+            GoldenError::Parse(msg) => write!(f, "malformed golden snapshot: {msg}"),
+            GoldenError::Mismatch { expected, actual } => write!(
+                f,
+                "golden mismatch for `{}` (seed {}):\n  expected: {:?}\n  actual:   {:?}\n\
+                 (if the change is intentional, re-bless with {BLESS_ENV}=1)",
+                expected.scenario, expected.seed, expected, actual
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+impl From<std::io::Error> for GoldenError {
+    fn from(e: std::io::Error) -> Self {
+        GoldenError::Io(e)
+    }
+}
+
+/// The snapshot path for a scenario within a golden directory.
+pub fn golden_path(dir: &Path, scenario: &Scenario) -> PathBuf {
+    dir.join(format!("{}-s{}.golden", scenario.name, scenario.seed))
+}
+
+/// Runs the scenario and writes (or overwrites) its snapshot.
+pub fn bless(scenario: &Scenario, dir: &Path) -> Result<RunRecord, GoldenError> {
+    let record = RunRecord::from_outcome(&run_scenario(scenario));
+    fs::create_dir_all(dir)?;
+    fs::write(golden_path(dir, scenario), record_to_text(&record))?;
+    Ok(record)
+}
+
+/// Runs the scenario and compares the result with its snapshot under `dir`.
+///
+/// When the [`BLESS_ENV`] environment variable is set (to anything other
+/// than `0` or the empty string), the snapshot is rewritten instead and the
+/// fresh record is returned.
+pub fn verify_against_golden(scenario: &Scenario, dir: &Path) -> Result<RunRecord, GoldenError> {
+    let blessing = std::env::var(BLESS_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if blessing {
+        return bless(scenario, dir);
+    }
+    let path = golden_path(dir, scenario);
+    if !path.exists() {
+        return Err(GoldenError::Missing(path));
+    }
+    let expected = record_from_text(&fs::read_to_string(&path)?)?;
+    let actual = RunRecord::from_outcome(&run_scenario(scenario));
+    if expected == actual {
+        Ok(actual)
+    } else {
+        Err(GoldenError::Mismatch {
+            expected: Box::new(expected),
+            actual: Box::new(actual),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            scenario: "fig12a-rta".into(),
+            seed: 3,
+            digest: 0x0123_4567_89ab_cdef,
+            safety_violations: 0,
+            invariant_violations: 0,
+            mode_switches: 7,
+            targets_reached: 4,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let record = sample_record();
+        let parsed = record_from_text(&record_to_text(&record)).unwrap();
+        assert_eq!(record, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_malformed_fields() {
+        assert!(matches!(
+            record_from_text("scenario = x\n"),
+            Err(GoldenError::Parse(_))
+        ));
+        let bad_digest = record_to_text(&sample_record()).replace("0x", "zz");
+        assert!(matches!(
+            record_from_text(&bad_digest),
+            Err(GoldenError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn golden_path_is_keyed_by_name_and_seed() {
+        let scenario = Scenario::new("fig12a-rta").with_seed(3);
+        let path = golden_path(Path::new("tests/golden"), &scenario);
+        assert_eq!(path, Path::new("tests/golden").join("fig12a-rta-s3.golden"));
+    }
+
+    #[test]
+    fn mismatch_display_mentions_blessing() {
+        let expected = sample_record();
+        let mut actual = sample_record();
+        actual.digest ^= 1;
+        let err = GoldenError::Mismatch {
+            expected: Box::new(expected),
+            actual: Box::new(actual),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("SOTER_BLESS"));
+        assert!(msg.contains("fig12a-rta"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # soter-scenarios — declarative missions, campaigns and golden traces
+//!
+//! The scenario engine of the SOTER reproduction.  Where `soter-drone`
+//! assembles the paper's software stacks, this crate makes *workloads*
+//! first-class values:
+//!
+//! * [`spec`] — the declarative [`Scenario`](spec::Scenario): workspace
+//!   geometry, mission profile, protection level, advanced-controller /
+//!   fault-injection choice, wind and battery models, scheduling jitter,
+//!   horizon and seed, compiled down to the existing `DroneStackConfig`
+//!   machinery,
+//! * [`runner`] — executes one scenario and summarises it as a
+//!   [`ScenarioOutcome`](runner::ScenarioOutcome) with a deterministic
+//!   behavioural digest,
+//! * [`catalog`] — the paper's seven experiment drivers as named scenarios
+//!   (Fig. 5, Fig. 12a–c, Sec. V-C, Sec. V-D, Remark 3.3),
+//! * [`campaign`] — fans a scenario × seed matrix out across a std-thread
+//!   pool with schedule-independent, deterministic per-run results and
+//!   aggregates a [`CampaignReport`](campaign::CampaignReport),
+//! * [`golden`] — golden-trace regression: snapshot any scenario's digest
+//!   under `tests/golden/` and verify every later run against it,
+//! * [`experiments`] — the pre-refactor driver entry points, kept as thin
+//!   wrappers over the catalog for the benches, examples and tests.
+//!
+//! ## Writing a scenario
+//!
+//! ```
+//! use soter_scenarios::spec::{MissionSpec, Scenario, TargetPolicySpec};
+//! use soter_scenarios::campaign::Campaign;
+//!
+//! let mission = Scenario::new("my-mission")
+//!     .with_mission(MissionSpec::Surveillance {
+//!         policy: TargetPolicySpec::RoundRobin,
+//!         targets: Some(1),
+//!     })
+//!     .with_horizon(60.0);
+//! // Fan it out across two seeds on two workers:
+//! let report = Campaign::new(vec![mission])
+//!     .with_seeds([1, 2])
+//!     .with_workers(2)
+//!     .run();
+//! assert_eq!(report.runs(), 2);
+//! assert_eq!(report.total_safety_violations(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod catalog;
+pub mod experiments;
+pub mod golden;
+pub mod runner;
+pub mod spec;
+
+pub use campaign::{Campaign, CampaignReport, RunRecord};
+pub use golden::{bless, verify_against_golden, GoldenError};
+pub use runner::{run_scenario, RunOutcome, ScenarioOutcome};
+pub use spec::{JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec};

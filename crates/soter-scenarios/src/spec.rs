@@ -1,0 +1,441 @@
+//! The declarative [`Scenario`] specification.
+//!
+//! A scenario is a plain-data description of one mission of the SOTER drone
+//! case study: workspace geometry, mission profile, protection level,
+//! advanced-controller choice (including fault injection), environment
+//! models (wind, battery), scheduling jitter, horizon and seed.  It compiles
+//! down to the existing [`DroneStackConfig`] / stack-building machinery of
+//! `soter-drone`, so anything expressible with the hand-written experiment
+//! drivers is expressible as a `Scenario` — and conversely, every driver of
+//! the paper's evaluation is now a named scenario in [`crate::catalog`].
+//!
+//! Scenarios are `Clone + Send + Sync` values: the [`crate::campaign`]
+//! runner fans them out across seeds on a thread pool, and the
+//! [`crate::golden`] facility pins their digests as regression tests.
+
+use serde::{Deserialize, Serialize};
+use soter_core::time::Duration;
+use soter_drone::stack::{AdvancedKind, DroneStackConfig, Protection};
+use soter_plan::surveillance::TargetPolicy;
+use soter_runtime::jitter::JitterModel;
+use soter_sim::battery::BatteryModel;
+use soter_sim::geometry::Aabb;
+use soter_sim::vec3::Vec3;
+use soter_sim::wind::WindModel;
+use soter_sim::world::Workspace;
+
+/// Workspace geometry of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkspaceSpec {
+    /// The `g1..g4` corner-cut course of Fig. 5 / Fig. 12a.
+    CornerCutCourse,
+    /// The city-block surveillance workspace of Fig. 12b-c / Sec. V-D.
+    CityBlock,
+    /// A custom axis-aligned workspace.
+    Custom {
+        /// Two opposite corners of the workspace bounds.
+        bounds: (Vec3, Vec3),
+        /// Obstacles, each as two opposite corners.
+        obstacles: Vec<(Vec3, Vec3)>,
+        /// Robot collision radius (metres).
+        robot_radius: f64,
+        /// Surveillance/circuit waypoints; must not be empty (the first
+        /// point doubles as the default start position).
+        surveillance_points: Vec<Vec3>,
+    },
+}
+
+impl WorkspaceSpec {
+    /// Materialises the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom spec has no surveillance points.
+    pub fn build(&self) -> Workspace {
+        match self {
+            WorkspaceSpec::CornerCutCourse => Workspace::corner_cut_course(),
+            WorkspaceSpec::CityBlock => Workspace::city_block(),
+            WorkspaceSpec::Custom {
+                bounds,
+                obstacles,
+                robot_radius,
+                surveillance_points,
+            } => {
+                assert!(
+                    !surveillance_points.is_empty(),
+                    "a custom workspace needs at least one surveillance point"
+                );
+                let mut ws = Workspace::new(
+                    Aabb::new(bounds.0, bounds.1),
+                    obstacles.iter().map(|(a, b)| Aabb::new(*a, *b)).collect(),
+                    *robot_radius,
+                );
+                for p in surveillance_points {
+                    ws.add_surveillance_point(*p);
+                }
+                ws
+            }
+        }
+    }
+}
+
+/// How surveillance targets are chosen (seedless mirror of
+/// [`TargetPolicy`]; the RNG seed comes from the scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetPolicySpec {
+    /// Visit the workspace's surveillance points in a fixed cyclic order.
+    RoundRobin,
+    /// Uniformly random free positions (the Sec. V-D workload).
+    Random,
+}
+
+impl TargetPolicySpec {
+    /// Instantiates the policy with the scenario seed.
+    pub fn build(&self, seed: u64) -> TargetPolicy {
+        match self {
+            TargetPolicySpec::RoundRobin => TargetPolicy::RoundRobin,
+            TargetPolicySpec::Random => TargetPolicy::Random { seed },
+        }
+    }
+}
+
+/// The mission profile of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MissionSpec {
+    /// Fly the workspace's waypoint circuit continuously until the horizon
+    /// (the Fig. 5 workload — no completion target).
+    CircuitLoop,
+    /// Fly one lap of the waypoint circuit; the mission completes when every
+    /// waypoint has been reached (the Fig. 12a / ablation workload).
+    CircuitLap,
+    /// The full surveillance stack of Fig. 8: application layer + planner
+    /// module + battery module + motion primitive.
+    Surveillance {
+        /// Target-selection policy.
+        policy: TargetPolicySpec,
+        /// Stop after this many targets (`None` = run to the horizon).
+        targets: Option<i64>,
+    },
+    /// Offline planner fault-injection queries (the Sec. V-C workload): no
+    /// executor run, just randomized plan queries through the planner RTA
+    /// decision logic.
+    ///
+    /// This mission type consumes only the scenario's `workspace`, `seed`
+    /// and the fields below; executor-level knobs (`protection`, `advanced`,
+    /// `wind`, `battery_model`, `jitter`, `horizon`, the Δ periods and
+    /// `safer_factor`) have no effect because no stack is ever built — both
+    /// the unprotected baseline and the DM-protected path are always
+    /// evaluated side by side, as in the paper's Sec. V-C experiment.
+    PlannerQueries {
+        /// Number of start/goal query pairs.  Sampling is bounded: a
+        /// workspace whose free space cannot yield well-separated pairs
+        /// produces fewer queries (reported as such) rather than hanging.
+        queries: usize,
+        /// Per-query probability of the injected RRT* bug firing.
+        bug_probability: f64,
+    },
+}
+
+/// Scheduling-jitter specification.  The sampler seed is derived from the
+/// scenario seed at run time, so re-seeding a scenario re-seeds its jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSpec {
+    /// Probability that a given node firing is delayed.
+    pub probability: f64,
+    /// Maximum delay applied to a delayed firing.
+    pub max_delay: Duration,
+}
+
+impl JitterSpec {
+    /// No jitter — the ideal calendar.
+    pub fn none() -> Self {
+        JitterSpec {
+            probability: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Whether any firing can be delayed.
+    pub fn is_enabled(&self) -> bool {
+        self.probability > 0.0 && !self.max_delay.is_zero()
+    }
+
+    /// Instantiates the executor jitter model for a scenario seed.  The
+    /// offset keeps the jitter stream decorrelated from the plant/planner
+    /// streams that consume the seed directly (and matches the seeding the
+    /// pre-refactor stress driver used).
+    pub fn model(&self, scenario_seed: u64) -> JitterModel {
+        if self.is_enabled() {
+            JitterModel::new(
+                self.probability,
+                self.max_delay,
+                scenario_seed.wrapping_add(3),
+            )
+        } else {
+            JitterModel::none()
+        }
+    }
+}
+
+/// A declarative mission scenario.
+///
+/// Construct one with [`Scenario::new`] and the `with_*` builder methods, or
+/// take a named one from [`crate::catalog`] and re-seed it:
+///
+/// ```
+/// use soter_scenarios::catalog;
+/// use soter_scenarios::runner::run_scenario;
+///
+/// let scenario = catalog::fig12a(soter_drone::stack::Protection::Rta, 3, 120.0)
+///     .with_seed(42);
+/// let outcome = run_scenario(&scenario);
+/// assert_eq!(outcome.invariant_violations, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name; also keys the golden-trace files, so it should be
+    /// filesystem-friendly (lowercase, dashes).
+    pub name: String,
+    /// Workspace geometry.
+    pub workspace: WorkspaceSpec,
+    /// Mission profile.
+    pub mission: MissionSpec,
+    /// Protection level (RTA vs the unprotected baselines).
+    pub protection: Protection,
+    /// Advanced motion-primitive choice, including fault injection.
+    pub advanced: AdvancedKind,
+    /// Wind/disturbance model of the plant.
+    pub wind: WindModel,
+    /// Battery discharge model.
+    pub battery_model: BatteryModel,
+    /// Initial battery charge fraction.
+    pub initial_battery: f64,
+    /// Whether the full stack's advanced planner is the fault-injected RRT*.
+    pub buggy_planner: bool,
+    /// Scheduling jitter applied to node firings.
+    pub jitter: JitterSpec,
+    /// Simulated-time horizon (seconds).
+    pub horizon: f64,
+    /// Decision period Δ of the motion-primitive module.
+    pub delta_mpr: Duration,
+    /// Decision period Δ of the battery-safety module.
+    pub delta_bat: Duration,
+    /// Decision period Δ of the planner module.
+    pub delta_plan: Duration,
+    /// φ_safer hysteresis factor of the motion-primitive oracle.
+    pub safer_factor: f64,
+    /// Start position override (`None` = first surveillance point).
+    pub start: Option<Vec3>,
+    /// Master seed: sensor noise, planners, faults, target policy and (with
+    /// a fixed offset) scheduling jitter all derive from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the default stack parameters: city-block workspace,
+    /// RTA-protected PX4-like controller on a circuit loop, calm wind, no
+    /// jitter, 60 s horizon, seed 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        let defaults = DroneStackConfig::default();
+        Scenario {
+            name: name.into(),
+            workspace: WorkspaceSpec::CityBlock,
+            mission: MissionSpec::CircuitLoop,
+            protection: Protection::Rta,
+            advanced: AdvancedKind::Px4Like,
+            wind: WindModel::Calm,
+            battery_model: defaults.battery_model,
+            initial_battery: defaults.initial_battery,
+            buggy_planner: false,
+            jitter: JitterSpec::none(),
+            horizon: 60.0,
+            delta_mpr: defaults.delta_mpr,
+            delta_bat: defaults.delta_bat,
+            delta_plan: defaults.delta_plan,
+            safer_factor: defaults.safer_factor,
+            start: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the workspace.
+    pub fn with_workspace(mut self, workspace: WorkspaceSpec) -> Self {
+        self.workspace = workspace;
+        self
+    }
+
+    /// Sets the mission profile.
+    pub fn with_mission(mut self, mission: MissionSpec) -> Self {
+        self.mission = mission;
+        self
+    }
+
+    /// Sets the protection level.
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Sets the advanced controller (including fault injection).
+    pub fn with_advanced(mut self, advanced: AdvancedKind) -> Self {
+        self.advanced = advanced;
+        self
+    }
+
+    /// Sets the wind model.
+    pub fn with_wind(mut self, wind: WindModel) -> Self {
+        self.wind = wind;
+        self
+    }
+
+    /// Sets the battery model and initial charge.
+    pub fn with_battery(mut self, model: BatteryModel, initial: f64) -> Self {
+        self.battery_model = model;
+        self.initial_battery = initial;
+        self
+    }
+
+    /// Selects the fault-injected RRT* as the full stack's advanced planner.
+    pub fn with_buggy_planner(mut self, buggy: bool) -> Self {
+        self.buggy_planner = buggy;
+        self
+    }
+
+    /// Sets the scheduling-jitter model.
+    pub fn with_jitter(mut self, jitter: JitterSpec) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the simulated-time horizon (seconds).
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the motion-primitive decision period Δ.
+    pub fn with_delta_mpr(mut self, delta: Duration) -> Self {
+        self.delta_mpr = delta;
+        self
+    }
+
+    /// Sets the φ_safer hysteresis factor.
+    pub fn with_safer_factor(mut self, factor: f64) -> Self {
+        self.safer_factor = factor;
+        self
+    }
+
+    /// Sets the start position override.
+    pub fn with_start(mut self, start: Vec3) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Re-seeds the scenario (the campaign runner uses this to fan one
+    /// scenario out across a seed range).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Compiles the scenario into the stack configuration the existing
+    /// `soter-drone` builders consume.
+    pub fn stack_config(&self, workspace: &Workspace) -> DroneStackConfig {
+        DroneStackConfig {
+            workspace: workspace.clone(),
+            protection: self.protection,
+            advanced: self.advanced,
+            start: self
+                .start
+                .unwrap_or_else(|| workspace.surveillance_points()[0]),
+            initial_battery: self.initial_battery,
+            battery_model: self.battery_model,
+            delta_mpr: self.delta_mpr,
+            delta_bat: self.delta_bat,
+            delta_plan: self.delta_plan,
+            safer_factor: self.safer_factor,
+            buggy_planner: self.buggy_planner,
+            wind: self.wind,
+            seed: self.seed,
+            ..DroneStackConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = Scenario::new("custom")
+            .with_workspace(WorkspaceSpec::CornerCutCourse)
+            .with_mission(MissionSpec::CircuitLap)
+            .with_protection(Protection::ScOnly)
+            .with_horizon(12.0)
+            .with_seed(9);
+        assert_eq!(s.name, "custom");
+        assert_eq!(s.protection, Protection::ScOnly);
+        assert_eq!(s.horizon, 12.0);
+        assert_eq!(s.seed, 9);
+        let re_seeded = s.clone().with_seed(10);
+        assert_eq!(re_seeded.name, s.name);
+        assert_ne!(re_seeded.seed, s.seed);
+    }
+
+    #[test]
+    fn custom_workspace_builds() {
+        let spec = WorkspaceSpec::Custom {
+            bounds: (Vec3::ZERO, Vec3::new(10.0, 10.0, 5.0)),
+            obstacles: vec![(Vec3::new(4.0, 4.0, 0.0), Vec3::new(6.0, 6.0, 5.0))],
+            robot_radius: 0.3,
+            surveillance_points: vec![Vec3::new(1.0, 1.0, 2.0), Vec3::new(9.0, 9.0, 2.0)],
+        };
+        let ws = spec.build();
+        assert_eq!(ws.obstacles().len(), 1);
+        assert_eq!(ws.surveillance_points().len(), 2);
+        assert!(!ws.is_free(Vec3::new(5.0, 5.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "surveillance point")]
+    fn custom_workspace_without_points_panics() {
+        WorkspaceSpec::Custom {
+            bounds: (Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)),
+            obstacles: vec![],
+            robot_radius: 0.1,
+            surveillance_points: vec![],
+        }
+        .build();
+    }
+
+    #[test]
+    fn jitter_spec_derives_seed_from_scenario() {
+        let spec = JitterSpec {
+            probability: 0.2,
+            max_delay: Duration::from_millis(300),
+        };
+        assert!(spec.is_enabled());
+        assert_eq!(
+            spec.model(13),
+            JitterModel::new(0.2, Duration::from_millis(300), 16)
+        );
+        assert_eq!(JitterSpec::none().model(13), JitterModel::none());
+    }
+
+    #[test]
+    fn stack_config_mirrors_scenario_fields() {
+        let s = Scenario::new("cfg")
+            .with_workspace(WorkspaceSpec::CornerCutCourse)
+            .with_safer_factor(2.0)
+            .with_seed(5);
+        let ws = s.workspace.build();
+        let cfg = s.stack_config(&ws);
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.safer_factor, 2.0);
+        assert_eq!(cfg.start, ws.surveillance_points()[0]);
+        let with_start = s.with_start(Vec3::new(1.0, 2.0, 3.0));
+        let cfg = with_start.stack_config(&ws);
+        assert_eq!(cfg.start, Vec3::new(1.0, 2.0, 3.0));
+    }
+}

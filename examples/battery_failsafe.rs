@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example battery_failsafe`
 
-use soter::drone::experiments::fig12c_battery;
+use soter::scenarios::experiments::fig12c_battery;
 
 fn main() {
     let report = fig12c_battery(11, 300.0);

@@ -1,0 +1,56 @@
+//! Writing a scenario from scratch: a custom workspace, gusty wind and
+//! mild scheduling jitter, fanned out across four seeds with the campaign
+//! engine.  See the "Writing a scenario" section of the README.
+//!
+//! Run with: `cargo run --release --example custom_scenario`
+
+use soter::scenarios::campaign::Campaign;
+use soter::scenarios::spec::{JitterSpec, MissionSpec, Scenario, WorkspaceSpec};
+use soter::sim::vec3::Vec3;
+use soter::sim::wind::WindModel;
+use soter_core::time::Duration;
+
+fn main() {
+    // A 30 m x 30 m yard with two pillars, patrolled along a square circuit.
+    let workspace = WorkspaceSpec::Custom {
+        bounds: (Vec3::ZERO, Vec3::new(30.0, 30.0, 12.0)),
+        obstacles: vec![
+            (Vec3::new(12.0, 6.0, 0.0), Vec3::new(14.0, 8.0, 12.0)),
+            (Vec3::new(18.0, 20.0, 0.0), Vec3::new(20.0, 22.0, 12.0)),
+        ],
+        robot_radius: 0.3,
+        surveillance_points: vec![
+            Vec3::new(4.0, 4.0, 3.0),
+            Vec3::new(26.0, 4.0, 3.0),
+            Vec3::new(26.0, 26.0, 3.0),
+            Vec3::new(4.0, 26.0, 3.0),
+        ],
+    };
+    let scenario = Scenario::new("two-pillars")
+        .with_workspace(workspace)
+        .with_mission(MissionSpec::CircuitLap)
+        .with_wind(WindModel::Gusty { magnitude: 0.2 })
+        .with_jitter(JitterSpec {
+            probability: 0.02,
+            max_delay: Duration::from_millis(20),
+        })
+        .with_horizon(90.0);
+
+    // One struct, four seeds, four workers.
+    let report = Campaign::new(vec![scenario])
+        .with_seeds([1, 2, 3, 4])
+        .with_workers(4)
+        .run();
+    print!("{}", report.summary());
+    for record in &report.records {
+        println!(
+            "seed {}: digest {:#018x}, {} mode switches, completed = {}",
+            record.seed, record.digest, record.mode_switches, record.completed
+        );
+    }
+    assert_eq!(
+        report.total_invariant_violations(),
+        0,
+        "Theorem 3.1 must hold on every seed"
+    );
+}

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example delta_tuning`
 
-use soter::drone::experiments::ablation_delta;
+use soter::scenarios::experiments::ablation_delta;
 
 fn main() {
     let rows = ablation_delta(&[50, 100, 200, 400], &[1.0, 1.5, 2.5], 3, 240.0);

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example fault_injection_planner`
 
-use soter::drone::experiments::planner_rta;
+use soter::scenarios::experiments::planner_rta;
 
 fn main() {
     let report = planner_rta(23, 60);

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example surveillance_mission`
 
-use soter::drone::experiments::fig12b_surveillance;
+use soter::scenarios::experiments::fig12b_surveillance;
 
 fn main() {
     let report = fig12b_surveillance(7, 6, 400.0);

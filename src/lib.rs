@@ -12,7 +12,8 @@
 //! | [`reach`] (`soter-reach`) | forward/backward reachability, time-to-failure, operating regions |
 //! | [`ctrl`] (`soter-ctrl`) | advanced and certified-safe motion primitives, fault injection |
 //! | [`plan`] (`soter-plan`) | RRT*, buggy RRT*, grid A*, plan validation, surveillance protocol |
-//! | [`drone`] (`soter-drone`) | the paper's drone surveillance case study and all experiment drivers |
+//! | [`drone`] (`soter-drone`) | the paper's drone surveillance case study: stacks, nodes, oracles, reports |
+//! | [`scenarios`] (`soter-scenarios`) | declarative mission scenarios, campaign fan-out, golden-trace regression, experiment drivers |
 //!
 //! ## Quickstart
 //!
@@ -78,6 +79,7 @@ pub use soter_drone as drone;
 pub use soter_plan as plan;
 pub use soter_reach as reach;
 pub use soter_runtime as runtime;
+pub use soter_scenarios as scenarios;
 pub use soter_sim as sim;
 
 #[cfg(test)]
@@ -93,5 +95,6 @@ mod tests {
         let _ = crate::plan::GridAstar::default();
         let _ = crate::runtime::JitterModel::none();
         let _ = crate::drone::DroneStackConfig::default();
+        let _ = crate::scenarios::Scenario::new("wired");
     }
 }

@@ -1,0 +1,93 @@
+//! Campaign engine integration tests: schedule-independent determinism of
+//! the parallel fan-out, and the CI campaign-smoke matrix (which writes the
+//! summary artifact the CI job uploads).
+
+use soter::drone::stack::{AdvancedKind, Protection};
+use soter::scenarios::campaign::Campaign;
+use soter::scenarios::catalog;
+use soter::scenarios::spec::Scenario;
+
+/// Four scenario families with short horizons — enough to keep a ≥ 32-run
+/// matrix inside the `cargo test` time budget.
+fn matrix() -> Vec<Scenario> {
+    vec![
+        catalog::fig12a(Protection::Rta, 3, 25.0),
+        catalog::fig12a(Protection::ScOnly, 3, 25.0),
+        catalog::fig5(AdvancedKind::Px4Like, 1, 20.0),
+        catalog::planner_rta(5, 6),
+    ]
+}
+
+/// The acceptance gate of the campaign engine: an 8-worker campaign of
+/// ≥ 32 scenario-seed runs completes with per-run results *identical* to
+/// sequential execution — same digests, same statistics, same order.
+#[test]
+fn eight_worker_campaign_matches_sequential_execution() {
+    let seeds: Vec<u64> = (1..=8).collect();
+    let sequential = Campaign::new(matrix())
+        .with_seeds(seeds.clone())
+        .with_workers(1)
+        .run();
+    let parallel = Campaign::new(matrix())
+        .with_seeds(seeds)
+        .with_workers(8)
+        .run();
+    assert!(
+        sequential.runs() >= 32,
+        "the acceptance matrix must cover at least 32 runs, got {}",
+        sequential.runs()
+    );
+    assert_eq!(parallel.runs(), sequential.runs());
+    // RunRecord includes the behavioural digest, so this is byte-identical
+    // equality of every per-run result, in matrix order.
+    assert_eq!(sequential.records, parallel.records);
+    assert_eq!(parallel.workers, 8);
+}
+
+/// The same scenario + seed digests identically whether it runs alone on
+/// the calling thread or inside a worker pool (no ambient state leaks into
+/// the runs).
+#[test]
+fn single_run_digest_matches_campaign_digest() {
+    let scenario = catalog::fig12a(Protection::Rta, 3, 25.0).with_seed(5);
+    let direct = soter::scenarios::run_scenario(&scenario);
+    let campaign = Campaign::new(vec![scenario]).with_workers(8).run();
+    assert_eq!(campaign.records.len(), 1);
+    assert_eq!(campaign.records[0].digest, direct.digest);
+    assert_eq!(campaign.records[0].seed, 5);
+}
+
+/// The CI campaign-smoke job: a 3-scenario × 4-seed matrix, with the
+/// summary written to `target/campaign-report.txt` (override the location
+/// with the `CAMPAIGN_REPORT` environment variable) for artifact upload.
+#[test]
+fn campaign_smoke_matrix_is_clean_and_writes_the_report() {
+    let scenarios = vec![
+        catalog::fig12a(Protection::Rta, 3, 25.0),
+        catalog::fig12a(Protection::ScOnly, 3, 25.0),
+        catalog::planner_rta(5, 6),
+    ];
+    let report = Campaign::new(scenarios)
+        .with_seeds([1, 2, 3, 4])
+        .with_workers(4)
+        .run();
+    assert_eq!(report.runs(), 12);
+    // Every scenario in the smoke matrix is protected; the paper's claim is
+    // that protection makes the whole matrix violation-free.
+    assert_eq!(report.total_safety_violations(), 0, "{}", report.summary());
+    assert_eq!(
+        report.total_invariant_violations(),
+        0,
+        "{}",
+        report.summary()
+    );
+    let stats = report.per_scenario();
+    assert_eq!(stats.len(), 3);
+    assert!(stats.iter().all(|s| s.runs == 4));
+    let path = std::env::var("CAMPAIGN_REPORT")
+        .unwrap_or_else(|_| format!("{}/target/campaign-report.txt", env!("CARGO_MANIFEST_DIR")));
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).expect("report directory");
+    }
+    std::fs::write(&path, report.summary()).expect("write campaign report");
+}

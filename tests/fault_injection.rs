@@ -2,9 +2,9 @@
 //! scheduling jitter, and systematic exploration of interleavings.
 
 use soter::core::prelude::*;
-use soter::drone::experiments::{circuit_lap, run_stack};
 use soter::drone::stack::{build_circuit_stack, AdvancedKind, DroneStackConfig, Protection};
 use soter::runtime::{JitterModel, SystematicTester};
+use soter::scenarios::experiments::{circuit_lap, run_stack};
 use soter::sim::trajectory::MissionMetrics;
 use soter::sim::world::Workspace;
 use soter_ctrl::fault::FaultSpec;

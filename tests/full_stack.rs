@@ -2,11 +2,11 @@
 //! stacks built from `soter-drone` executed by `soter-runtime` over the
 //! `soter-sim` substrate, asserting the paper's qualitative claims.
 
-use soter::drone::experiments::{
+use soter::drone::stack::{AdvancedKind, Protection};
+use soter::scenarios::experiments::{
     circuit_lap, fig12a_comparison, fig12b_surveillance, fig5_unprotected, planner_rta,
     stress_campaign,
 };
-use soter::drone::stack::{AdvancedKind, Protection};
 
 #[test]
 fn unprotected_aggressive_controller_is_unsafe() {

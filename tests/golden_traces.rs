@@ -1,0 +1,72 @@
+//! Golden-trace regression: every scenario in the pinned catalog suite is
+//! re-run and compared digest-for-digest against its snapshot under
+//! `tests/golden/`.  Any change to the executor schedule, the simulated
+//! physics, a controller, an oracle or an RNG stream shows up here.
+//!
+//! To regenerate the snapshots after an intentional behaviour change:
+//!
+//! ```text
+//! SOTER_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use soter::scenarios::catalog;
+use soter::scenarios::golden::{golden_path, verify_against_golden};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+#[test]
+fn golden_suite_matches_snapshots() {
+    let mut failures = Vec::new();
+    for scenario in catalog::golden_suite() {
+        match verify_against_golden(&scenario, golden_dir()) {
+            Ok(record) => {
+                // Sanity on the snapshot itself: the protected scenarios of
+                // the suite must have been snapshotted violation-free.
+                if scenario.name.starts_with("fig12a-rta") {
+                    assert_eq!(
+                        record.safety_violations, 0,
+                        "the blessed RTA lap must be collision-free"
+                    );
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", scenario.name)),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_snapshot_belongs_to_the_suite() {
+    // Orphaned snapshots are stale state: they verify nothing and mask
+    // renames.  Keep `tests/golden/` in lock-step with the catalog suite.
+    let expected: BTreeSet<String> = catalog::golden_suite()
+        .iter()
+        .map(|s| {
+            golden_path(golden_dir(), s)
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    let on_disk: BTreeSet<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists")
+        .filter_map(|entry| {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            name.ends_with(".golden").then_some(name)
+        })
+        .collect();
+    let orphans: Vec<&String> = on_disk.difference(&expected).collect();
+    assert!(
+        orphans.is_empty(),
+        "snapshots with no matching suite scenario: {orphans:?}"
+    );
+}

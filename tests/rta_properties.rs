@@ -1,6 +1,9 @@
 //! Property-based integration tests of the RTA formalism over randomized
-//! 1-D plants: Theorem 3.1 (the module invariant is inductive) and the
-//! compositionality of Theorem 4.1, checked through the real executor.
+//! 1-D plants — Theorem 3.1 (the module invariant is inductive) and the
+//! compositionality of Theorem 4.1, checked through the real executor —
+//! plus scenario-level properties over the full drone stack: across
+//! randomized scenarios an RTA-protected stack never records a φ_safe
+//! violation, while the unprotected buggy configurations do.
 
 use proptest::prelude::*;
 use soter::core::prelude::*;
@@ -139,6 +142,67 @@ proptest! {
             prop_assert!(monitor.is_clean(), "module {} violated its invariant", monitor.module());
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The paper's core claim as an executable invariant, at full-stack
+    /// scale: whatever the seed, the horizon and the decision period, an
+    /// RTA-protected circuit mission records zero φ_safe violations
+    /// (ground-truth collision episodes) and a clean Theorem 3.1 monitor.
+    #[test]
+    fn rta_protected_scenarios_never_violate_phi_safe(
+        seed in 0u64..10_000,
+        horizon_s in 15.0..30.0f64,
+        delta_ms in 80u64..160,
+    ) {
+        use soter::scenarios::spec::{MissionSpec, Scenario, WorkspaceSpec};
+        let scenario = Scenario::new("prop-protected")
+            .with_workspace(WorkspaceSpec::CornerCutCourse)
+            .with_mission(MissionSpec::CircuitLap)
+            .with_delta_mpr(Duration::from_millis(delta_ms))
+            .with_horizon(horizon_s)
+            .with_seed(seed);
+        let outcome = soter::scenarios::run_scenario(&scenario);
+        prop_assert_eq!(
+            outcome.safety_violations, 0,
+            "protected run with seed {} violated phi_safe", seed
+        );
+        prop_assert_eq!(
+            outcome.invariant_violations, 0,
+            "Theorem 3.1 monitor reported a violation at seed {}", seed
+        );
+    }
+}
+
+/// The unsafe half of the claim: fanning the *unprotected* buggy planner
+/// out across seeds produces at least one φ_safe violation (a colliding
+/// plan left standing), while the RTA-protected planner module blocks every
+/// one of them over the identical query workload.
+#[test]
+fn unprotected_buggy_planner_violates_phi_safe_at_least_once() {
+    use soter::scenarios::catalog;
+
+    // One pass over the seed fan-out: each outcome carries both the
+    // protected verdict (safety_violations) and the unprotected baseline
+    // count over the identical query workload.
+    let mut unprotected_colliding = 0usize;
+    let mut protected_colliding = 0usize;
+    for seed in [1u64, 2, 3, 4] {
+        let outcome = soter::scenarios::run_scenario(&catalog::planner_rta(5, 12).with_seed(seed));
+        assert_eq!(outcome.safety_violations, 0, "seed {seed}: {outcome:?}");
+        let report = outcome.planner.expect("planner report");
+        unprotected_colliding += report.unprotected_colliding_plans;
+        protected_colliding += report.protected_colliding_plans;
+    }
+    // The protected planner module blocks every injected bug...
+    assert_eq!(protected_colliding, 0);
+    // ...that the unprotected planner demonstrably produced.
+    assert!(
+        unprotected_colliding > 0,
+        "the buggy planner should emit at least one colliding plan across the seed fan-out"
+    );
 }
 
 #[test]
