@@ -1,0 +1,142 @@
+//! Bench + table for multi-drone airspaces: campaign throughput
+//! (runs/second) of an airspace matrix at 1, 4 and 8 workers, and the
+//! separation-check overhead a fleet decision module pays per oracle query
+//! as the peer count grows.
+//!
+//! Per-run results are deterministic regardless of the worker count
+//! (pinned by `tests/campaign.rs`), so the campaign rows measure pure
+//! work-stealing fan-out; on a single-core host the three rows coincide.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_drone::airspace::SeparationOracle;
+use soter_drone::stack::DroneStackConfig;
+use soter_drone::topics;
+use soter_reach::forward::ForwardReach;
+use soter_reach::peers::PeerSeparation;
+use soter_scenarios::campaign::Campaign;
+use soter_scenarios::catalog;
+use soter_scenarios::spec::Scenario;
+use soter_sim::dynamics::{DroneState, QuadrotorDynamics};
+use soter_sim::vec3::Vec3;
+use soter_sim::world::Workspace;
+use std::hint::black_box;
+
+use soter_core::rta::SafetyOracle;
+use soter_core::time::Duration;
+use soter_core::topic::TopicMap;
+
+/// A small airspace matrix: a 2-drone crossing and a 4-drone corridor,
+/// each with short horizons so one campaign stays well under a second per
+/// worker.
+fn matrix() -> Vec<Scenario> {
+    vec![
+        catalog::airspace_crossing(2, 21, 5.0),
+        catalog::airspace_corridor(4, 23, 4.0),
+    ]
+}
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Builds the fleet oracle of a drone with `peers` peers, plus the
+/// observation map it evaluates (own estimate + every peer estimate).
+fn oracle_with_peers(peers: usize) -> (SeparationOracle, TopicMap) {
+    let config = DroneStackConfig {
+        workspace: Workspace::corner_cut_course(),
+        ..DroneStackConfig::default()
+    };
+    let peer_topics: Vec<String> = (1..=peers)
+        .map(|j| format!("drone{j}/localPosition"))
+        .collect();
+    let reach = ForwardReach::new(
+        QuadrotorDynamics::default(),
+        config.plant_period.as_secs_f64(),
+        0.1,
+    );
+    let oracle = SeparationOracle::new(
+        "drone0",
+        config.mpr_oracle(),
+        peer_topics.clone(),
+        PeerSeparation::new(reach, 1.5),
+        config.safer_factor,
+        config.delta_mpr.as_secs_f64(),
+    );
+    let mut observed = TopicMap::new();
+    let own = DroneState {
+        position: Vec3::new(10.0, 3.0, 5.0),
+        velocity: Vec3::new(2.0, 0.0, 0.0),
+    };
+    observed.insert("drone0/localPosition", topics::state_to_value(&own));
+    for (j, topic) in peer_topics.iter().enumerate() {
+        let peer = DroneState {
+            position: Vec3::new(4.0 + 2.0 * j as f64, 14.0, 5.0),
+            velocity: Vec3::new(0.0, -1.5, 0.0),
+        };
+        observed.insert(topic.as_str(), topics::state_to_value(&peer));
+    }
+    (oracle, observed)
+}
+
+fn print_tables() {
+    println!("\n=== Airspace campaign throughput: 2 scenarios x 3 seeds ===");
+    println!(
+        "{:<10} {:>8} {:>14} {:>12}",
+        "workers", "runs", "wall clock", "runs/s"
+    );
+    for workers in [1, 4, 8] {
+        let report = Campaign::new(matrix())
+            .with_seeds(SEEDS)
+            .with_workers(workers)
+            .run();
+        println!(
+            "{:<10} {:>8} {:>12.2} s {:>12.1}",
+            workers,
+            report.runs(),
+            report.wall_clock,
+            report.runs_per_second()
+        );
+    }
+    println!("\n=== Separation-check overhead per DM query ===");
+    println!("{:<10} {:>16}", "peers", "ns/query");
+    for peers in [1usize, 3, 7] {
+        let (oracle, observed) = oracle_with_peers(peers);
+        let horizon = Duration::from_millis(200);
+        let iterations = 20_000u32;
+        let started = std::time::Instant::now();
+        for _ in 0..iterations {
+            black_box(oracle.may_leave_safe_within(black_box(&observed), horizon));
+        }
+        let nanos = started.elapsed().as_nanos() as f64 / iterations as f64;
+        println!("{:<10} {:>16.0}", peers, nanos);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("airspace");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        group.bench_function(format!("campaign_6_runs_{workers}_workers"), |b| {
+            b.iter(|| {
+                let report = Campaign::new(matrix())
+                    .with_seeds(SEEDS)
+                    .with_workers(workers)
+                    .run();
+                black_box(report.records.len())
+            })
+        });
+    }
+    for peers in [1usize, 3, 7] {
+        let (oracle, observed) = oracle_with_peers(peers);
+        group.bench_function(format!("separation_check_{peers}_peers"), |b| {
+            b.iter(|| {
+                black_box(
+                    oracle.may_leave_safe_within(black_box(&observed), Duration::from_millis(200)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -270,6 +270,57 @@ pub fn check_p3<P: PlantAbstraction>(
 /// Runs the full well-formedness analysis of a module against a plant
 /// abstraction.  P1a/P1b are re-validated structurally (they already held at
 /// build time), and P2a/P2b/P3 are discharged by sampling.
+///
+/// ```
+/// use soter_core::prelude::*;
+/// use soter_core::wellformed::check_module;
+///
+/// // A 1-D plant: φ_safe = |x| ≤ 10, φ_safer = |x| ≤ 5, speeds ≤ 1 m/s,
+/// // and a safe controller that drives x toward 0.
+/// struct LinePlant;
+/// impl PlantAbstraction for LinePlant {
+///     type State = f64;
+///     fn sample_safe(&self, n: usize, _seed: u64) -> Vec<f64> {
+///         (0..n).map(|i| -10.0 + 20.0 * i as f64 / (n.max(2) - 1) as f64).collect()
+///     }
+///     fn sample_safer(&self, n: usize, _seed: u64) -> Vec<f64> {
+///         (0..n).map(|i| -5.0 + 10.0 * i as f64 / (n.max(2) - 1) as f64).collect()
+///     }
+///     fn is_safe(&self, x: &f64) -> bool { x.abs() <= 10.0 }
+///     fn is_safer(&self, x: &f64) -> bool { x.abs() <= 5.0 }
+///     fn evolve_under_sc(&self, x: &f64, duration: f64) -> Vec<f64> {
+///         let (mut x, mut t, mut states) = (*x, 0.0, vec![*x]);
+///         while t < duration {
+///             x -= x.signum() * x.abs().min(0.1); // 1 m/s toward 0, 100 ms steps
+///             t += 0.1;
+///             states.push(x);
+///         }
+///         states
+///     }
+///     fn may_leave_safe_any_control(&self, x: &f64, horizon: f64) -> bool {
+///         x.abs() + horizon > 10.0 // worst case: 1 m/s straight outward
+///     }
+/// }
+/// # struct LineOracle;
+/// # impl SafetyOracle for LineOracle {
+/// #     fn is_safe(&self, o: &TopicMap) -> bool {
+/// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() <= 10.0).unwrap_or(false)
+/// #     }
+/// #     fn is_safer(&self, o: &TopicMap) -> bool {
+/// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(false)
+/// #     }
+/// #     fn may_leave_safe_within(&self, o: &TopicMap, h: Duration) -> bool {
+/// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() + h.as_secs_f64() > 10.0).unwrap_or(true)
+/// #     }
+/// # }
+/// # let node = |name: &str| FnNode::builder(name).subscribes(["state"]).publishes(["cmd"])
+/// #     .period(Duration::from_millis(100)).step(|_, _, _| {}).build();
+/// # let module = RtaModule::builder("line").advanced(node("ac")).safe(node("sc"))
+/// #     .delta(Duration::from_millis(100)).oracle(LineOracle).build().unwrap();
+///
+/// let report = check_module(&module, &LinePlant, &SamplingConfig::default());
+/// assert!(report.is_well_formed(), "{report}");
+/// ```
 pub fn check_module<P: PlantAbstraction>(
     module: &RtaModule,
     plant: &P,

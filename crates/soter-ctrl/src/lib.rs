@@ -17,7 +17,7 @@
 //!   controller used by the battery-safety module,
 //! * [`fault`] — fault injection wrappers used by the robustness
 //!   experiments,
-//! * [`reference`] — waypoint circuits and the figure-eight reference of
+//! * [`reference`](mod@reference) — waypoint circuits and the figure-eight reference of
 //!   the learned-controller experiment.
 
 #![forbid(unsafe_code)]

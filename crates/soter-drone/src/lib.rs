@@ -17,6 +17,9 @@
 //! * [`stack`] — stack assembly: the RTA-protected motion-primitive circuit
 //!   stack of Fig. 12a and the full surveillance stack of Fig. 8, each also
 //!   buildable in unprotected (AC-only) and SC-only configurations,
+//! * [`airspace`] — multi-drone airspace stacks: N scoped copies of the
+//!   circuit stack over one shared workspace, each decision module
+//!   enforcing the separation invariant φ_sep against peer reach-sets,
 //! * [`evidence`] — the `PlantAbstraction` used to discharge the
 //!   well-formedness conditions P2a/P2b/P3 for the motion-primitive module,
 //! * [`report`] — the result records the experiment drivers produce.
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod airspace;
 pub mod evidence;
 pub mod nodes;
 pub mod oracles;
@@ -37,5 +41,6 @@ pub mod report;
 pub mod stack;
 pub mod topics;
 
+pub use airspace::{build_airspace_stack, AirspaceStackConfig, DroneAgent};
 pub use plant::{PlantHandle, PlantNode};
 pub use stack::{DroneStackConfig, Protection, StackKind};

@@ -19,19 +19,24 @@
 //!   region (the Level-Set-Toolbox substitute) and the region operator
 //!   `R(φ, t)` used to derive `φ_safer`,
 //! * [`regions`] — classification of states into the operating regions of
-//!   Fig. 10 (unsafe / switching / recoverable / safer).
+//!   Fig. 10 (unsafe / switching / recoverable / safer),
+//! * [`peers`] — peer forward-reach sets as *dynamic* unsafe regions: the
+//!   multi-drone separation invariant φ_sep used by airspace decision
+//!   modules.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backward;
 pub mod forward;
 pub mod interval;
+pub mod peers;
 pub mod regions;
 pub mod ttf;
 
 pub use backward::ReachGrid;
 pub use forward::ForwardReach;
 pub use interval::Interval;
+pub use peers::PeerSeparation;
 pub use regions::{classify, OperatingRegion};
 pub use ttf::ObstacleTtf;

@@ -68,6 +68,11 @@ impl TraceHasher {
         self.write_u64(v.to_bits())
     }
 
+    /// Absorbs a `bool` (one byte, `0`/`1`).
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_u8(v as u8)
+    }
+
     /// Absorbs a string (length-prefixed, so `("ab", "c")` and
     /// `("a", "bc")` digest differently).
     pub fn write_str(&mut self, s: &str) -> &mut Self {

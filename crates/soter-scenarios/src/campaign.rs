@@ -1,27 +1,58 @@
-//! Campaign fan-out: run a scenario × seed matrix on a thread pool.
+//! Campaign fan-out: run a scenario × seed matrix on a work-stealing
+//! thread pool, streaming per-run records as they complete.
 //!
-//! A [`Campaign`] is a matrix of scenarios and seeds.  [`Campaign::run`]
-//! executes every (scenario, seed) job on `workers` std threads pulling
-//! from a shared atomic cursor; because each job is an independent,
+//! A [`Campaign`] is a matrix of scenarios and seeds.  Jobs are dealt
+//! round-robin into one deque per worker; a worker pops its own deque from
+//! the front and, when empty, *steals* from the back of a peer's deque, so
+//! a worker stuck on one long airspace run cannot strand the jobs dealt
+//! behind it (static chunking would).  Because each job is an independent,
 //! seed-deterministic simulation, the per-run results are identical
-//! whatever the schedule — the report's records always come back in matrix
-//! order, so an 8-worker campaign is byte-for-byte comparable with a
-//! sequential one (this is pinned by `tests/campaign.rs`).
+//! whatever the schedule:
+//!
+//! * [`Campaign::run`] returns a [`CampaignReport`] whose records are
+//!   always in matrix order — an 8-worker campaign is byte-for-byte
+//!   comparable with a sequential one (pinned by `tests/campaign.rs`,
+//!   fleets included),
+//! * [`Campaign::stream`] returns an iterator yielding records in
+//!   *completion* order through a bounded channel, so a 10k-run campaign
+//!   holds only O(workers + channel capacity) records in memory at a time;
+//!   each record carries its matrix index for deterministic reassembly.
+//!   Dropping the stream early cancels all outstanding work.
 
 use crate::runner::{run_scenario, ScenarioOutcome};
 use crate::spec::Scenario;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// A scenario × seed matrix with a worker count.
+///
+/// ```
+/// use soter_scenarios::campaign::Campaign;
+/// use soter_scenarios::spec::{MissionSpec, Scenario};
+///
+/// let scenario = Scenario::new("doc").with_mission(MissionSpec::PlannerQueries {
+///     queries: 2,
+///     bug_probability: 0.0,
+/// });
+/// let report = Campaign::new(vec![scenario])
+///     .with_seeds([1, 2])
+///     .with_workers(2)
+///     .run();
+/// assert_eq!(report.runs(), 2);
+/// assert_eq!(report.records[0].seed, 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Campaign {
     scenarios: Vec<Scenario>,
     seeds: Vec<u64>,
     workers: usize,
+    channel_capacity: Option<usize>,
 }
 
 impl Campaign {
@@ -32,6 +63,7 @@ impl Campaign {
             scenarios,
             seeds: Vec::new(),
             workers: 1,
+            channel_capacity: None,
         }
     }
 
@@ -48,6 +80,15 @@ impl Campaign {
         self
     }
 
+    /// Overrides the bound of the streaming channel (default: twice the
+    /// worker count).  Smaller bounds trade throughput for a tighter peak
+    /// record buffer; the bound is what keeps 10k-run campaigns in bounded
+    /// memory when the consumer is slower than the workers.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = Some(capacity.max(1));
+        self
+    }
+
     /// The fully expanded job list, in deterministic matrix order
     /// (scenario-major, then seed).
     pub fn jobs(&self) -> Vec<Scenario> {
@@ -61,37 +102,225 @@ impl Campaign {
         }
     }
 
-    /// Runs every job and aggregates a [`CampaignReport`].
+    /// Runs every job and aggregates a [`CampaignReport`] with records in
+    /// matrix order (independent of the worker count and schedule).
     pub fn run(&self) -> CampaignReport {
-        let jobs = self.jobs();
         let started = Instant::now();
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunRecord>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let record = RunRecord::from_outcome(&run_scenario(&jobs[i]));
-                    *slots[i].lock().expect("no panics while holding the slot") = Some(record);
-                });
-            }
-        });
-        let records: Vec<RunRecord> = slots
+        let stream = self.stream();
+        let total = stream.progress().total();
+        let mut slots: Vec<Option<RunRecord>> = (0..total).map(|_| None).collect();
+        for item in stream {
+            slots[item.index] = Some(item.record);
+        }
+        let records = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker panicked")
-                    .expect("every job was claimed and completed")
-            })
+            .map(|slot| slot.expect("every job was claimed and completed"))
             .collect();
-        let wall_clock = started.elapsed().as_secs_f64();
         CampaignReport {
             records,
-            workers: self.workers,
-            wall_clock,
+            workers: self.workers.max(1),
+            wall_clock: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Starts the campaign on the worker pool and returns a stream of
+    /// per-run records in *completion* order.  The channel between workers
+    /// and consumer is bounded, so the peak number of buffered records is
+    /// O(workers + capacity) however large the campaign; dropping the
+    /// stream before exhaustion cancels all not-yet-started jobs and joins
+    /// the workers.
+    pub fn stream(&self) -> CampaignStream {
+        let jobs = Arc::new(self.jobs());
+        let workers = self.workers.clamp(1, jobs.len().max(1));
+        let capacity = self.channel_capacity.unwrap_or(2 * workers);
+        let queues: Arc<Vec<Mutex<VecDeque<usize>>>> = Arc::new(
+            (0..workers)
+                .map(|w| Mutex::new((w..jobs.len()).step_by(workers).collect()))
+                .collect(),
+        );
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let panic_slot: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let progress = CampaignProgress {
+            executed: Arc::new(AtomicUsize::new(0)),
+            buffered: Arc::new(AtomicUsize::new(0)),
+            peak_buffered: Arc::new(AtomicUsize::new(0)),
+            total: jobs.len(),
+        };
+        let handles = (0..workers)
+            .map(|w| {
+                let jobs = Arc::clone(&jobs);
+                let queues = Arc::clone(&queues);
+                let tx = tx.clone();
+                let cancel = Arc::clone(&cancel);
+                let panic_slot = Arc::clone(&panic_slot);
+                let progress = progress.clone();
+                std::thread::spawn(move || {
+                    worker_loop(w, &jobs, &queues, &tx, &cancel, &panic_slot, &progress)
+                })
+            })
+            .collect();
+        drop(tx);
+        CampaignStream {
+            rx: Some(rx),
+            cancel,
+            panic_slot,
+            handles,
+            progress,
+        }
+    }
+}
+
+/// One worker: drain the own deque front-to-back, then steal from peers
+/// back-to-front, stopping as soon as the consumer went away.  A panic in
+/// a job is caught, recorded in `panic_slot` and re-raised on the
+/// consumer's side when the stream drains (workers are detached threads,
+/// so an unobserved panic would otherwise silently truncate the stream).
+fn worker_loop(
+    own: usize,
+    jobs: &[Scenario],
+    queues: &[Mutex<VecDeque<usize>>],
+    tx: &SyncSender<CampaignRecord>,
+    cancel: &AtomicBool,
+    panic_slot: &Mutex<Option<String>>,
+    progress: &CampaignProgress,
+) {
+    let next_job = || -> Option<usize> {
+        if let Some(i) = queues[own].lock().expect("queue lock").pop_front() {
+            return Some(i);
+        }
+        for offset in 1..queues.len() {
+            let victim = (own + offset) % queues.len();
+            if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+                return Some(i);
+            }
+        }
+        None
+    };
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(index) = next_job() else { break };
+        let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            RunRecord::from_outcome(&run_scenario(&jobs[index]))
+        }));
+        let record = match record {
+            Ok(record) => record,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic payload".into());
+                let mut slot = panic_slot.lock().expect("panic slot lock");
+                slot.get_or_insert(format!("job #{index} (`{}`): {message}", jobs[index].name));
+                cancel.store(true, Ordering::Relaxed);
+                break;
+            }
+        };
+        progress.executed.fetch_add(1, Ordering::Relaxed);
+        let buffered = progress.buffered.fetch_add(1, Ordering::Relaxed) + 1;
+        progress
+            .peak_buffered
+            .fetch_max(buffered, Ordering::Relaxed);
+        if tx.send(CampaignRecord { index, record }).is_err() {
+            // The consumer dropped the stream: cancel everyone.
+            cancel.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+}
+
+/// A record streamed out of a running campaign, tagged with its position
+/// in the deterministic matrix order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRecord {
+    /// Index of the job in [`Campaign::jobs`] order.
+    pub index: usize,
+    /// The run's record.
+    pub record: RunRecord,
+}
+
+/// A cloneable live view of a streaming campaign's progress.
+#[derive(Debug, Clone)]
+pub struct CampaignProgress {
+    executed: Arc<AtomicUsize>,
+    buffered: Arc<AtomicUsize>,
+    peak_buffered: Arc<AtomicUsize>,
+    total: usize,
+}
+
+impl CampaignProgress {
+    /// Jobs fully executed so far (whether or not consumed yet).
+    pub fn executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// The highest number of records ever buffered between the workers and
+    /// the consumer — bounded by `workers + channel capacity + 1` however
+    /// long the campaign runs (each worker holds at most one record while
+    /// blocked on the channel, and the consumer's bookkeeping lags one
+    /// receive behind).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered.load(Ordering::Relaxed)
+    }
+
+    /// Total number of jobs in the campaign.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// The streaming side of a running campaign: an iterator over
+/// [`CampaignRecord`]s in completion order.  Dropping it cancels all
+/// outstanding work and joins the worker threads.
+pub struct CampaignStream {
+    rx: Option<Receiver<CampaignRecord>>,
+    cancel: Arc<AtomicBool>,
+    panic_slot: Arc<Mutex<Option<String>>>,
+    handles: Vec<JoinHandle<()>>,
+    progress: CampaignProgress,
+}
+
+impl CampaignStream {
+    /// A cloneable progress handle (live even after the stream is dropped).
+    pub fn progress(&self) -> CampaignProgress {
+        self.progress.clone()
+    }
+}
+
+impl Iterator for CampaignStream {
+    type Item = CampaignRecord;
+
+    /// Yields the next completed record.  When the channel drains because
+    /// a worker *panicked* (rather than because the campaign finished),
+    /// the panic is re-raised here so a truncated campaign can never be
+    /// mistaken for a complete one.
+    fn next(&mut self) -> Option<CampaignRecord> {
+        match self.rx.as_ref()?.recv() {
+            Ok(item) => {
+                self.progress.buffered.fetch_sub(1, Ordering::Relaxed);
+                Some(item)
+            }
+            Err(_) => {
+                if let Some(message) = self.panic_slot.lock().expect("panic slot lock").take() {
+                    panic!("campaign worker panicked at {message}");
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Drop for CampaignStream {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        // Closing the channel unblocks any worker waiting on a full buffer;
+        // its send fails and it exits.
+        drop(self.rx.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -108,6 +337,8 @@ pub struct RunRecord {
     pub digest: u64,
     /// φ_safe violations observed.
     pub safety_violations: usize,
+    /// φ_sep violation episodes (0 for single-drone scenarios).
+    pub separation_violations: usize,
     /// Theorem 3.1 invariant-monitor violations.
     pub invariant_violations: usize,
     /// RTA mode switches (see `ScenarioOutcome::mode_switches`).
@@ -119,13 +350,15 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    /// Summarises a scenario outcome (dropping the heavyweight trajectory).
+    /// Summarises a scenario outcome (dropping the heavyweight
+    /// trajectories).
     pub fn from_outcome(outcome: &ScenarioOutcome) -> Self {
         RunRecord {
             scenario: outcome.scenario.clone(),
             seed: outcome.seed,
             digest: outcome.digest,
             safety_violations: outcome.safety_violations,
+            separation_violations: outcome.separation_violations,
             invariant_violations: outcome.invariant_violations,
             mode_switches: outcome.mode_switches,
             targets_reached: outcome.targets_reached(),
@@ -143,6 +376,8 @@ pub struct ScenarioStats {
     pub runs: usize,
     /// Total φ_safe violations across runs.
     pub safety_violations: usize,
+    /// Total φ_sep violation episodes across runs.
+    pub separation_violations: usize,
     /// Total invariant-monitor violations across runs.
     pub invariant_violations: usize,
     /// Total mode switches across runs.
@@ -184,6 +419,11 @@ impl CampaignReport {
         self.records.iter().map(|r| r.safety_violations).sum()
     }
 
+    /// Total φ_sep violation episodes across every run.
+    pub fn total_separation_violations(&self) -> usize {
+        self.records.iter().map(|r| r.separation_violations).sum()
+    }
+
     /// Total invariant-monitor violations across every run.
     pub fn total_invariant_violations(&self) -> usize {
         self.records.iter().map(|r| r.invariant_violations).sum()
@@ -200,6 +440,7 @@ impl CampaignReport {
                         scenario: record.scenario.clone(),
                         runs: 0,
                         safety_violations: 0,
+                        separation_violations: 0,
                         invariant_violations: 0,
                         mode_switches: 0,
                         mean_mode_switches: 0.0,
@@ -210,6 +451,7 @@ impl CampaignReport {
             };
             entry.runs += 1;
             entry.safety_violations += record.safety_violations;
+            entry.separation_violations += record.separation_violations;
             entry.invariant_violations += record.invariant_violations;
             entry.mode_switches += record.mode_switches;
             entry.completed_runs += record.completed as usize;
@@ -238,16 +480,17 @@ impl CampaignReport {
         );
         let _ = writeln!(
             out,
-            "{:<24} {:>5} {:>10} {:>10} {:>10} {:>10}",
-            "scenario", "runs", "phi-viol", "inv-viol", "switches", "completed"
+            "{:<26} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "scenario", "runs", "phi-viol", "sep-viol", "inv-viol", "switches", "completed"
         );
         for s in self.per_scenario() {
             let _ = writeln!(
                 out,
-                "{:<24} {:>5} {:>10} {:>10} {:>10} {:>10}",
+                "{:<26} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 s.scenario,
                 s.runs,
                 s.safety_violations,
+                s.separation_violations,
                 s.invariant_violations,
                 s.mode_switches,
                 s.completed_runs
@@ -255,8 +498,9 @@ impl CampaignReport {
         }
         let _ = writeln!(
             out,
-            "total: {} phi_safe violations, {} invariant violations",
+            "total: {} phi_safe violations, {} phi_sep violations, {} invariant violations",
             self.total_safety_violations(),
+            self.total_separation_violations(),
             self.total_invariant_violations()
         );
         out
@@ -273,6 +517,15 @@ mod tests {
             .with_workspace(WorkspaceSpec::CornerCutCourse)
             .with_mission(MissionSpec::CircuitLap)
             .with_horizon(10.0)
+    }
+
+    /// A near-instant job (planner queries with an empty query budget) for
+    /// scheduling-focused tests.
+    fn instant_scenario(name: &str) -> Scenario {
+        Scenario::new(name).with_mission(MissionSpec::PlannerQueries {
+            queries: 0,
+            bug_probability: 0.0,
+        })
     }
 
     #[test]
@@ -303,6 +556,7 @@ mod tests {
             seed,
             digest: seed,
             safety_violations: violations,
+            separation_violations: 1,
             invariant_violations: 0,
             mode_switches: 2,
             targets_reached: 4,
@@ -320,16 +574,18 @@ mod tests {
         assert_eq!(report.runs(), 3);
         assert_eq!(report.runs_per_second(), 1.5);
         assert_eq!(report.total_safety_violations(), 1);
+        assert_eq!(report.total_separation_violations(), 3);
         let stats = report.per_scenario();
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].scenario, "a");
         assert_eq!(stats[0].runs, 2);
         assert_eq!(stats[0].safety_violations, 1);
+        assert_eq!(stats[0].separation_violations, 2);
         assert_eq!(stats[0].completed_runs, 1);
         assert_eq!(stats[0].mean_mode_switches, 2.0);
         let summary = report.summary();
         assert!(summary.contains("3 runs on 4 workers"));
-        assert!(summary.contains("scenario"));
+        assert!(summary.contains("sep-viol"));
     }
 
     #[test]
@@ -350,5 +606,57 @@ mod tests {
             .with_workers(4)
             .run();
         assert_eq!(sequential.records, parallel.records);
+    }
+
+    #[test]
+    fn stream_yields_every_job_exactly_once_with_indices() {
+        let campaign = Campaign::new(vec![instant_scenario("s")])
+            .with_seeds((1..=40).collect::<Vec<u64>>())
+            .with_workers(4);
+        let stream = campaign.stream();
+        let progress = stream.progress();
+        assert_eq!(progress.total(), 40);
+        let mut seen: Vec<usize> = stream.map(|r| r.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<usize>>());
+        assert_eq!(progress.executed(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign worker panicked")]
+    fn worker_panics_propagate_to_the_consumer() {
+        // A fleet spec on a non-circuit mission panics inside run_scenario;
+        // the campaign must re-raise that instead of yielding a silently
+        // truncated (and seemingly clean) record stream.
+        let poisoned = Scenario::new("poisoned")
+            .with_mission(MissionSpec::PlannerQueries {
+                queries: 0,
+                bug_probability: 0.0,
+            })
+            .with_fleet(crate::spec::FleetSpec::new(
+                2,
+                crate::spec::FleetLayout::Crossing,
+            ));
+        let _ = Campaign::new(vec![instant_scenario("fine"), poisoned])
+            .with_workers(2)
+            .run();
+    }
+
+    #[test]
+    fn work_stealing_drains_queues_regardless_of_skew() {
+        // 1 long job + many instant jobs, 2 workers: round-robin dealing
+        // gives worker 0 the long job and half the instant ones; worker 1
+        // must steal the rest of worker 0's deque while it is busy.
+        let mut scenarios = vec![tiny_scenario("long")];
+        scenarios.extend((0..15).map(|i| instant_scenario(&format!("quick{i}"))));
+        let report = Campaign::new(scenarios).with_workers(2).run();
+        assert_eq!(report.runs(), 16);
+        // Determinism across schedules, long job or not.
+        let report2 = {
+            let mut scenarios = vec![tiny_scenario("long")];
+            scenarios.extend((0..15).map(|i| instant_scenario(&format!("quick{i}"))));
+            Campaign::new(scenarios).with_workers(5).run()
+        };
+        assert_eq!(report.records, report2.records);
     }
 }

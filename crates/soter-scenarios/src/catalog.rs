@@ -7,10 +7,13 @@
 //! the outcomes into the paper's report records; the golden-trace tests pin
 //! the digests of the suite returned by [`golden_suite`].
 
-use crate::spec::{JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec};
+use crate::spec::{
+    FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec,
+};
 use soter_core::time::Duration;
 use soter_drone::stack::{AdvancedKind, Protection};
 use soter_sim::battery::BatteryModel;
+use soter_sim::wind::WindModel;
 
 fn advanced_label(advanced: AdvancedKind) -> &'static str {
     match advanced {
@@ -141,11 +144,113 @@ pub fn ablation(delta_ms: u64, safer_factor: f64, seed: u64, horizon: f64) -> Sc
         .with_seed(seed)
 }
 
+/// A 2/4/8-drone crossing airspace on the corner-cut course: drones fly
+/// the circuit from staggered corners, alternating direction of travel, so
+/// routes cross and meet head-on.  Every drone is RTA-protected and every
+/// decision module enforces φ_sep against its peers' reach-sets.
+pub fn airspace_crossing(drones: usize, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("airspace-crossing-{drones}"))
+        .with_workspace(WorkspaceSpec::CornerCutCourse)
+        .with_mission(MissionSpec::CircuitLoop)
+        .with_fleet(FleetSpec::new(drones, FleetLayout::Crossing))
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// Like [`airspace_crossing`] but with every drone *unprotected* (AC-only)
+/// — the multi-drone analogue of Fig. 5: without the separation-aware
+/// decision modules, crossing routes produce φ_sep violations.
+pub fn airspace_crossing_unprotected(drones: usize, seed: u64, horizon: f64) -> Scenario {
+    airspace_crossing(drones, seed, horizon)
+        .with_protection(Protection::AcOnly)
+        .with_name_suffix("-ac-only")
+}
+
+/// An N-drone patrol convoy on the corner-cut course: all drones fly the
+/// same circuit in the same direction from staggered waypoints.  (The
+/// city block's raw waypoint circuit cuts through houses — its missions
+/// need the planner stack — so convoys patrol the corner-cut course,
+/// whose legs are collision-free.)
+pub fn airspace_convoy(drones: usize, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("airspace-convoy-{drones}"))
+        .with_workspace(WorkspaceSpec::CornerCutCourse)
+        .with_mission(MissionSpec::CircuitLoop)
+        .with_fleet(FleetSpec::new(drones, FleetLayout::Convoy))
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// The contested corridor: N drones shuttle between the two mouths of a
+/// single walled street in opposing directions on closely spaced lanes,
+/// so every pass is a negotiated encounter.
+pub fn airspace_corridor(drones: usize, seed: u64, horizon: f64) -> Scenario {
+    Scenario::new(format!("airspace-corridor-{drones}"))
+        .with_workspace(WorkspaceSpec::ContestedCorridor)
+        .with_mission(MissionSpec::CircuitLoop)
+        .with_fleet(FleetSpec::new(drones, FleetLayout::Corridor))
+        .with_horizon(horizon)
+        .with_seed(seed)
+}
+
+/// The wind-sweep campaign grid: the RTA-protected Fig. 12a lap under
+/// increasing gust magnitudes (m/s², uniform per axis).  Fan the returned
+/// scenarios out with [`crate::campaign::Campaign`] to sweep seeds too.
+pub fn wind_sweep(seed: u64, horizon: f64) -> Vec<Scenario> {
+    [0.0, 0.5, 1.0, 2.0]
+        .into_iter()
+        .map(|magnitude| {
+            fig12a(Protection::Rta, seed, horizon)
+                .with_wind(if magnitude == 0.0 {
+                    WindModel::Calm
+                } else {
+                    WindModel::Gusty { magnitude }
+                })
+                .with_name(format!("wind-sweep-g{magnitude}"))
+        })
+        .collect()
+}
+
+/// The battery-degradation campaign grid: the surveillance mission with
+/// the Fig. 12c fast battery, over initial-charge × drain-multiplier
+/// cells.  Degraded packs must still land safely (the battery module's
+/// φ_bat), just sooner.
+pub fn battery_degradation_grid(seed: u64, horizon: f64) -> Vec<Scenario> {
+    let base = fig12c_battery_model();
+    let mut grid = Vec::new();
+    for initial in [1.0, 0.6] {
+        for drain in [1.0, 2.0] {
+            let model = BatteryModel {
+                idle_rate: base.idle_rate * drain,
+                accel_rate: base.accel_rate * drain,
+                ..base
+            };
+            grid.push(
+                fig12c(seed, horizon)
+                    .with_battery(model, initial)
+                    .with_name(format!("battery-grid-c{initial}-d{drain}")),
+            );
+        }
+    }
+    grid
+}
+
+/// The pinned multi-drone airspace suite (crossing, convoy, contested
+/// corridor, and the unprotected crossing baseline), with short horizons
+/// for the golden-trace tests.
+pub fn airspace_suite() -> Vec<Scenario> {
+    vec![
+        airspace_crossing(2, 21, 12.0),
+        airspace_crossing_unprotected(2, 21, 12.0),
+        airspace_convoy(4, 22, 10.0),
+        airspace_corridor(8, 23, 8.0),
+    ]
+}
+
 /// The pinned scenario suite covering every experiment driver, used by the
 /// golden-trace regression tests.  Horizons are kept short so the whole
 /// suite stays inside the `cargo test` time budget.
 pub fn golden_suite() -> Vec<Scenario> {
-    vec![
+    let mut suite = vec![
         fig5(AdvancedKind::Px4Like, 1, 60.0),
         fig5(AdvancedKind::Learned { seed: 1 }, 1, 60.0),
         fig12a(Protection::AcOnly, 3, 120.0),
@@ -158,7 +263,12 @@ pub fn golden_suite() -> Vec<Scenario> {
         stress(13, 60.0, true),
         ablation(100, 1.5, 3, 120.0),
         ablation(200, 2.0, 3, 120.0),
-    ]
+    ];
+    suite.extend(airspace_suite());
+    // One representative cell of each campaign grid, with short horizons.
+    suite.push(wind_sweep(3, 40.0).remove(2));
+    suite.push(battery_degradation_grid(11, 60.0).remove(3));
+    suite
 }
 
 #[cfg(test)]

@@ -24,12 +24,13 @@ pub const BLESS_ENV: &str = "SOTER_BLESS";
 pub fn record_to_text(record: &RunRecord) -> String {
     format!(
         "scenario = {}\nseed = {}\ndigest = {:#018x}\nsafety_violations = {}\n\
-         invariant_violations = {}\nmode_switches = {}\ntargets_reached = {}\n\
-         completed = {}\n",
+         separation_violations = {}\ninvariant_violations = {}\nmode_switches = {}\n\
+         targets_reached = {}\ncompleted = {}\n",
         record.scenario,
         record.seed,
         record.digest,
         record.safety_violations,
+        record.separation_violations,
         record.invariant_violations,
         record.mode_switches,
         record.targets_reached,
@@ -63,6 +64,10 @@ pub fn record_from_text(text: &str) -> Result<RunRecord, GoldenError> {
             .map_err(|_| GoldenError::Parse("bad seed".into()))?,
         digest,
         safety_violations: parse_usize("safety_violations", field("safety_violations")?)?,
+        separation_violations: parse_usize(
+            "separation_violations",
+            field("separation_violations")?,
+        )?,
         invariant_violations: parse_usize("invariant_violations", field("invariant_violations")?)?,
         mode_switches: parse_usize("mode_switches", field("mode_switches")?)?,
         targets_reached: parse_usize("targets_reached", field("targets_reached")?)?,
@@ -168,6 +173,7 @@ mod tests {
             seed: 3,
             digest: 0x0123_4567_89ab_cdef,
             safety_violations: 0,
+            separation_violations: 0,
             invariant_violations: 0,
             mode_switches: 7,
             targets_reached: 4,

@@ -4,19 +4,25 @@
 //! assembles the paper's software stacks, this crate makes *workloads*
 //! first-class values:
 //!
-//! * [`spec`] — the declarative [`Scenario`](spec::Scenario): workspace
+//! * [`spec`] — the declarative [`Scenario`]: workspace
 //!   geometry, mission profile, protection level, advanced-controller /
 //!   fault-injection choice, wind and battery models, scheduling jitter,
 //!   horizon and seed, compiled down to the existing `DroneStackConfig`
 //!   machinery,
 //! * [`runner`] — executes one scenario and summarises it as a
-//!   [`ScenarioOutcome`](runner::ScenarioOutcome) with a deterministic
+//!   [`ScenarioOutcome`] with a deterministic
 //!   behavioural digest,
 //! * [`catalog`] — the paper's seven experiment drivers as named scenarios
 //!   (Fig. 5, Fig. 12a–c, Sec. V-C, Sec. V-D, Remark 3.3),
-//! * [`campaign`] — fans a scenario × seed matrix out across a std-thread
-//!   pool with schedule-independent, deterministic per-run results and
-//!   aggregates a [`CampaignReport`](campaign::CampaignReport),
+//! * [`fleet`] — multi-drone airspaces: compiles a
+//!   [`FleetSpec`] into per-drone stacks over one shared
+//!   workspace and runs them with the separation invariant φ_sep monitored
+//!   on ground truth,
+//! * [`campaign`] — fans a scenario × seed matrix out across a
+//!   work-stealing thread pool with schedule-independent, deterministic
+//!   per-run results; aggregate with a
+//!   [`CampaignReport`] or stream records through
+//!   a bounded channel ([`Campaign::stream`]),
 //! * [`golden`] — golden-trace regression: snapshot any scenario's digest
 //!   under `tests/golden/` and verify every later run against it,
 //! * [`experiments`] — the pre-refactor driver entry points, kept as thin
@@ -44,16 +50,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod catalog;
 pub mod experiments;
+pub mod fleet;
 pub mod golden;
 pub mod runner;
 pub mod spec;
 
-pub use campaign::{Campaign, CampaignReport, RunRecord};
+pub use campaign::{Campaign, CampaignReport, CampaignStream, RunRecord};
+pub use fleet::FleetOutcome;
 pub use golden::{bless, verify_against_golden, GoldenError};
 pub use runner::{run_scenario, RunOutcome, ScenarioOutcome};
-pub use spec::{JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec};
+pub use spec::{
+    FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec,
+};

@@ -214,6 +214,8 @@ pub struct ScenarioOutcome {
     /// φ_safe violations: ground-truth collision episodes for mission
     /// scenarios, standing colliding plans for planner-query scenarios.
     pub safety_violations: usize,
+    /// φ_sep violation episodes (0 for single-drone scenarios).
+    pub separation_violations: usize,
     /// Theorem 3.1 invariant-monitor violations.
     pub invariant_violations: usize,
     /// Mode switches: DM switches across all RTA modules for mission
@@ -224,18 +226,33 @@ pub struct ScenarioOutcome {
     /// Maximum deviation from the closed circuit reference polyline
     /// (circuit scenarios only).
     pub max_deviation: Option<f64>,
+    /// Per-drone airspace detail (`None` for single-drone scenarios).
+    pub fleet: Option<crate::fleet::FleetOutcome>,
 }
 
 impl ScenarioOutcome {
-    /// Surveillance targets / circuit waypoints reached (0 for planner
-    /// queries, which have no mission-progress topic).
+    /// Surveillance targets / circuit waypoints reached — summed over the
+    /// fleet for airspace scenarios, 0 for planner queries (which have no
+    /// mission-progress topic).
     pub fn targets_reached(&self) -> usize {
+        if let Some(fleet) = &self.fleet {
+            return fleet.targets_reached.iter().sum();
+        }
         self.run.as_ref().map(|r| r.targets_reached).unwrap_or(0)
     }
 }
 
 /// Runs a scenario to completion and summarises the result.
+///
+/// # Panics
+///
+/// Panics if the scenario carries a [`crate::spec::FleetSpec`] but its
+/// mission is not a circuit mission (airspaces fly
+/// [`MissionSpec::CircuitLoop`] or [`MissionSpec::CircuitLap`]).
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    if let Some(fleet) = &scenario.fleet {
+        return crate::fleet::run_fleet(scenario, fleet);
+    }
     match &scenario.mission {
         MissionSpec::PlannerQueries {
             queries,
@@ -289,6 +306,7 @@ fn run_mission(scenario: &Scenario, mission: MissionSpec) -> ScenarioOutcome {
         seed: scenario.seed,
         digest,
         safety_violations,
+        separation_violations: 0,
         invariant_violations: outcome.invariant_violations,
         mode_switches: outcome.total_mode_switches,
         completed,
@@ -296,6 +314,7 @@ fn run_mission(scenario: &Scenario, mission: MissionSpec) -> ScenarioOutcome {
         metrics: Some(metrics),
         planner: None,
         run: Some(outcome),
+        fleet: None,
     }
 }
 
@@ -450,11 +469,13 @@ fn run_planner_queries(
         run: None,
         metrics: None,
         safety_violations: report.protected_colliding_plans,
+        separation_violations: 0,
         invariant_violations: 0,
         mode_switches: report.dm_switches_to_safe,
         completed: true,
         max_deviation: None,
         planner: Some(report),
+        fleet: None,
     }
 }
 

@@ -31,6 +31,9 @@ pub enum WorkspaceSpec {
     CornerCutCourse,
     /// The city-block surveillance workspace of Fig. 12b-c / Sec. V-D.
     CityBlock,
+    /// The walled single-street corridor used by the contested-corridor
+    /// airspace scenarios.
+    ContestedCorridor,
     /// A custom axis-aligned workspace.
     Custom {
         /// Two opposite corners of the workspace bounds.
@@ -55,6 +58,7 @@ impl WorkspaceSpec {
         match self {
             WorkspaceSpec::CornerCutCourse => Workspace::corner_cut_course(),
             WorkspaceSpec::CityBlock => Workspace::city_block(),
+            WorkspaceSpec::ContestedCorridor => Workspace::contested_corridor(),
             WorkspaceSpec::Custom {
                 bounds,
                 obstacles,
@@ -177,6 +181,106 @@ impl JitterSpec {
     }
 }
 
+/// Spawn/route layout of a multi-drone fleet over the scenario workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetLayout {
+    /// Drones fly the workspace circuit from staggered corners, alternating
+    /// direction of travel, so routes cross and meet head-on.
+    Crossing,
+    /// Drones fly the same circuit in the same direction from staggered
+    /// waypoints (a patrol convoy).
+    Convoy,
+    /// Drones shuttle between the two ends of a corridor in opposing
+    /// directions on closely spaced lanes (use with
+    /// [`WorkspaceSpec::ContestedCorridor`]).
+    Corridor,
+}
+
+/// A per-drone override inside a fleet (the fleet default comes from the
+/// scenario's own `protection`/`advanced` fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOverride {
+    /// Index of the drone this override applies to.
+    pub drone: usize,
+    /// Protection override, if any.
+    pub protection: Option<Protection>,
+    /// Advanced-controller override, if any.
+    pub advanced: Option<AdvancedKind>,
+}
+
+/// A multi-drone fleet: drone count, spawn layout and the separation
+/// invariant's radius, plus optional per-drone overrides.
+///
+/// Attaching a `FleetSpec` to a [`Scenario`] (via [`Scenario::with_fleet`])
+/// turns a circuit mission into a multi-drone airspace: every drone runs
+/// its own RTA-protected stack and every decision module enforces φ_sep
+/// against its peers' forward-reach sets (see `soter_drone::airspace`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of drones (at least 2).
+    pub drones: usize,
+    /// Spawn/route layout.
+    pub layout: FleetLayout,
+    /// Minimum separation radius `r_sep` of φ_sep (metres).
+    pub separation_radius: f64,
+    /// Extra margin added to `r_sep` for the safe controller's yield bubble.
+    pub yield_margin: f64,
+    /// Per-drone overrides of protection / advanced-controller choice.
+    pub overrides: Vec<FleetOverride>,
+}
+
+impl FleetSpec {
+    /// A fleet of `drones` drones in the given layout with the default
+    /// separation radius (1.5 m) and yield margin (1.0 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drones < 2`.
+    pub fn new(drones: usize, layout: FleetLayout) -> Self {
+        assert!(drones >= 2, "a fleet needs at least two drones");
+        FleetSpec {
+            drones,
+            layout,
+            separation_radius: 1.5,
+            yield_margin: 1.0,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Sets the separation radius `r_sep`.
+    pub fn with_separation_radius(mut self, radius: f64) -> Self {
+        self.separation_radius = radius;
+        self
+    }
+
+    /// Adds a per-drone override.
+    pub fn with_override(mut self, o: FleetOverride) -> Self {
+        self.overrides.push(o);
+        self
+    }
+
+    /// The effective (protection, advanced) of drone `i`, given the fleet
+    /// defaults from the scenario.
+    pub fn drone_config(
+        &self,
+        i: usize,
+        default_protection: Protection,
+        default_advanced: AdvancedKind,
+    ) -> (Protection, AdvancedKind) {
+        let mut protection = default_protection;
+        let mut advanced = default_advanced;
+        for o in self.overrides.iter().filter(|o| o.drone == i) {
+            if let Some(p) = o.protection {
+                protection = p;
+            }
+            if let Some(a) = o.advanced {
+                advanced = a;
+            }
+        }
+        (protection, advanced)
+    }
+}
+
 /// A declarative mission scenario.
 ///
 /// Construct one with [`Scenario::new`] and the `with_*` builder methods, or
@@ -224,6 +328,10 @@ pub struct Scenario {
     pub delta_plan: Duration,
     /// φ_safer hysteresis factor of the motion-primitive oracle.
     pub safer_factor: f64,
+    /// Multi-drone fleet, if this is an airspace scenario (`None` = the
+    /// paper's single-drone setting).  Fleet scenarios fly circuit missions
+    /// ([`MissionSpec::CircuitLoop`] / [`MissionSpec::CircuitLap`]).
+    pub fleet: Option<FleetSpec>,
     /// Start position override (`None` = first surveillance point).
     pub start: Option<Vec3>,
     /// Master seed: sensor noise, planners, faults, target policy and (with
@@ -253,9 +361,23 @@ impl Scenario {
             delta_bat: defaults.delta_bat,
             delta_plan: defaults.delta_plan,
             safer_factor: defaults.safer_factor,
+            fleet: None,
             start: None,
             seed: 0,
         }
+    }
+
+    /// Renames the scenario (the name keys golden-trace files, so keep it
+    /// filesystem-friendly).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends a suffix to the scenario name (e.g. a variant tag).
+    pub fn with_name_suffix(mut self, suffix: &str) -> Self {
+        self.name.push_str(suffix);
+        self
     }
 
     /// Sets the workspace.
@@ -322,6 +444,13 @@ impl Scenario {
     /// Sets the φ_safer hysteresis factor.
     pub fn with_safer_factor(mut self, factor: f64) -> Self {
         self.safer_factor = factor;
+        self
+    }
+
+    /// Attaches a multi-drone fleet, turning the scenario into an airspace
+    /// (the mission must be a circuit mission; see [`FleetSpec`]).
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
         self
     }
 

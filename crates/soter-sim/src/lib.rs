@@ -18,7 +18,9 @@
 //! * [`drone`] — the full plant (dynamics + battery) stepped under a control
 //!   input,
 //! * [`trajectory`] — trajectory recording and mission metrics used by the
-//!   experiment harness.
+//!   experiment harness,
+//! * [`airspace`] — shared multi-drone airspaces: the separation invariant
+//!   φ_sep and its ground-truth episode monitor.
 //!
 //! Everything is deterministic given a seed, so experiments are reproducible.
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod airspace;
 pub mod battery;
 pub mod drone;
 pub mod dynamics;
@@ -45,6 +48,7 @@ pub mod vec3;
 pub mod wind;
 pub mod world;
 
+pub use airspace::{Airspace, SeparationMonitor};
 pub use battery::Battery;
 pub use drone::Drone;
 pub use dynamics::{ControlInput, DroneState, QuadrotorDynamics};

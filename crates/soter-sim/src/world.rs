@@ -128,6 +128,25 @@ impl Workspace {
         ws
     }
 
+    /// A contested corridor for multi-drone airspace scenarios: a long
+    /// 60 m × 20 m block whose interior is walled off except for a single
+    /// 6 m-wide street running the full length, so that every drone of a
+    /// fleet must funnel through the same corridor.  The surveillance
+    /// points are the two corridor mouths; airspace scenarios assign each
+    /// drone its own lane (lateral/vertical offsets around the centreline)
+    /// and opposing directions of travel.
+    pub fn contested_corridor() -> Self {
+        let bounds = Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(60.0, 20.0, 10.0));
+        let obstacles = vec![
+            // Two full-length walls leaving a street between y = 7 and y = 13.
+            Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(60.0, 7.0, 10.0)),
+            Aabb::new(Vec3::new(0.0, 13.0, 0.0), Vec3::new(60.0, 20.0, 10.0)),
+        ];
+        let mut ws = Workspace::new(bounds, obstacles, 0.3);
+        ws.surveillance_points = vec![Vec3::new(4.0, 10.0, 4.0), Vec3::new(56.0, 10.0, 4.0)];
+        ws
+    }
+
     /// Adds a surveillance point.
     pub fn add_surveillance_point(&mut self, p: Vec3) {
         self.surveillance_points.push(p);
@@ -387,6 +406,21 @@ mod tests {
         let w = Workspace::empty(b);
         assert!(w.obstacles().is_empty());
         assert!(w.is_free(Vec3::splat(5.0)));
+    }
+
+    #[test]
+    fn contested_corridor_funnels_through_one_street() {
+        let w = Workspace::contested_corridor();
+        for p in w.surveillance_points() {
+            assert!(w.is_free(*p), "corridor mouth {p} must be free");
+        }
+        let [a, b] = [w.surveillance_points()[0], w.surveillance_points()[1]];
+        assert!(w.segment_is_free(a, b), "the corridor itself is clear");
+        // Anything off the centreline street is walled.
+        assert!(w.in_collision(Vec3::new(30.0, 3.0, 4.0)));
+        assert!(w.in_collision(Vec3::new(30.0, 17.0, 4.0)));
+        // There is no way over the walls: they reach the ceiling.
+        assert!(w.in_collision(Vec3::new(30.0, 3.0, 9.5)));
     }
 
     #[test]

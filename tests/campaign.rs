@@ -1,11 +1,13 @@
 //! Campaign engine integration tests: schedule-independent determinism of
-//! the parallel fan-out, and the CI campaign-smoke matrix (which writes the
-//! summary artifact the CI job uploads).
+//! the work-stealing fan-out (single-drone and fleet), bounded-memory
+//! record streaming with early-drop cancellation, and the CI
+//! campaign-smoke matrix (which writes the summary artifact the CI job
+//! uploads).
 
 use soter::drone::stack::{AdvancedKind, Protection};
 use soter::scenarios::campaign::Campaign;
 use soter::scenarios::catalog;
-use soter::scenarios::spec::Scenario;
+use soter::scenarios::spec::{MissionSpec, Scenario};
 
 /// Four scenario families with short horizons — enough to keep a ≥ 32-run
 /// matrix inside the `cargo test` time budget.
@@ -55,6 +57,111 @@ fn single_run_digest_matches_campaign_digest() {
     assert_eq!(campaign.records.len(), 1);
     assert_eq!(campaign.records[0].digest, direct.digest);
     assert_eq!(campaign.records[0].seed, 5);
+}
+
+/// Fleet determinism: an 8-worker multi-drone campaign is byte-identical
+/// to sequential execution — every drone's trajectory, the φ_sep episode
+/// counts and the digests all land in the same records in the same order.
+#[test]
+fn eight_worker_fleet_campaign_matches_sequential_execution() {
+    let scenarios = || {
+        vec![
+            catalog::airspace_crossing(2, 21, 5.0),
+            catalog::airspace_corridor(4, 23, 4.0),
+        ]
+    };
+    let seeds: Vec<u64> = (1..=4).collect();
+    let sequential = Campaign::new(scenarios())
+        .with_seeds(seeds.clone())
+        .with_workers(1)
+        .run();
+    let parallel = Campaign::new(scenarios())
+        .with_seeds(seeds)
+        .with_workers(8)
+        .run();
+    assert_eq!(sequential.runs(), 8);
+    assert_eq!(sequential.records, parallel.records);
+    // Protected fleets keep both invariants across the whole matrix.
+    assert_eq!(
+        parallel.total_safety_violations(),
+        0,
+        "{}",
+        parallel.summary()
+    );
+    assert_eq!(
+        parallel.total_separation_violations(),
+        0,
+        "{}",
+        parallel.summary()
+    );
+}
+
+/// A quick job for scheduling-focused streaming tests (planner queries
+/// with an empty query budget finish in microseconds).
+fn instant_scenario(name: &str) -> Scenario {
+    Scenario::new(name).with_mission(MissionSpec::PlannerQueries {
+        queries: 0,
+        bug_probability: 0.0,
+    })
+}
+
+/// The bounded-memory gate of the streaming engine: a 1000-run campaign
+/// consumed from the channel never buffers more than
+/// `workers + channel capacity` records at once, however fast the workers
+/// outpace the consumer.
+#[test]
+fn thousand_run_stream_keeps_peak_buffer_bounded() {
+    let workers = 8;
+    let capacity = 16;
+    let campaign = Campaign::new(vec![instant_scenario("stream")])
+        .with_seeds((0..1000).collect::<Vec<u64>>())
+        .with_workers(workers)
+        .with_channel_capacity(capacity);
+    let stream = campaign.stream();
+    let progress = stream.progress();
+    let mut indices: Vec<usize> = stream.map(|r| r.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..1000).collect::<Vec<usize>>());
+    assert_eq!(progress.executed(), 1000);
+    assert!(
+        progress.peak_buffered() <= workers + capacity + 1,
+        "peak buffer {} exceeds workers + capacity + 1 = {}",
+        progress.peak_buffered(),
+        workers + capacity + 1
+    );
+}
+
+/// Dropping the stream early cancels outstanding work cleanly: workers
+/// stop picking up queued jobs, the threads join, and no further progress
+/// happens afterwards.
+#[test]
+fn dropping_the_stream_early_cancels_outstanding_work() {
+    // Slow-ish jobs + a tiny channel so workers quickly block on send.
+    let campaign = Campaign::new(vec![Scenario::new("drop").with_mission(
+        MissionSpec::PlannerQueries {
+            queries: 3,
+            bug_probability: 0.1,
+        },
+    )])
+    .with_seeds((0..300).collect::<Vec<u64>>())
+    .with_workers(2)
+    .with_channel_capacity(1);
+    let mut stream = campaign.stream();
+    let progress = stream.progress();
+    let taken: Vec<_> = stream.by_ref().take(3).collect();
+    assert_eq!(taken.len(), 3);
+    drop(stream); // joins the workers
+    let executed = progress.executed();
+    assert!(
+        executed <= 20,
+        "cancellation should strand the queue (executed {executed} of 300)"
+    );
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert_eq!(
+        progress.executed(),
+        executed,
+        "no work may continue after the stream is dropped"
+    );
 }
 
 /// The CI campaign-smoke job: a 3-scenario × 4-seed matrix, with the
