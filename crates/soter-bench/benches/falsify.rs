@@ -1,0 +1,98 @@
+//! Bench + table for the falsification engine: schedule-evaluation
+//! throughput (schedules/second) of a fixed candidate batch at 1, 4 and 8
+//! worker threads.  Candidate evaluation is deterministic whatever the
+//! worker count (pinned by `tests/falsify.rs`), so this bench measures
+//! pure fan-out scaling of schedule search through the work-stealing
+//! campaign engine.  On a single-core host the three rows coincide; the
+//! speedup shows on multi-core machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_core::time::{Duration, Time};
+use soter_runtime::schedule::JitterSchedule;
+use soter_scenarios::catalog;
+use soter_scenarios::falsify::{Falsifier, FalsifierConfig, ScheduleFamily, ScheduleSpace};
+use std::hint::black_box;
+use std::time::Instant;
+
+const HORIZON: f64 = 10.0;
+
+fn falsifier(workers: usize) -> Falsifier {
+    Falsifier::new(
+        catalog::stress(13, HORIZON, false).with_name("falsify-bench"),
+        ScheduleSpace {
+            nodes: vec!["mpr_sc".into(), "safe_motion_primitive_dm".into()],
+            families: vec![ScheduleFamily::Targeted, ScheduleFamily::Burst],
+            min_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(1500),
+            max_width: Duration::from_secs_f64(HORIZON),
+            horizon: HORIZON,
+        },
+        FalsifierConfig {
+            budget: 8,
+            restarts: 8,
+            neighbours: 4,
+            workers,
+            seed: 7,
+        },
+    )
+}
+
+/// A fixed candidate batch: starvation windows sweeping the horizon.
+fn batch() -> Vec<JitterSchedule> {
+    (0..8u64)
+        .map(|i| JitterSchedule::TargetedNode {
+            node: if i % 2 == 0 {
+                "mpr_sc"
+            } else {
+                "safe_motion_primitive_dm"
+            }
+            .into(),
+            start: Time::from_millis(i * 1_000),
+            width: Duration::from_secs(3),
+            delay: Duration::from_millis(300 + 100 * i),
+        })
+        .collect()
+}
+
+fn print_table() {
+    println!("\n=== Falsify throughput: 8 candidate schedules, {HORIZON} s stress horizon ===");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "workers", "schedules", "wall clock", "schedules/s"
+    );
+    for workers in [1usize, 4, 8] {
+        let falsifier = falsifier(workers);
+        let candidates = batch();
+        let started = Instant::now();
+        let records = falsifier.evaluate(&candidates);
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(records.len(), candidates.len());
+        println!(
+            "{:<10} {:>10} {:>12.2} s {:>14.1}",
+            workers,
+            records.len(),
+            elapsed,
+            records.len() as f64 / elapsed.max(1e-9)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("falsify");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        let falsifier = falsifier(workers);
+        let candidates = batch();
+        group.bench_function(format!("evaluate_8_schedules_{workers}_workers"), |b| {
+            b.iter(|| {
+                let records = falsifier.evaluate(&candidates);
+                black_box(records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,7 +22,7 @@
 //! controller or free node and merges its outputs into `Topics` only when
 //! its output is enabled.
 
-use crate::jitter::{JitterModel, JitterSampler};
+use crate::schedule::{JitterSchedule, ScheduleSampler};
 use crate::trace::{Trace, TraceEvent};
 use soter_core::composition::RtaSystem;
 use soter_core::invariant::InvariantMonitor;
@@ -55,9 +55,11 @@ where
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
-    /// Scheduling jitter applied to node firings ([`JitterModel::none`] for
-    /// the ideal calendar).
-    pub jitter: JitterModel,
+    /// Scheduling-jitter schedule applied to node firings
+    /// ([`JitterSchedule::Ideal`] for the ideal calendar; any
+    /// [`crate::jitter::JitterModel`] converts via `.into()` for the legacy
+    /// i.i.d. behaviour).
+    pub schedule: JitterSchedule,
     /// Whether to record a full [`Trace`] (disable for long campaigns).
     pub record_trace: bool,
     /// Whether to evaluate the Theorem 3.1 invariant monitors at every DM
@@ -68,7 +70,7 @@ pub struct ExecutorConfig {
 impl Default for ExecutorConfig {
     fn default() -> Self {
         ExecutorConfig {
-            jitter: JitterModel::none(),
+            schedule: JitterSchedule::Ideal,
             record_trace: true,
             monitor_invariants: true,
         }
@@ -101,10 +103,14 @@ pub struct Executor {
     oe: BTreeMap<String, bool>,
     now: Time,
     calendar: Vec<(NodeRef, Time)>,
+    /// Node names aligned index-for-index with `calendar`, so the schedule
+    /// sampler can be consulted per node without re-allocating names on
+    /// every reschedule.
+    calendar_names: Vec<String>,
     trace: Trace,
     monitors: Vec<InvariantMonitor>,
     environment: Option<Box<dyn EnvironmentModel>>,
-    jitter: JitterSampler,
+    sampler: Box<dyn ScheduleSampler>,
     observers: Vec<Observer>,
     fired_steps: u64,
 }
@@ -138,21 +144,36 @@ impl Executor {
         } else {
             Trace::disabled()
         };
-        let jitter = config.jitter.sampler();
-        Executor {
+        let sampler = config.schedule.sampler();
+        let mut exec = Executor {
             system,
             config,
             topics: TopicMap::new(),
             oe,
             now: Time::ZERO,
             calendar,
+            calendar_names: Vec::new(),
             trace,
             monitors,
             environment: None,
-            jitter,
+            sampler,
             observers: Vec::new(),
             fired_steps: 0,
-        }
+        };
+        exec.calendar_names = exec
+            .calendar
+            .iter()
+            .map(|(node, _)| exec.node_name(*node))
+            .collect();
+        exec
+    }
+
+    /// Replaces the schedule sampler (e.g. with a custom
+    /// [`ScheduleSampler`] implementation not expressible as a
+    /// [`JitterSchedule`]).  Must be called before the first instant is
+    /// stepped for the run to be reproducible from the sampler alone.
+    pub fn set_schedule_sampler(&mut self, sampler: Box<dyn ScheduleSampler>) {
+        self.sampler = sampler;
     }
 
     /// Installs the environment model producing ENVIRONMENT-INPUT
@@ -350,9 +371,9 @@ impl Executor {
             NodeRef::Sc(i) => self.system.modules()[i].sc().period(),
             NodeRef::Free(i) => self.system.free_nodes()[i].period(),
         };
-        let delay = self.jitter.sample();
-        for entry in &mut self.calendar {
+        for (idx, entry) in self.calendar.iter_mut().enumerate() {
             if entry.0 == node {
+                let delay = self.sampler.delay(&self.calendar_names[idx], self.now);
                 entry.1 = self.now + period + delay;
                 return;
             }
@@ -461,6 +482,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::jitter::JitterModel;
     use soter_core::node::FnNode;
     use soter_core::prelude::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -741,7 +763,7 @@ mod tests {
     #[test]
     fn jitter_delays_firings() {
         let config = ExecutorConfig {
-            jitter: JitterModel::new(1.0, Duration::from_millis(20), 42),
+            schedule: JitterModel::new(1.0, Duration::from_millis(20), 42).into(),
             ..ExecutorConfig::default()
         };
         let mut exec = Executor::with_config(line_system(), config);
@@ -776,12 +798,12 @@ mod tests {
     }
 
     /// Regression test: jitter seeding is explicit per run (the sampler is
-    /// constructed from `ExecutorConfig::jitter.seed` alone), so consecutive
+    /// constructed from `ExecutorConfig::schedule` alone), so consecutive
     /// or interleaved runs must not couple through any shared state.
     #[test]
     fn jitter_seeding_is_per_run_and_uncoupled() {
         let config = ExecutorConfig {
-            jitter: JitterModel::new(0.5, Duration::from_millis(30), 99),
+            schedule: JitterModel::new(0.5, Duration::from_millis(30), 99).into(),
             ..ExecutorConfig::default()
         };
         let run_alone = |cfg: &ExecutorConfig| {
@@ -814,7 +836,7 @@ mod tests {
     fn trace_digest_separates_jitter_configurations() {
         let digest_with = |jitter: JitterModel| {
             let config = ExecutorConfig {
-                jitter,
+                schedule: jitter.into(),
                 ..ExecutorConfig::default()
             };
             let mut exec = Executor::with_config(line_system(), config);

@@ -11,9 +11,14 @@
 //!   [`executor::EnvironmentModel`] inject ENVIRONMENT-INPUT transitions,
 //! * [`trace`] — structured execution traces (node firings, mode switches,
 //!   invariant violations) used by the experiment harness and tests,
-//! * [`jitter`] — a scheduling-jitter model that delays node firings, used
-//!   to reproduce the scheduling-starvation crashes reported in the paper's
-//!   stress campaign (Sec. V-D),
+//! * [`jitter`] — the stochastic i.i.d. scheduling-jitter model that delays
+//!   node firings, used to reproduce the scheduling-starvation crashes
+//!   reported in the paper's stress campaign (Sec. V-D),
+//! * [`schedule`] — deterministic, per-node jitter *schedules* behind the
+//!   [`schedule::ScheduleSampler`] trait the executor consults per firing:
+//!   bursts, targeted node starvation (the paper's exact crash class),
+//!   phase-locked windows and exact replayable recordings, searched over by
+//!   the falsification engine in `soter-scenarios`,
 //! * [`explore`] — a bounded-asynchrony systematic-testing engine in the
 //!   style of the P/DRONA backend the paper builds on: it enumerates firing
 //!   orders of simultaneously enabled nodes and checks a safety predicate on
@@ -42,9 +47,11 @@
 pub mod executor;
 pub mod explore;
 pub mod jitter;
+pub mod schedule;
 pub mod trace;
 
 pub use executor::{EnvironmentModel, Executor, ExecutorConfig};
 pub use explore::{ExplorationReport, SystematicTester};
 pub use jitter::JitterModel;
+pub use schedule::{delta_slack, JitterSchedule, RecordedDelay, RecordedSchedule, ScheduleSampler};
 pub use trace::{Trace, TraceEvent, TraceHasher};

@@ -22,7 +22,7 @@
 use crate::runner::{run_scenario, ScenarioOutcome};
 use crate::spec::Scenario;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -131,7 +131,30 @@ impl Campaign {
     /// the workers.
     pub fn stream(&self) -> CampaignStream {
         let jobs = Arc::new(self.jobs());
-        let workers = self.workers.clamp(1, jobs.len().max(1));
+        // Degenerate campaigns (no scenarios, or scenarios × no jobs) must
+        // terminate cleanly rather than wait on workers that have nothing
+        // to do: spawn no threads and hand back an already-closed channel,
+        // so the stream drains to an empty report immediately.
+        if jobs.is_empty() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            drop(tx);
+            return CampaignStream {
+                rx: Some(rx),
+                cancel: Arc::new(AtomicBool::new(false)),
+                panic_slot: Arc::new(Mutex::new(None)),
+                handles: Vec::new(),
+                progress: CampaignProgress {
+                    executed: Arc::new(AtomicUsize::new(0)),
+                    buffered: Arc::new(AtomicUsize::new(0)),
+                    peak_buffered: Arc::new(AtomicUsize::new(0)),
+                    total: 0,
+                },
+            };
+        }
+        // `with_workers` clamps to ≥ 1 at the setter; clamp again here so
+        // the worker count can never reach 0 (a zero step would panic the
+        // round-robin deal below) and never exceeds the job count.
+        let workers = self.workers.clamp(1, jobs.len());
         let capacity = self.channel_capacity.unwrap_or(2 * workers);
         let queues: Arc<Vec<Mutex<VecDeque<usize>>>> = Arc::new(
             (0..workers)
@@ -430,11 +453,18 @@ impl CampaignReport {
     }
 
     /// Per-scenario aggregates, in first-appearance order.
+    ///
+    /// Aggregation is O(runs) — scenario names are resolved through a hash
+    /// index instead of a linear scan of the stats table, so wide
+    /// campaigns (many scenarios × many seeds) do not degrade to
+    /// O(runs × scenarios).  First-appearance order of the records is
+    /// preserved (pinned by `per_scenario_preserves_first_appearance_order`).
     pub fn per_scenario(&self) -> Vec<ScenarioStats> {
         let mut stats: Vec<ScenarioStats> = Vec::new();
+        let mut index: HashMap<&str, usize> = HashMap::new();
         for record in &self.records {
-            let entry = match stats.iter_mut().find(|s| s.scenario == record.scenario) {
-                Some(entry) => entry,
+            let slot = match index.get(record.scenario.as_str()) {
+                Some(&slot) => slot,
                 None => {
                     stats.push(ScenarioStats {
                         scenario: record.scenario.clone(),
@@ -446,9 +476,11 @@ impl CampaignReport {
                         mean_mode_switches: 0.0,
                         completed_runs: 0,
                     });
-                    stats.last_mut().expect("just pushed")
+                    index.insert(record.scenario.as_str(), stats.len() - 1);
+                    stats.len() - 1
                 }
             };
+            let entry = &mut stats[slot];
             entry.runs += 1;
             entry.safety_violations += record.safety_violations;
             entry.separation_violations += record.separation_violations;
@@ -592,6 +624,67 @@ mod tests {
     fn workers_are_clamped_to_one() {
         let campaign = Campaign::new(vec![tiny_scenario("a")]).with_workers(0);
         assert_eq!(campaign.workers, 1);
+    }
+
+    /// Regression test for the per-scenario aggregation rewrite: records
+    /// interleaved across many scenarios must aggregate into stats in
+    /// *first-appearance* order (the order the summary table prints), with
+    /// every record attributed to the right row — the hash-indexed
+    /// aggregation must be observationally identical to the old linear
+    /// scan, just O(runs) instead of O(runs × scenarios).
+    #[test]
+    fn per_scenario_preserves_first_appearance_order() {
+        let record = |scenario: &str, switches: usize| RunRecord {
+            scenario: scenario.into(),
+            seed: 0,
+            digest: 0,
+            safety_violations: 0,
+            separation_violations: 0,
+            invariant_violations: 0,
+            mode_switches: switches,
+            targets_reached: 0,
+            completed: true,
+        };
+        // First appearances: z, m, a — deliberately not sorted, and
+        // revisited out of order.
+        let report = CampaignReport {
+            records: vec![
+                record("z", 1),
+                record("m", 2),
+                record("a", 3),
+                record("m", 4),
+                record("z", 5),
+                record("a", 6),
+                record("z", 7),
+            ],
+            workers: 1,
+            wall_clock: 1.0,
+        };
+        let stats = report.per_scenario();
+        let order: Vec<&str> = stats.iter().map(|s| s.scenario.as_str()).collect();
+        assert_eq!(order, vec!["z", "m", "a"], "first-appearance order");
+        assert_eq!(stats[0].runs, 3);
+        assert_eq!(stats[0].mode_switches, 1 + 5 + 7);
+        assert_eq!(stats[1].runs, 2);
+        assert_eq!(stats[1].mode_switches, 2 + 4);
+        assert_eq!(stats[2].runs, 2);
+        assert_eq!(stats[2].mode_switches, 3 + 6);
+        // A wide synthetic campaign exercises the indexed path at scale.
+        let wide = CampaignReport {
+            records: (0..512)
+                .flat_map(|i| {
+                    let name = format!("s{i:03}");
+                    [record(&name, i), record(&name, i)]
+                })
+                .collect(),
+            workers: 1,
+            wall_clock: 1.0,
+        };
+        let stats = wide.per_scenario();
+        assert_eq!(stats.len(), 512);
+        assert!(stats.iter().all(|s| s.runs == 2));
+        assert_eq!(stats[0].scenario, "s000");
+        assert_eq!(stats[511].scenario, "s511");
     }
 
     #[test]

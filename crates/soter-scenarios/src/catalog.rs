@@ -10,8 +10,9 @@
 use crate::spec::{
     FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec,
 };
-use soter_core::time::Duration;
+use soter_core::time::{Duration, Time};
 use soter_drone::stack::{AdvancedKind, Protection};
+use soter_runtime::schedule::{delta_slack, JitterSchedule};
 use soter_sim::battery::BatteryModel;
 use soter_sim::wind::WindModel;
 
@@ -104,10 +105,7 @@ pub fn planner_rta(seed: u64, queries: usize) -> Scenario {
 /// The aggressive jitter of the Sec. V-D stress campaign: up to three
 /// decision periods of delay, often.
 pub fn stress_jitter() -> JitterSpec {
-    JitterSpec {
-        probability: 0.2,
-        max_delay: Duration::from_millis(300),
-    }
+    JitterSpec::iid(0.2, Duration::from_millis(300))
 }
 
 /// Sec. V-D (scaled): a long randomized surveillance campaign, optionally
@@ -130,6 +128,94 @@ pub fn stress(seed: u64, horizon: f64, with_jitter: bool) -> Scenario {
     .with_jitter(jitter)
     .with_horizon(horizon)
     .with_seed(seed)
+}
+
+/// The per-firing delay tolerance of the stress stack's motion-primitive
+/// module: [`delta_slack`] of its decision period Δ (100 ms) and φ_safer
+/// hysteresis factor (1.5), i.e. 50 ms.  Schedules that never delay a
+/// firing by more than this stay within the timing assumptions of
+/// Theorem 3.1, so the RTA-protected stack must stay violation-free under
+/// them — the [`adversarial_stress`] control grid pins exactly that.
+pub fn stress_delta_slack() -> Duration {
+    let defaults = Scenario::new("defaults");
+    delta_slack(defaults.delta_mpr, defaults.safer_factor)
+}
+
+/// The in-tolerance adversarial control grid: the Sec. V-D stress mission
+/// under deterministic adversarial schedules whose per-firing delay stays
+/// at the Δ-slack tolerance ([`stress_delta_slack`]).  These are the
+/// *negative* controls of the falsification engine: every cell must pin
+/// zero φ_safe violations, because its schedule never leaves the timing
+/// assumptions the RTA theorems rely on.  (The positive control — a
+/// schedule *outside* the tolerance that provably crashes the stack — is
+/// [`sc_starvation`].)
+pub fn adversarial_stress(seed: u64, horizon: f64) -> Vec<Scenario> {
+    let slack = stress_delta_slack();
+    let whole_run = Duration::from_secs_f64(horizon);
+    let base = |name: &str| stress(seed, horizon, false).with_name(format!("adv-stress-{name}"));
+    vec![
+        // Starve the safe controller — the paper's crash class, but held
+        // inside the tolerance.
+        base("slack-sc").with_jitter(JitterSpec::Schedule(JitterSchedule::TargetedNode {
+            node: "mpr_sc".into(),
+            start: Time::ZERO,
+            width: whole_run,
+            delay: slack,
+        })),
+        // Starve the decision module itself.
+        base("slack-dm").with_jitter(JitterSpec::Schedule(JitterSchedule::TargetedNode {
+            node: "safe_motion_primitive_dm".into(),
+            start: Time::ZERO,
+            width: whole_run,
+            delay: slack,
+        })),
+        // A system-wide burst covering the whole run.
+        base("slack-burst").with_jitter(JitterSpec::Schedule(JitterSchedule::Burst {
+            start: Time::ZERO,
+            width: whole_run,
+            delay: slack,
+        })),
+        // Jitter phase-locked to a 500 ms co-scheduled disturbance.
+        base("slack-phase").with_jitter(JitterSpec::Schedule(JitterSchedule::PhaseLocked {
+            period: Duration::from_millis(500),
+            offset: Duration::from_millis(100),
+            width: Duration::from_millis(250),
+            delay: slack,
+        })),
+    ]
+}
+
+/// The schedule the falsification engine found and shrank for the
+/// RTA-protected stress scenario: starve only the safe controller
+/// (`mpr_sc`) for ~10.4 s starting at ~8.3 s, delaying each of its firings
+/// by ~1.18 s — more than eleven decision periods, far outside the Δ-slack
+/// tolerance.  The DM still switches control, but the SC is not scheduled
+/// in time to recover: the paper's Sec. V-D crash class, reproduced
+/// deterministically.
+///
+/// Provenance: `Falsifier` over `ScheduleSpace { nodes: [mpr_sc],
+/// families: [Targeted], delays 100 ms..1.5 s }` with
+/// `FalsifierConfig { budget: 48, restarts: 8, neighbours: 4, seed: 7 }`
+/// on `stress(13, 30.0, false)` — found after 8 evaluations and one
+/// accepted shrink step.  `tests/falsify.rs` re-runs that search and
+/// asserts it reproduces this exact schedule at every worker count.
+pub fn sc_starvation_schedule() -> JitterSchedule {
+    JitterSchedule::TargetedNode {
+        node: "mpr_sc".into(),
+        start: Time::from_micros(8_304_342),
+        width: Duration::from_micros(10_377_054),
+        delay: Duration::from_micros(1_182_466),
+    }
+}
+
+/// The pinned SC-starvation counterexample: the stress mission under
+/// [`sc_starvation_schedule`].  Its golden snapshot pins the crash
+/// (`safety_violations ≥ 1`) — the positive control of the falsification
+/// engine, complementing the violation-free [`adversarial_stress`] grid.
+pub fn sc_starvation() -> Scenario {
+    stress(13, 30.0, false)
+        .with_name("stress-sc-starvation")
+        .with_jitter(JitterSpec::Schedule(sc_starvation_schedule()))
 }
 
 /// Remark 3.3: one cell of the Δ / φ_safer ablation — a protected circuit
@@ -268,6 +354,11 @@ pub fn golden_suite() -> Vec<Scenario> {
     // One representative cell of each campaign grid, with short horizons.
     suite.push(wind_sweep(3, 40.0).remove(2));
     suite.push(battery_degradation_grid(11, 60.0).remove(3));
+    // The falsification goldens, both ways: the whole in-tolerance control
+    // grid pins zero violations, the found SC-starvation schedule pins the
+    // crash.
+    suite.extend(adversarial_stress(13, 30.0));
+    suite.push(sc_starvation());
     suite
 }
 
@@ -302,6 +393,41 @@ mod tests {
                 "name {name:?} is not filesystem-friendly"
             );
         }
+    }
+
+    #[test]
+    fn adversarial_grid_stays_inside_the_delta_slack() {
+        let slack = stress_delta_slack();
+        assert_eq!(slack, Duration::from_millis(50), "Δ=100 ms, factor 1.5");
+        let grid = adversarial_stress(13, 30.0);
+        assert_eq!(grid.len(), 4);
+        for scenario in &grid {
+            assert!(scenario.jitter.is_enabled(), "{}", scenario.name);
+            let JitterSpec::Schedule(schedule) = &scenario.jitter else {
+                panic!("{} must carry a deterministic schedule", scenario.name);
+            };
+            assert!(
+                schedule.max_delay() <= slack,
+                "{} exceeds the Δ-slack tolerance",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn sc_starvation_is_outside_the_tolerance_and_targets_the_sc() {
+        let schedule = sc_starvation_schedule();
+        assert!(
+            schedule.max_delay() > stress_delta_slack(),
+            "the pinned counterexample must sit outside the Δ-slack assumptions"
+        );
+        assert!(
+            matches!(&schedule, JitterSchedule::TargetedNode { node, .. } if node == "mpr_sc"),
+            "the pinned crash class starves the safe controller"
+        );
+        let scenario = sc_starvation();
+        assert_eq!(scenario.name, "stress-sc-starvation");
+        assert_eq!(scenario.jitter.model(scenario.seed), schedule);
     }
 
     #[test]

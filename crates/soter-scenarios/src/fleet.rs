@@ -185,7 +185,7 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
         .map(|i| scoped_topic(&drone_prefix(i), topics::MISSION_PROGRESS))
         .collect();
     let exec_config = ExecutorConfig {
-        jitter: scenario.jitter.model(scenario.seed),
+        schedule: scenario.jitter.model(scenario.seed),
         record_trace: false,
         monitor_invariants: true,
     };

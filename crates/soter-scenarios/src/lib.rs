@@ -23,6 +23,11 @@
 //!   per-run results; aggregate with a
 //!   [`CampaignReport`] or stream records through
 //!   a bounded channel ([`Campaign::stream`]),
+//! * [`falsify`] — adversarial jitter-schedule falsification: random
+//!   restarts + local search over deterministic
+//!   [`JitterSchedule`](soter_runtime::schedule::JitterSchedule)s, fanned
+//!   out through the campaign engine, with violating schedules shrunk to
+//!   minimal [`Counterexample`]s in the golden-trace format,
 //! * [`golden`] — golden-trace regression: snapshot any scenario's digest
 //!   under `tests/golden/` and verify every later run against it,
 //! * [`experiments`] — the pre-refactor driver entry points, kept as thin
@@ -55,15 +60,18 @@
 pub mod campaign;
 pub mod catalog;
 pub mod experiments;
+pub mod falsify;
 pub mod fleet;
 pub mod golden;
 pub mod runner;
 pub mod spec;
 
 pub use campaign::{Campaign, CampaignReport, CampaignStream, RunRecord};
+pub use falsify::{Counterexample, Falsifier, FalsifierConfig, FalsifyReport, ScheduleSpace};
 pub use fleet::FleetOutcome;
 pub use golden::{bless, verify_against_golden, GoldenError};
 pub use runner::{run_scenario, RunOutcome, ScenarioOutcome};
 pub use spec::{
-    FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec,
+    derive_stream_seed, FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario,
+    TargetPolicySpec, WorkspaceSpec,
 };

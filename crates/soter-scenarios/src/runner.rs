@@ -18,7 +18,7 @@ use soter_plan::rrt_star::RrtStarConfig;
 use soter_plan::traits::MotionPlanner;
 use soter_plan::validate::validate_plan;
 use soter_runtime::executor::{Executor, ExecutorConfig};
-use soter_runtime::jitter::JitterModel;
+use soter_runtime::schedule::JitterSchedule;
 use soter_runtime::trace::TraceHasher;
 use soter_sim::trajectory::{MissionMetrics, Trajectory};
 use soter_sim::vec3::Vec3;
@@ -68,10 +68,10 @@ pub fn run_stack(
     handle: PlantHandle,
     max_time: f64,
     target_progress: Option<i64>,
-    jitter: JitterModel,
+    schedule: JitterSchedule,
 ) -> RunOutcome {
     let config = ExecutorConfig {
-        jitter,
+        schedule,
         record_trace: false,
         monitor_invariants: true,
     };

@@ -18,6 +18,7 @@ use soter_core::time::Duration;
 use soter_drone::stack::{AdvancedKind, DroneStackConfig, Protection};
 use soter_plan::surveillance::TargetPolicy;
 use soter_runtime::jitter::JitterModel;
+use soter_runtime::schedule::JitterSchedule;
 use soter_sim::battery::BatteryModel;
 use soter_sim::geometry::Aabb;
 use soter_sim::vec3::Vec3;
@@ -140,43 +141,93 @@ pub enum MissionSpec {
     },
 }
 
-/// Scheduling-jitter specification.  The sampler seed is derived from the
-/// scenario seed at run time, so re-seeding a scenario re-seeds its jitter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct JitterSpec {
-    /// Probability that a given node firing is delayed.
-    pub probability: f64,
-    /// Maximum delay applied to a delayed firing.
-    pub max_delay: Duration,
+/// The stream tag of the jitter sampler in [`derive_stream_seed`].  Other
+/// RNG consumers that derive from the scenario seed should claim their own
+/// tag so no two streams can collide.
+pub const JITTER_STREAM: u64 = 1;
+
+/// Derives the seed of a named RNG stream from the scenario master seed
+/// with a splitmix64-style mix.
+///
+/// The pre-refactor derivation was `scenario_seed.wrapping_add(3)`, which
+/// made the jitter stream of scenario seed `s` *identical* to the stream of
+/// seed `s + 3` — in a seed fan-out campaign, supposedly independent runs
+/// shared correlated delay sequences.  Mixing the `(seed, stream)` pair
+/// through splitmix64's finaliser decorrelates every (seed, stream)
+/// combination: adjacent seeds, and different streams of the same seed,
+/// land in unrelated parts of the sampler's state space.
+pub fn derive_stream_seed(scenario_seed: u64, stream: u64) -> u64 {
+    let mut z = scenario_seed
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scheduling-jitter specification of a scenario.
+///
+/// The i.i.d. variant re-seeds from the scenario seed at run time (via
+/// [`derive_stream_seed`]), so re-seeding a scenario re-seeds its jitter;
+/// the [`JitterSpec::Schedule`] variant carries a deterministic adversarial
+/// [`JitterSchedule`] verbatim — the same schedule replays identically
+/// whatever the scenario seed, which is what lets the falsification engine
+/// shrink and pin counterexample schedules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JitterSpec {
+    /// No jitter — the ideal calendar.
+    None,
+    /// The stochastic model of the paper's stress campaign: every firing is
+    /// delayed with probability `probability` by up to `max_delay`.
+    Iid {
+        /// Probability that a given node firing is delayed.
+        probability: f64,
+        /// Maximum delay applied to a delayed firing.
+        max_delay: Duration,
+    },
+    /// A deterministic adversarial schedule, used verbatim (seed-independent).
+    Schedule(JitterSchedule),
 }
 
 impl JitterSpec {
     /// No jitter — the ideal calendar.
     pub fn none() -> Self {
-        JitterSpec {
-            probability: 0.0,
-            max_delay: Duration::ZERO,
+        JitterSpec::None
+    }
+
+    /// The stochastic i.i.d. model (the pre-refactor `JitterSpec` shape).
+    pub fn iid(probability: f64, max_delay: Duration) -> Self {
+        JitterSpec::Iid {
+            probability,
+            max_delay,
         }
     }
 
     /// Whether any firing can be delayed.
     pub fn is_enabled(&self) -> bool {
-        self.probability > 0.0 && !self.max_delay.is_zero()
+        match self {
+            JitterSpec::None => false,
+            JitterSpec::Iid {
+                probability,
+                max_delay,
+            } => *probability > 0.0 && !max_delay.is_zero(),
+            JitterSpec::Schedule(schedule) => schedule.is_enabled(),
+        }
     }
 
-    /// Instantiates the executor jitter model for a scenario seed.  The
-    /// offset keeps the jitter stream decorrelated from the plant/planner
-    /// streams that consume the seed directly (and matches the seeding the
-    /// pre-refactor stress driver used).
-    pub fn model(&self, scenario_seed: u64) -> JitterModel {
-        if self.is_enabled() {
-            JitterModel::new(
-                self.probability,
-                self.max_delay,
-                scenario_seed.wrapping_add(3),
-            )
-        } else {
-            JitterModel::none()
+    /// Instantiates the executor schedule for a scenario seed.
+    pub fn model(&self, scenario_seed: u64) -> JitterSchedule {
+        match self {
+            JitterSpec::Iid {
+                probability,
+                max_delay,
+            } if self.is_enabled() => JitterSchedule::Iid(JitterModel::new(
+                *probability,
+                *max_delay,
+                derive_stream_seed(scenario_seed, JITTER_STREAM),
+            )),
+            JitterSpec::None | JitterSpec::Iid { .. } => JitterSchedule::Ideal,
+            JitterSpec::Schedule(schedule) => schedule.clone(),
         }
     }
 }
@@ -335,7 +386,8 @@ pub struct Scenario {
     /// Start position override (`None` = first surveillance point).
     pub start: Option<Vec3>,
     /// Master seed: sensor noise, planners, faults, target policy and (with
-    /// a fixed offset) scheduling jitter all derive from it.
+    /// a splitmix64 stream mix, see [`derive_stream_seed`]) i.i.d.
+    /// scheduling jitter all derive from it.
     pub seed: u64,
 }
 
@@ -540,16 +592,80 @@ mod tests {
 
     #[test]
     fn jitter_spec_derives_seed_from_scenario() {
-        let spec = JitterSpec {
-            probability: 0.2,
-            max_delay: Duration::from_millis(300),
-        };
+        let spec = JitterSpec::iid(0.2, Duration::from_millis(300));
         assert!(spec.is_enabled());
         assert_eq!(
             spec.model(13),
-            JitterModel::new(0.2, Duration::from_millis(300), 16)
+            JitterSchedule::Iid(JitterModel::new(
+                0.2,
+                Duration::from_millis(300),
+                derive_stream_seed(13, JITTER_STREAM)
+            ))
         );
-        assert_eq!(JitterSpec::none().model(13), JitterModel::none());
+        assert_eq!(JitterSpec::none().model(13), JitterSchedule::Ideal);
+        assert_eq!(
+            JitterSpec::iid(0.0, Duration::from_millis(300)).model(13),
+            JitterSchedule::Ideal,
+            "a zero-probability spec compiles to the ideal calendar"
+        );
+    }
+
+    #[test]
+    fn schedule_specs_are_seed_independent() {
+        let schedule = JitterSchedule::TargetedNode {
+            node: "mpr_sc".into(),
+            start: soter_core::time::Time::from_millis(500),
+            width: Duration::from_secs(2),
+            delay: Duration::from_millis(250),
+        };
+        let spec = JitterSpec::Schedule(schedule.clone());
+        assert!(spec.is_enabled());
+        assert_eq!(spec.model(1), schedule);
+        assert_eq!(
+            spec.model(1),
+            spec.model(999),
+            "adversarial schedules replay verbatim whatever the seed"
+        );
+    }
+
+    /// Regression test for the correlated-seeding bug: the old derivation
+    /// (`scenario_seed.wrapping_add(3)`) made scenario seeds `s` and `s + 3`
+    /// share an *identical* jitter delay stream, silently correlating
+    /// supposedly independent runs of a seed fan-out.  With the splitmix64
+    /// mix, every pair of nearby seeds must produce distinct streams.
+    #[test]
+    fn adjacent_scenario_seeds_get_distinct_jitter_streams() {
+        let spec = JitterSpec::iid(0.5, Duration::from_millis(100));
+        let stream = |seed: u64| -> Vec<Duration> {
+            let mut sampler = spec.model(seed).sampler();
+            (0..32)
+                .map(|i| sampler.delay("node", soter_core::time::Time::from_millis(i)))
+                .collect()
+        };
+        for s in 0..16u64 {
+            for offset in 1..=8u64 {
+                assert_ne!(
+                    stream(s),
+                    stream(s + offset),
+                    "seeds {s} and {} share a jitter stream",
+                    s + offset
+                );
+            }
+        }
+        // And the derivation itself must not be a fixed-offset rebrand.
+        let mut derived: Vec<u64> = (0..64)
+            .map(|s| derive_stream_seed(s, JITTER_STREAM))
+            .collect();
+        derived.sort_unstable();
+        derived.dedup();
+        assert_eq!(derived.len(), 64, "stream seeds must be pairwise distinct");
+    }
+
+    #[test]
+    fn stream_tags_separate_streams_of_one_seed() {
+        let a = derive_stream_seed(42, JITTER_STREAM);
+        let b = derive_stream_seed(42, JITTER_STREAM + 1);
+        assert_ne!(a, b, "different streams of one scenario seed must differ");
     }
 
     #[test]

@@ -30,10 +30,7 @@ fn main() {
         .with_workspace(workspace)
         .with_mission(MissionSpec::CircuitLap)
         .with_wind(WindModel::Gusty { magnitude: 0.2 })
-        .with_jitter(JitterSpec {
-            probability: 0.02,
-            max_delay: Duration::from_millis(20),
-        })
+        .with_jitter(JitterSpec::iid(0.02, Duration::from_millis(20)))
         .with_horizon(90.0);
 
     // One struct, four seeds, four workers.

@@ -164,6 +164,63 @@ fn dropping_the_stream_early_cancels_outstanding_work() {
     );
 }
 
+/// Degenerate campaign configurations must terminate cleanly instead of
+/// hanging `stream()` on workers that were never spawned or dividing by
+/// zero in the report.  Three cases: a zero worker count, an empty
+/// scenario list, and an empty seed list.
+#[test]
+fn zero_workers_are_clamped_and_the_campaign_completes() {
+    let report = Campaign::new(vec![instant_scenario("w0")])
+        .with_seeds([1, 2, 3])
+        .with_workers(0)
+        .run();
+    assert_eq!(report.runs(), 3);
+    assert_eq!(report.workers, 1, "a zero worker count clamps to one");
+    assert!(report.runs_per_second().is_finite());
+    // The streaming path with the clamped worker count drains too.
+    let stream = Campaign::new(vec![instant_scenario("w0")])
+        .with_seeds([1, 2, 3])
+        .with_workers(0)
+        .stream();
+    assert_eq!(stream.count(), 3);
+}
+
+#[test]
+fn empty_scenario_list_yields_an_empty_report_without_hanging() {
+    // Both with and without a seed fan-out: zero scenarios × anything is
+    // zero jobs.
+    for seeds in [vec![], vec![1u64, 2, 3]] {
+        let campaign = Campaign::new(Vec::new()).with_seeds(seeds).with_workers(4);
+        let stream = campaign.stream();
+        assert_eq!(stream.progress().total(), 0);
+        assert_eq!(stream.count(), 0, "an empty stream must drain immediately");
+        let report = campaign.run();
+        assert_eq!(report.runs(), 0);
+        assert_eq!(report.total_safety_violations(), 0);
+        assert_eq!(
+            report.runs_per_second(),
+            0.0,
+            "an empty report must not divide by zero"
+        );
+        assert!(report.per_scenario().is_empty());
+        // The summary renders (header only) rather than panicking.
+        assert!(report.summary().contains("0 runs"));
+    }
+}
+
+#[test]
+fn empty_seed_list_falls_back_to_built_in_seeds() {
+    // An empty seed list is *not* "no jobs": it restores each scenario's
+    // built-in seed (the documented contract), and the campaign still
+    // terminates cleanly.
+    let report = Campaign::new(vec![instant_scenario("s").with_seed(77)])
+        .with_seeds(Vec::<u64>::new())
+        .with_workers(8)
+        .run();
+    assert_eq!(report.runs(), 1);
+    assert_eq!(report.records[0].seed, 77);
+}
+
 /// The CI campaign-smoke job: a 3-scenario × 4-seed matrix, with the
 /// summary written to `target/campaign-report.txt` (override the location
 /// with the `CAMPAIGN_REPORT` environment variable) for artifact upload.

@@ -1,0 +1,126 @@
+//! Falsification-engine integration tests: the budgeted search finds and
+//! shrinks the pinned SC-starvation schedule byte-identically across
+//! reruns and worker counts, the in-tolerance space stays violation-free,
+//! and the CI falsify-smoke artifact is written.
+
+use soter::core::time::Duration;
+use soter::scenarios::catalog;
+use soter::scenarios::falsify::{
+    counterexample_to_text, Falsifier, FalsifierConfig, ScheduleFamily, ScheduleSpace,
+};
+use soter::scenarios::golden::record_from_text;
+
+/// The exact search that produced `catalog::sc_starvation_schedule()` —
+/// see the provenance note on that function.
+fn sc_starvation_search(workers: usize) -> Falsifier {
+    let horizon = 30.0;
+    Falsifier::new(
+        catalog::stress(13, horizon, false).with_name("stress-sc-starvation"),
+        ScheduleSpace {
+            nodes: vec!["mpr_sc".into()],
+            families: vec![ScheduleFamily::Targeted],
+            min_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(1500),
+            max_width: Duration::from_secs_f64(horizon),
+            horizon,
+        },
+        FalsifierConfig {
+            budget: 48,
+            restarts: 8,
+            neighbours: 4,
+            workers,
+            seed: 7,
+        },
+    )
+}
+
+/// The acceptance gate of the falsification engine: the budgeted search
+/// finds a violating SC-starvation schedule, shrinks it, and reproduces
+/// the *pinned* counterexample byte-identically across reruns and worker
+/// counts.  The crashing run itself is additionally pinned as the
+/// `stress-sc-starvation` golden, whose record must match the
+/// counterexample's record field-for-field.  This test also writes the CI
+/// falsify-smoke artifact (override the location with the
+/// `FALSIFY_REPORT` environment variable).
+#[test]
+fn falsifier_reproduces_the_pinned_sc_starvation_counterexample() {
+    let parallel = sc_starvation_search(4).run();
+    let ce = parallel
+        .counterexample
+        .as_ref()
+        .expect("the budgeted search must find a violation");
+    // The search found exactly the schedule pinned in the catalog...
+    assert_eq!(ce.schedule, catalog::sc_starvation_schedule());
+    assert!(ce.record.safety_violations >= 1, "{ce:?}");
+    // ...whose crashing run is pinned as a golden snapshot.
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/stress-sc-starvation-s13.golden"
+    ))
+    .expect("the SC-starvation golden exists");
+    assert_eq!(
+        ce.record,
+        record_from_text(&golden).expect("golden parses"),
+        "the counterexample's crash must be the pinned golden record"
+    );
+    // Byte-identical reproduction on a single worker.
+    let sequential = sc_starvation_search(1).run();
+    assert_eq!(
+        parallel, sequential,
+        "falsification must not depend on the worker count"
+    );
+    // The CI artifact: the full report summary with the counterexample in
+    // the golden-trace text format.
+    let path = std::env::var("FALSIFY_REPORT")
+        .unwrap_or_else(|_| format!("{}/target/falsify-report.txt", env!("CARGO_MANIFEST_DIR")));
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(parent).expect("report directory");
+    }
+    std::fs::write(&path, parallel.summary()).expect("write falsify report");
+    let text = counterexample_to_text(ce);
+    assert!(text.contains("schedule = targeted-node"));
+    assert!(text.contains("schedule_node = mpr_sc"));
+}
+
+/// The negative control: restricted to schedules inside the Δ-slack
+/// tolerance, the same search machinery finds nothing — the stack
+/// withstands every in-tolerance schedule the budget can throw at it
+/// (the grid itself is pinned violation-free by the
+/// `adv-stress-slack-*` goldens).
+#[test]
+fn in_tolerance_search_finds_no_counterexample() {
+    let horizon = 15.0;
+    let slack = catalog::stress_delta_slack();
+    let falsifier = Falsifier::new(
+        catalog::stress(13, horizon, false).with_name("stress-in-tolerance"),
+        ScheduleSpace {
+            nodes: vec!["mpr_sc".into(), "safe_motion_primitive_dm".into()],
+            families: vec![
+                ScheduleFamily::Targeted,
+                ScheduleFamily::Burst,
+                ScheduleFamily::PhaseLocked,
+            ],
+            min_delay: Duration::from_micros(slack.as_micros() / 4),
+            max_delay: slack,
+            max_width: Duration::from_secs_f64(horizon),
+            horizon,
+        },
+        FalsifierConfig {
+            budget: 8,
+            restarts: 8,
+            neighbours: 4,
+            workers: 4,
+            seed: 5,
+        },
+    );
+    let report = falsifier.run();
+    assert_eq!(report.evaluations, 8);
+    assert!(
+        report.counterexample.is_none(),
+        "schedules within the Δ-slack tolerance must not crash the stack: {}",
+        report.summary()
+    );
+    // The search still ranks candidates, so the report names the closest
+    // schedule for diagnosis.
+    assert!(report.best.is_some());
+}

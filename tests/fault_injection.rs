@@ -3,7 +3,7 @@
 
 use soter::core::prelude::*;
 use soter::drone::stack::{build_circuit_stack, AdvancedKind, DroneStackConfig, Protection};
-use soter::runtime::{JitterModel, SystematicTester};
+use soter::runtime::{JitterModel, JitterSchedule, SystematicTester};
 use soter::scenarios::experiments::{circuit_lap, run_stack};
 use soter::sim::trajectory::MissionMetrics;
 use soter::sim::world::Workspace;
@@ -24,7 +24,7 @@ fn faulted_lap(fault: FaultSpec, seed: u64) -> MissionMetrics {
     let waypoints = workspace.surveillance_points().to_vec();
     let laps = waypoints.len() as i64;
     let (system, handle) = build_circuit_stack(&config, waypoints, false);
-    let outcome = run_stack(system, handle, 300.0, Some(laps), JitterModel::none());
+    let outcome = run_stack(system, handle, 300.0, Some(laps), JitterSchedule::Ideal);
     MissionMetrics::from_trajectory(
         &outcome.trajectory,
         &workspace,
@@ -83,7 +83,7 @@ fn moderate_scheduling_jitter_preserves_safety_most_of_the_time() {
     let waypoints = workspace.surveillance_points().to_vec();
     let (system, handle) = build_circuit_stack(&config, waypoints, false);
     let jitter = JitterModel::new(0.05, Duration::from_millis(30), 9);
-    let outcome = run_stack(system, handle, 200.0, Some(4), jitter);
+    let outcome = run_stack(system, handle, 200.0, Some(4), jitter.into());
     let metrics = MissionMetrics::from_trajectory(
         &outcome.trajectory,
         &workspace,
