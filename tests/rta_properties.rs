@@ -176,6 +176,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The timing half of the paper's claim, as an executable property:
+    /// *any* deterministic adversarial schedule whose per-firing delay
+    /// stays within the executor's Δ-slack tolerance
+    /// (`delta_slack(Δ_mpr, safer_factor)`, see `soter_runtime::schedule`)
+    /// leaves the RTA-protected stress stack with zero φ_safe violations
+    /// and a clean Theorem 3.1 monitor.  Schedules beyond the slack are
+    /// exactly what the falsification engine hunts — and what the pinned
+    /// `stress-sc-starvation` golden shows crashing the same stack.
+    #[test]
+    fn in_tolerance_schedules_never_violate_phi_safe_on_the_stress_stack(
+        family in 0usize..3,
+        node_pick in 0usize..2,
+        start_s in 0.0..15.0f64,
+        width_s in 0.5..15.0f64,
+        delay_frac in 0.1..1.0f64,
+        period_ms in 200u64..1_000,
+    ) {
+        use soter::core::time::Time;
+        use soter::runtime::JitterSchedule;
+        use soter::scenarios::catalog;
+        use soter::scenarios::spec::JitterSpec;
+
+        let slack = catalog::stress_delta_slack();
+        let delay = Duration::from_secs_f64(slack.as_secs_f64() * delay_frac);
+        prop_assert!(delay <= slack);
+        let node = ["mpr_sc", "safe_motion_primitive_dm"][node_pick].to_string();
+        let schedule = match family {
+            0 => JitterSchedule::TargetedNode {
+                node,
+                start: Time::from_secs_f64(start_s),
+                width: Duration::from_secs_f64(width_s),
+                delay,
+            },
+            1 => JitterSchedule::Burst {
+                start: Time::from_secs_f64(start_s),
+                width: Duration::from_secs_f64(width_s),
+                delay,
+            },
+            _ => JitterSchedule::PhaseLocked {
+                period: Duration::from_millis(period_ms),
+                offset: Duration::from_millis(period_ms / 5),
+                width: Duration::from_millis(period_ms / 2),
+                delay,
+            },
+        };
+        prop_assert!(schedule.max_delay() <= slack, "sampled schedule is in tolerance");
+        let scenario = catalog::stress(13, 15.0, false)
+            .with_name("prop-in-tolerance")
+            .with_jitter(JitterSpec::Schedule(schedule.clone()));
+        let outcome = soter::scenarios::run_scenario(&scenario);
+        prop_assert_eq!(
+            outcome.safety_violations, 0,
+            "in-tolerance schedule {:?} crashed the protected stack", schedule
+        );
+        prop_assert_eq!(
+            outcome.invariant_violations, 0,
+            "in-tolerance schedule {:?} broke the Theorem 3.1 monitor", schedule
+        );
+    }
+}
+
 /// The unsafe half of the claim: fanning the *unprotected* buggy planner
 /// out across seeds produces at least one φ_safe violation (a colliding
 /// plan left standing), while the RTA-protected planner module blocks every
