@@ -1,4 +1,144 @@
 //! Benchmark harness crate for the SOTER reproduction.
 //!
-//! All content lives in the Criterion benches under `benches/`; this library
-//! target only exists so the crate is a valid workspace member.
+//! The Criterion benches live under `benches/`; this library additionally
+//! provides the tiny JSON reporter behind the committed `BENCH_runtime.json`
+//! perf trajectory (see the `exec_throughput` bench and the CI `bench-smoke`
+//! step).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One measured data point of a benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark id, e.g. `surveillance/no-trace`.
+    pub name: String,
+    /// Measured value (e.g. firings per second).
+    pub value: f64,
+    /// Unit of `value`, e.g. `firings/s`.
+    pub unit: String,
+}
+
+impl BenchEntry {
+    /// Creates an entry.
+    pub fn new(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a benchmark report as pretty-printed JSON.  `meta` carries
+/// free-form string fields (suite name, mode, baseline provenance);
+/// `entries` the measured data points.
+///
+/// The container has no crates.io access (so no `serde_json`); this format
+/// is deliberately small: one object with string metadata and an `entries`
+/// array of `{name, value, unit}` objects.
+pub fn render_json(meta: &[(&str, String)], entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        let _ = writeln!(out, "  \"{}\": \"{}\",", json_escape(k), json_escape(v));
+    }
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"value\": {:.1}, \"unit\": \"{}\" }}{comma}",
+            json_escape(&e.name),
+            e.value,
+            json_escape(&e.unit)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a benchmark report to `path` (see [`render_json`]).
+pub fn write_json(
+    path: impl AsRef<Path>,
+    meta: &[(&str, String)],
+    entries: &[BenchEntry],
+) -> io::Result<()> {
+    fs::write(path, render_json(meta, entries))
+}
+
+/// Parses the `entries` array back out of a report produced by
+/// [`render_json`] — just enough of a JSON reader for the CI regression
+/// gate to compare a fresh run against the committed baseline.
+pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{ \"name\":") {
+            continue;
+        }
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let rest = rest.trim_start();
+            if let Some(stripped) = rest.strip_prefix('"') {
+                stripped.split('"').next()
+            } else {
+                rest.split([',', ' ', '}']).next()
+            }
+        };
+        let (Some(name), Some(value), Some(unit)) = (field("name"), field("value"), field("unit"))
+        else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        entries.push(BenchEntry::new(name, value, unit));
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_entries() {
+        let entries = vec![
+            BenchEntry::new("line/no-trace", 123456.5, "firings/s"),
+            BenchEntry::new("surveillance/trace", 42.0, "firings/s"),
+        ];
+        let text = render_json(&[("suite", "exec_throughput".into())], &entries);
+        assert!(text.contains("\"suite\": \"exec_throughput\""));
+        let parsed = parse_entries(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "line/no-trace");
+        assert!((parsed[0].value - 123456.5).abs() < 0.01);
+        assert_eq!(parsed[1].unit, "firings/s");
+    }
+
+    #[test]
+    fn escaping_survives_quotes_and_newlines() {
+        let text = render_json(&[("note", "a \"quoted\"\nline".into())], &[]);
+        assert!(text.contains("a \\\"quoted\\\"\\nline"));
+        assert!(parse_entries(&text).is_empty());
+    }
+}

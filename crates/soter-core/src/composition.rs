@@ -355,7 +355,7 @@ mod tests {
         sys.add_module(m).unwrap();
         let mut obs = TopicMap::new();
         obs.insert("state", Value::Float(0.0));
-        sys.modules_mut()[0].dm_mut().step(Time::ZERO, &obs);
+        sys.modules_mut()[0].dm_mut().step_to_map(Time::ZERO, &obs);
         assert_eq!(sys.modules()[0].mode(), Mode::Ac);
         sys.reset();
         assert_eq!(sys.modules()[0].mode(), Mode::Sc);

@@ -18,7 +18,7 @@
 use crate::node::Node;
 use crate::rta::{Mode, SafetyOracle};
 use crate::time::{Duration, Time};
-use crate::topic::{TopicMap, TopicName};
+use crate::topic::{TopicName, TopicRead, TopicWriter};
 use std::fmt;
 use std::sync::Arc;
 
@@ -144,7 +144,7 @@ impl Node for DecisionModule {
         self.delta
     }
 
-    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, _out: &mut TopicWriter<'_>) {
         self.evaluations += 1;
         let two_delta = self.delta * 2;
         match self.mode {
@@ -159,7 +159,6 @@ impl Node for DecisionModule {
                 }
             }
         }
-        TopicMap::new()
     }
 
     fn reset(&mut self) {
@@ -173,7 +172,7 @@ impl Node for DecisionModule {
 mod tests {
     use super::*;
     use crate::rta::test_support::LineOracle;
-    use crate::topic::Value;
+    use crate::topic::{TopicMap, Value};
 
     fn dm(bound: f64, safer: f64, speed: f64, delta_ms: u64) -> DecisionModule {
         DecisionModule::new(
@@ -206,7 +205,7 @@ mod tests {
     #[test]
     fn switches_to_ac_when_state_is_safer() {
         let mut d = dm(10.0, 5.0, 1.0, 100);
-        d.step(Time::from_millis(100), &observe(2.0));
+        d.step_to_map(Time::from_millis(100), &observe(2.0));
         assert_eq!(d.mode(), Mode::Ac);
         assert_eq!(d.reengagement_count(), 1);
         assert_eq!(d.disengagement_count(), 0);
@@ -215,7 +214,7 @@ mod tests {
     #[test]
     fn stays_in_sc_when_not_yet_safer() {
         let mut d = dm(10.0, 5.0, 1.0, 100);
-        d.step(Time::from_millis(100), &observe(7.0));
+        d.step_to_map(Time::from_millis(100), &observe(7.0));
         assert_eq!(d.mode(), Mode::Sc, "7.0 is safe but not safer (bound 5)");
         assert!(d.switches().is_empty());
     }
@@ -224,11 +223,11 @@ mod tests {
     fn switches_to_sc_when_safety_may_be_violated_within_two_delta() {
         let mut d = dm(10.0, 5.0, 1.0, 1000);
         // Get into AC mode first.
-        d.step(Time::from_millis(1000), &observe(0.0));
+        d.step_to_map(Time::from_millis(1000), &observe(0.0));
         assert_eq!(d.mode(), Mode::Ac);
         // At x = 9, with max speed 1 m/s and 2Δ = 2 s, the system can reach
         // 11 > 10, so the DM must disengage.
-        d.step(Time::from_millis(2000), &observe(9.0));
+        d.step_to_map(Time::from_millis(2000), &observe(9.0));
         assert_eq!(d.mode(), Mode::Sc);
         assert_eq!(d.disengagement_count(), 1);
         assert_eq!(d.switches().len(), 2);
@@ -240,10 +239,10 @@ mod tests {
     #[test]
     fn stays_in_ac_when_two_delta_reach_is_safe() {
         let mut d = dm(10.0, 5.0, 1.0, 100);
-        d.step(Time::from_millis(100), &observe(0.0));
+        d.step_to_map(Time::from_millis(100), &observe(0.0));
         assert_eq!(d.mode(), Mode::Ac);
         // 2Δ = 0.2 s, so from x = 4 the system can reach at most 4.2 < 10.
-        d.step(Time::from_millis(200), &observe(4.0));
+        d.step_to_map(Time::from_millis(200), &observe(4.0));
         assert_eq!(d.mode(), Mode::Ac);
     }
 
@@ -253,11 +252,11 @@ mod tests {
         // x + 2 > 10 (x > 8) and re-engages only when x ≤ 5, so a state
         // x = 6.5 keeps whatever mode is current.
         let mut d = dm(10.0, 5.0, 1.0, 1000);
-        d.step(Time::from_millis(1000), &observe(6.5));
+        d.step_to_map(Time::from_millis(1000), &observe(6.5));
         assert_eq!(d.mode(), Mode::Sc, "6.5 is not in φ_safer, stay in SC");
-        d.step(Time::from_millis(2000), &observe(4.0));
+        d.step_to_map(Time::from_millis(2000), &observe(4.0));
         assert_eq!(d.mode(), Mode::Ac);
-        d.step(Time::from_millis(3000), &observe(6.5));
+        d.step_to_map(Time::from_millis(3000), &observe(6.5));
         assert_eq!(
             d.mode(),
             Mode::Ac,
@@ -268,8 +267,8 @@ mod tests {
     #[test]
     fn evaluation_counter_and_reset() {
         let mut d = dm(10.0, 5.0, 1.0, 100);
-        d.step(Time::from_millis(100), &observe(0.0));
-        d.step(Time::from_millis(200), &observe(9.9));
+        d.step_to_map(Time::from_millis(100), &observe(0.0));
+        d.step_to_map(Time::from_millis(200), &observe(9.9));
         assert_eq!(d.evaluations(), 2);
         assert!(!d.switches().is_empty());
         d.reset();
@@ -285,7 +284,7 @@ mod tests {
         // itself has no special handling for missing topics — the oracle
         // decides.  (The drone-stack oracles treat missing state as unsafe.)
         let mut d = dm(10.0, 5.0, 1.0, 100);
-        d.step(Time::from_millis(100), &TopicMap::new());
+        d.step_to_map(Time::from_millis(100), &TopicMap::new());
         assert_eq!(d.mode(), Mode::Ac);
     }
 }

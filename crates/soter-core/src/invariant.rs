@@ -16,7 +16,7 @@
 
 use crate::rta::{Mode, SafetyOracle};
 use crate::time::{Duration, Time};
-use crate::topic::TopicMap;
+use crate::topic::TopicRead;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -90,7 +90,7 @@ impl InvariantMonitor {
 
     /// Evaluates `φ_Inv(mode, s)` for the observed state, recording any
     /// violation.
-    pub fn check(&mut self, now: Time, mode: Mode, observed: &TopicMap) -> InvariantStatus {
+    pub fn check(&mut self, now: Time, mode: Mode, observed: &dyn TopicRead) -> InvariantStatus {
         self.checks += 1;
         let status = match mode {
             Mode::Sc => {
@@ -138,7 +138,7 @@ impl InvariantMonitor {
 mod tests {
     use super::*;
     use crate::rta::test_support::LineOracle;
-    use crate::topic::Value;
+    use crate::topic::{TopicMap, Value};
 
     fn monitor() -> InvariantMonitor {
         InvariantMonitor::new(

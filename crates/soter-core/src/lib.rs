@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::node::{FnNode, Node, NodeInfo};
     pub use crate::rta::{Mode, RtaModule, RtaModuleBuilder, SafetyOracle};
     pub use crate::time::{Duration, Time};
-    pub use crate::topic::{TopicMap, TopicName, Value};
+    pub use crate::topic::{TopicMap, TopicName, TopicRead, TopicWriter, Value};
     pub use crate::wellformed::{CheckOutcome, PlantAbstraction, SamplingConfig, WellFormedness};
 }
 

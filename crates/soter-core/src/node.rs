@@ -8,9 +8,15 @@
 //! object and the transition relation is the `step` method.  [`FnNode`] is a
 //! convenience implementation backed by a closure, which is how the examples
 //! and the drone case study declare application-level nodes.
+//!
+//! `step` reads its inputs through a borrowed [`TopicRead`] view and writes
+//! its outputs through a [`TopicWriter`] into a caller-owned scratch buffer:
+//! inside the executor neither direction allocates, which is what keeps the
+//! simulation hot path allocation-free.  For tests and direct experiments,
+//! [`Node::step_to_map`] provides the old map-in/map-out convenience shape.
 
 use crate::time::{Duration, Time};
-use crate::topic::{TopicMap, TopicName};
+use crate::topic::{TopicMap, TopicName, TopicRead, TopicWriter, Value};
 use std::fmt;
 
 /// Static description of a node: its name, subscriptions, outputs and
@@ -37,8 +43,9 @@ impl fmt::Display for NodeInfo {
 /// A periodic input-output state-transition system.
 ///
 /// At every instant in its time-table, the runtime calls [`Node::step`] with
-/// the current valuation of the node's subscribed topics; the node updates
-/// its local state and returns the valuation of its published topics.
+/// a view of the current valuation of the node's subscribed topics; the node
+/// updates its local state and publishes the values of its output topics
+/// through the writer.
 pub trait Node: Send {
     /// The unique node name.
     fn name(&self) -> &str;
@@ -53,10 +60,11 @@ pub trait Node: Send {
     fn period(&self) -> Duration;
 
     /// Executes one transition of the node: reads the valuation of the
-    /// subscribed topics, updates the local state, and returns the values to
-    /// publish.  The returned map must only contain topics listed in
-    /// [`Node::outputs`]; the runtime enforces this.
-    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap;
+    /// subscribed topics through `inputs`, updates the local state, and
+    /// publishes output values through `out`.  Publishing on a topic not
+    /// listed in [`Node::outputs`] panics (the writer enforces the
+    /// declaration).
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>);
 
     /// Resets the node's local state to its initial value (used by the
     /// systematic-testing engine between explored schedules).
@@ -71,6 +79,23 @@ pub trait Node: Send {
             period: self.period(),
         }
     }
+
+    /// Convenience wrapper around [`Node::step`] for tests and direct
+    /// experimentation: steps the node against an owned map and collects
+    /// the published outputs into a fresh [`TopicMap`] (later writes to the
+    /// same topic win, as inside the executor).
+    fn step_to_map(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
+        let names = self.outputs();
+        let mut entries: Vec<(u32, Value)> = Vec::new();
+        let name = self.name().to_string();
+        let mut writer = TopicWriter::new(&name, &names, &mut entries);
+        self.step(now, inputs, &mut writer);
+        let mut map = TopicMap::new();
+        for (i, value) in entries {
+            map.insert(names[i as usize].clone(), value);
+        }
+        map
+    }
 }
 
 impl fmt::Debug for dyn Node {
@@ -79,7 +104,7 @@ impl fmt::Debug for dyn Node {
     }
 }
 
-type StepFn = dyn FnMut(Time, &TopicMap, &mut TopicMap) + Send;
+type StepFn = dyn FnMut(Time, &dyn TopicRead, &mut TopicWriter<'_>) + Send;
 
 /// A [`Node`] implemented by a closure, for declaring simple nodes inline.
 ///
@@ -95,7 +120,7 @@ type StepFn = dyn FnMut(Time, &TopicMap, &mut TopicMap) + Send;
 ///         out.insert("count", Value::Int(counter));
 ///     })
 ///     .build();
-/// let out = node.step(Time::ZERO, &TopicMap::new());
+/// let out = node.step_to_map(Time::ZERO, &TopicMap::new());
 /// assert_eq!(out.get("count"), Some(&Value::Int(1)));
 /// ```
 pub struct FnNode {
@@ -136,10 +161,8 @@ impl Node for FnNode {
         self.period
     }
 
-    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
-        (self.step)(now, inputs, &mut out);
-        out
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
+        (self.step)(now, inputs, out);
     }
 }
 
@@ -191,11 +214,11 @@ impl FnNodeBuilder {
     }
 
     /// Sets the node's transition function.  The closure receives the
-    /// current time, the valuation of the subscribed topics, and a mutable
-    /// map into which outputs are published.
+    /// current time, the view of the subscribed topics, and the writer
+    /// through which outputs are published.
     pub fn step<F>(mut self, f: F) -> Self
     where
-        F: FnMut(Time, &TopicMap, &mut TopicMap) + Send + 'static,
+        F: FnMut(Time, &dyn TopicRead, &mut TopicWriter<'_>) + Send + 'static,
     {
         self.step = Some(Box::new(f));
         self
@@ -264,7 +287,7 @@ mod tests {
             .build();
         let mut inputs = TopicMap::new();
         inputs.insert("in", Value::Float(21.0));
-        let out = node.step(Time::ZERO, &inputs);
+        let out = node.step_to_map(Time::ZERO, &inputs);
         assert_eq!(out.get("out"), Some(&Value::Float(42.0)));
     }
 
@@ -279,10 +302,25 @@ mod tests {
                 out.insert("count", Value::Int(count));
             })
             .build();
-        node.step(Time::ZERO, &TopicMap::new());
-        node.step(Time::ZERO, &TopicMap::new());
-        let out = node.step(Time::ZERO, &TopicMap::new());
+        node.step_to_map(Time::ZERO, &TopicMap::new());
+        node.step_to_map(Time::ZERO, &TopicMap::new());
+        let out = node.step_to_map(Time::ZERO, &TopicMap::new());
         assert_eq!(out.get("count"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn step_to_map_keeps_the_last_write_per_topic() {
+        let mut node = FnNode::builder("rewriter")
+            .publishes(["out"])
+            .period(Duration::from_millis(5))
+            .step(|_, _, out| {
+                out.insert("out", Value::Int(1));
+                out.insert("out", Value::Int(2));
+            })
+            .build();
+        let out = node.step_to_map(Time::ZERO, &TopicMap::new());
+        assert_eq!(out.get("out"), Some(&Value::Int(2)));
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::dm::DecisionModule;
 use crate::error::SoterError;
 use crate::node::{Node, NodeInfo};
 use crate::time::Duration;
-use crate::topic::{TopicMap, TopicName};
+use crate::topic::{TopicName, TopicRead};
 use std::fmt;
 use std::sync::Arc;
 
@@ -46,15 +46,15 @@ impl fmt::Display for Mode {
 ///   φ_safe`)?
 pub trait SafetyOracle: Send + Sync {
     /// Returns `true` if the observed state is inside `φ_safe`.
-    fn is_safe(&self, observed: &TopicMap) -> bool;
+    fn is_safe(&self, observed: &dyn TopicRead) -> bool;
 
     /// Returns `true` if the observed state is inside `φ_safer ⊆ φ_safe`.
-    fn is_safer(&self, observed: &TopicMap) -> bool;
+    fn is_safer(&self, observed: &dyn TopicRead) -> bool;
 
     /// Returns `true` if the system may leave `φ_safe` within `horizon`
     /// starting from the observed state, under any admissible control —
     /// i.e. the paper's `ttf_2Δ(s, φ_safe)` when `horizon = 2Δ`.
-    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool;
+    fn may_leave_safe_within(&self, observed: &dyn TopicRead, horizon: Duration) -> bool;
 }
 
 /// An RTA module: an advanced controller, a safe controller, the decision
@@ -348,7 +348,7 @@ pub(crate) mod test_support {
     }
 
     impl LineOracle {
-        fn position(observed: &TopicMap) -> f64 {
+        fn position(observed: &dyn TopicRead) -> f64 {
             observed
                 .get("state")
                 .and_then(Value::as_float)
@@ -357,15 +357,15 @@ pub(crate) mod test_support {
     }
 
     impl SafetyOracle for LineOracle {
-        fn is_safe(&self, observed: &TopicMap) -> bool {
+        fn is_safe(&self, observed: &dyn TopicRead) -> bool {
             Self::position(observed).abs() <= self.bound
         }
 
-        fn is_safer(&self, observed: &TopicMap) -> bool {
+        fn is_safer(&self, observed: &dyn TopicRead) -> bool {
             Self::position(observed).abs() <= self.safer_bound
         }
 
-        fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+        fn may_leave_safe_within(&self, observed: &dyn TopicRead, horizon: Duration) -> bool {
             let x = Self::position(observed);
             x.abs() + self.max_speed * horizon.as_secs_f64() > self.bound
         }
@@ -417,7 +417,7 @@ mod tests {
     use super::test_support::*;
     use super::*;
     use crate::node::FnNode;
-    use crate::topic::Value;
+    use crate::topic::{TopicMap, Value};
 
     #[test]
     fn mode_display() {
@@ -550,7 +550,9 @@ mod tests {
         // Drive the DM into AC mode by observing a very safe state.
         let mut observed = TopicMap::new();
         observed.insert("state", Value::Float(0.0));
-        module.dm_mut().step(crate::time::Time::ZERO, &observed);
+        module
+            .dm_mut()
+            .step_to_map(crate::time::Time::ZERO, &observed);
         assert_eq!(module.mode(), Mode::Ac);
         module.reset();
         assert_eq!(module.mode(), Mode::Sc);

@@ -5,6 +5,19 @@
 //! topics share the same value universe `V`, modelled here by the [`Value`]
 //! enum, and communication between nodes is modelled through the globally
 //! visible valuation of topics, modelled by [`TopicMap`].
+//!
+//! Two representations of a valuation coexist:
+//!
+//! * [`TopicMap`] — the owned, name-ordered map.  This is the public,
+//!   construction-and-inspection view: tests build them, observers receive
+//!   them, golden traces print them.
+//! * the executor's *slot store* — a dense `Vec<Value>` indexed by
+//!   [`TopicId`]s handed out by a [`TopicInterner`] built once per system.
+//!   Nodes never see the store directly; they read through the borrowed,
+//!   allocation-free [`TopicRead`] views ([`SlotView`], [`RenamedView`],
+//!   [`SingleTopic`]) and publish through a [`TopicWriter`] into a scratch
+//!   buffer the executor reuses across firings.  This is what makes the
+//!   steady-state hot path allocation-free.
 
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
@@ -49,6 +62,24 @@ impl Borrow<str> for TopicName {
     }
 }
 
+impl PartialEq<str> for TopicName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for TopicName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<TopicName> for str {
+    fn eq(&self, other: &TopicName) -> bool {
+        self == other.as_str()
+    }
+}
+
 impl fmt::Display for TopicName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
@@ -82,13 +113,20 @@ pub enum Value {
         /// Velocity in metres per second.
         velocity: [f64; 3],
     },
-    /// A sequence of waypoints (a motion plan).
-    Path(Vec<[f64; 3]>),
+    /// A sequence of waypoints (a motion plan).  Reference-counted so that
+    /// republishing and reading a plan never copies the waypoint storage —
+    /// plans flow through the executor hot path at controller rate.
+    Path(Arc<[[f64; 3]]>),
     /// A free-form text value.
     Text(String),
 }
 
 impl Value {
+    /// Creates a `Path` value from waypoints.
+    pub fn path(waypoints: impl Into<Arc<[[f64; 3]]>>) -> Self {
+        Value::Path(waypoints.into())
+    }
+
     /// Returns the boolean payload, if this value is a `Bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -134,7 +172,7 @@ impl Value {
     /// Returns the waypoint list, if this value is a `Path`.
     pub fn as_path(&self) -> Option<&[[f64; 3]]> {
         match self {
-            Value::Path(p) => Some(p),
+            Value::Path(p) => Some(p.as_ref()),
             _ => None,
         }
     }
@@ -151,6 +189,255 @@ impl Value {
     /// been published on the topic yet).
     pub fn is_unit(&self) -> bool {
         matches!(self, Value::Unit)
+    }
+}
+
+/// Read access to a valuation of topics, as seen by a node or an oracle.
+///
+/// Implemented both by the owned [`TopicMap`] (tests, observers, direct
+/// node stepping) and by the executor's borrowed views ([`SlotView`],
+/// [`RenamedView`], [`SingleTopic`]), so node and oracle code is written
+/// once against `&dyn TopicRead` and runs allocation-free inside the
+/// executor.  A `&TopicMap` coerces to `&dyn TopicRead` at any call site.
+pub trait TopicRead {
+    /// Reads the value of a topic, if visible in this valuation.
+    fn get(&self, topic: &str) -> Option<&Value>;
+
+    /// Reads the value of a topic, substituting [`Value::Unit`] (the
+    /// default topic value in the initial configuration) when absent.
+    fn get_or_unit(&self, topic: &str) -> Value {
+        self.get(topic).cloned().unwrap_or(Value::Unit)
+    }
+
+    /// Returns `true` if the valuation contains the topic.
+    fn contains(&self, topic: &str) -> bool {
+        self.get(topic).is_some()
+    }
+}
+
+/// Dense index of an interned topic within a [`TopicInterner`] (and the
+/// executor's slot store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner over a system's declared topic names, built once at executor
+/// construction: every declared topic gets a dense [`TopicId`] so the
+/// global valuation can live in a flat `Vec<Value>` and per-node topic
+/// lists compile to id lists.
+///
+/// Ids are assigned in sorted name order, so they are deterministic for a
+/// given set of declarations.
+#[derive(Debug, Clone, Default)]
+pub struct TopicInterner {
+    names: Vec<TopicName>,
+}
+
+impl TopicInterner {
+    /// Builds an interner over the given names (duplicates are fine).
+    pub fn new(names: impl IntoIterator<Item = TopicName>) -> Self {
+        let mut names: Vec<TopicName> = names.into_iter().collect();
+        names.sort();
+        names.dedup();
+        TopicInterner { names }
+    }
+
+    /// Resolves a name to its id, if the topic was declared.
+    pub fn id(&self, name: &str) -> Option<TopicId> {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
+            .map(|i| TopicId(i as u32))
+    }
+
+    /// The interned name of an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this interner.
+    pub fn name(&self, id: TopicId) -> &TopicName {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned topics.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no topic is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id (= sorted name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (TopicId, &TopicName)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TopicId(i as u32), n))
+    }
+}
+
+/// A borrowed, allocation-free view of the executor's slot store,
+/// restricted to one node's subscriptions — the `Topics[I(n)]` of the
+/// AC-OR-SC-STEP rule as a view instead of a rebuilt map.
+///
+/// `names` and `ids` are the node's compiled subscription list (declaration
+/// order, parallel slices); a topic outside the list is invisible, exactly
+/// like the former `TopicMap::restrict` projection.  Subscribed topics that
+/// were never published read as [`Value::Unit`], again matching `restrict`.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotView<'a> {
+    names: &'a [TopicName],
+    ids: &'a [TopicId],
+    slots: &'a [Value],
+}
+
+impl<'a> SlotView<'a> {
+    /// Creates a view of `slots` restricted to the `names`/`ids`
+    /// subscription list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` and `ids` have different lengths.
+    pub fn new(names: &'a [TopicName], ids: &'a [TopicId], slots: &'a [Value]) -> Self {
+        assert_eq!(names.len(), ids.len(), "subscription lists out of sync");
+        SlotView { names, ids, slots }
+    }
+}
+
+impl TopicRead for SlotView<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        // Subscription lists are short (1-10 entries): a linear scan with
+        // early first-byte mismatch beats hashing and needs no sort order.
+        self.names
+            .iter()
+            .position(|n| n.as_str() == topic)
+            .map(|i| &self.slots[self.ids[i].index()])
+    }
+}
+
+/// A view that exposes an inner [`TopicRead`] under different topic names:
+/// reading `alias` returns the inner value of `canonical`.  This is how a
+/// scoped (per-drone) node reads its unscoped topic names against the
+/// global valuation without any per-firing map rebuilding.
+#[derive(Clone, Copy)]
+pub struct RenamedView<'a> {
+    renames: &'a [(TopicName, TopicName)],
+    inner: &'a dyn TopicRead,
+}
+
+impl<'a> RenamedView<'a> {
+    /// Creates a renaming view over `(alias, canonical)` pairs.
+    pub fn new(renames: &'a [(TopicName, TopicName)], inner: &'a dyn TopicRead) -> Self {
+        RenamedView { renames, inner }
+    }
+}
+
+impl TopicRead for RenamedView<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        let (_, canonical) = self.renames.iter().find(|(alias, _)| alias == topic)?;
+        self.inner.get(canonical.as_str())
+    }
+}
+
+/// A single-topic view — the cheapest possible [`TopicRead`], used by
+/// oracle adapters that re-key one observation under another name.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleTopic<'a> {
+    name: &'a str,
+    value: Option<&'a Value>,
+}
+
+impl<'a> SingleTopic<'a> {
+    /// A view containing exactly `name` (when `value` is `Some`).
+    pub fn new(name: &'a str, value: Option<&'a Value>) -> Self {
+        SingleTopic { name, value }
+    }
+}
+
+impl TopicRead for SingleTopic<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        if topic == self.name {
+            self.value
+        } else {
+            None
+        }
+    }
+}
+
+/// The write half of a node firing: collects `(declared-output index,
+/// value)` pairs into a scratch buffer owned by the caller (the executor
+/// reuses one buffer across all firings, so steady-state publishing
+/// allocates nothing).
+///
+/// Publishing on a topic outside the declared output list panics — the
+/// undeclared-publish check of `apply_outputs`, moved to the write site.
+pub struct TopicWriter<'a> {
+    node: &'a str,
+    names: &'a [TopicName],
+    entries: &'a mut Vec<(u32, Value)>,
+}
+
+impl<'a> TopicWriter<'a> {
+    /// Creates a writer for `node` over its declared output `names`
+    /// (declaration order), appending into `entries`.
+    pub fn new(node: &'a str, names: &'a [TopicName], entries: &'a mut Vec<(u32, Value)>) -> Self {
+        TopicWriter {
+            node,
+            names,
+            entries,
+        }
+    }
+
+    /// Publishes a value.  Later writes to the same topic within one firing
+    /// win, as with a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` is not among the node's declared outputs.
+    pub fn insert(&mut self, topic: impl AsRef<str>, value: Value) {
+        let topic = topic.as_ref();
+        match self.names.iter().position(|n| n.as_str() == topic) {
+            Some(i) => self.entries.push((i as u32, value)),
+            None => panic!(
+                "node `{}` published on undeclared topic `{topic}`",
+                self.node
+            ),
+        }
+    }
+
+    /// A writer over the same entry buffer but resolving against `names`
+    /// instead — for wrappers whose inner node publishes under aliased
+    /// names.  `names` must be index-aligned with this writer's declared
+    /// list (entry `i` of either list names the same output).
+    pub fn reindexed<'b>(&'b mut self, node: &'b str, names: &'b [TopicName]) -> TopicWriter<'b> {
+        assert_eq!(
+            names.len(),
+            self.names.len(),
+            "aliased output list must be index-aligned"
+        );
+        TopicWriter {
+            node,
+            names,
+            entries: self.entries,
+        }
+    }
+
+    /// Number of values published so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -224,6 +511,10 @@ impl TopicMap {
 
     /// Returns the restriction of this valuation to the given topic names —
     /// `Topics[I(n)]` in the semantics, the inputs visible to a node.
+    ///
+    /// The executor no longer calls this per firing (it reads through
+    /// [`SlotView`]s); it remains the reference implementation of the
+    /// projection, which the differential tests compare the views against.
     pub fn restrict<'a, I>(&self, topics: I) -> TopicMap
     where
         I: IntoIterator<Item = &'a TopicName>,
@@ -233,6 +524,20 @@ impl TopicMap {
             out.insert(t.clone(), self.get_or_unit(t.as_str()));
         }
         out
+    }
+}
+
+impl TopicRead for TopicMap {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        TopicMap::get(self, topic)
+    }
+
+    fn get_or_unit(&self, topic: &str) -> Value {
+        TopicMap::get_or_unit(self, topic)
+    }
+
+    fn contains(&self, topic: &str) -> bool {
+        TopicMap::contains(self, topic)
     }
 }
 
@@ -263,6 +568,7 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.as_str(), "localPosition");
         assert_eq!(format!("{a}"), "localPosition");
+        assert!(a == "localPosition" && a == *"localPosition");
     }
 
     #[test]
@@ -280,13 +586,24 @@ mod tests {
             velocity: [0.0; 3],
         };
         assert_eq!(s.as_state(), Some(([1.0; 3], [0.0; 3])));
-        let p = Value::Path(vec![[0.0; 3], [1.0; 3]]);
+        let p = Value::path(vec![[0.0; 3], [1.0; 3]]);
         assert_eq!(p.as_path().unwrap().len(), 2);
         assert_eq!(Value::Text("hi".into()).as_text(), Some("hi"));
         assert!(Value::Unit.is_unit());
         // Mismatched accessors return None.
         assert_eq!(Value::Bool(true).as_float(), None);
         assert_eq!(Value::Float(1.0).as_vector(), None);
+    }
+
+    #[test]
+    fn path_values_share_storage_when_cloned() {
+        let p = Value::path(vec![[1.0; 3]; 64]);
+        let q = p.clone();
+        let (Value::Path(a), Value::Path(b)) = (&p, &q) else {
+            panic!("path values");
+        };
+        assert!(Arc::ptr_eq(a, b), "cloning a Path must not copy waypoints");
+        assert_eq!(p, q);
     }
 
     #[test]
@@ -345,5 +662,112 @@ mod tests {
         let mut m2 = TopicMap::new();
         m2.extend([(TopicName::new("b"), Value::Int(2))]);
         assert!(m2.contains("b"));
+    }
+
+    #[test]
+    fn interner_assigns_dense_sorted_ids() {
+        let interner = TopicInterner::new(["b", "a", "c", "a"].into_iter().map(TopicName::new));
+        assert_eq!(interner.len(), 3);
+        assert!(!interner.is_empty());
+        assert_eq!(interner.id("a"), Some(TopicId(0)));
+        assert_eq!(interner.id("b"), Some(TopicId(1)));
+        assert_eq!(interner.id("c"), Some(TopicId(2)));
+        assert_eq!(interner.id("missing"), None);
+        assert_eq!(interner.name(TopicId(1)).as_str(), "b");
+        let ids: Vec<u32> = interner.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn slot_view_matches_restrict_semantics() {
+        let interner = TopicInterner::new(
+            ["state", "command", "other"]
+                .into_iter()
+                .map(TopicName::new),
+        );
+        let mut slots = vec![Value::Unit; interner.len()];
+        slots[interner.id("state").unwrap().index()] = Value::Float(7.0);
+        slots[interner.id("other").unwrap().index()] = Value::Int(9);
+        let names = [TopicName::new("state"), TopicName::new("command")];
+        let ids = [
+            interner.id("state").unwrap(),
+            interner.id("command").unwrap(),
+        ];
+        let view = SlotView::new(&names, &ids, &slots);
+        // Subscribed and published: the value.
+        assert_eq!(view.get("state"), Some(&Value::Float(7.0)));
+        // Subscribed, never published: Unit — exactly what restrict inserts.
+        assert_eq!(view.get("command"), Some(&Value::Unit));
+        assert_eq!(view.get_or_unit("command"), Value::Unit);
+        // Not subscribed: invisible even though it has a slot.
+        assert_eq!(view.get("other"), None);
+        assert!(!view.contains("other"));
+        assert!(view.contains("state"));
+    }
+
+    #[test]
+    fn renamed_view_translates_aliases() {
+        let mut inner = TopicMap::new();
+        inner.insert("drone0/in", Value::Float(7.0));
+        inner.insert("drone1/in", Value::Float(-1.0));
+        let renames = [(TopicName::new("in"), TopicName::new("drone0/in"))];
+        let view = RenamedView::new(&renames, &inner);
+        assert_eq!(view.get("in"), Some(&Value::Float(7.0)));
+        // Canonical names are not visible through the view.
+        assert_eq!(view.get("drone0/in"), None);
+        assert_eq!(view.get("drone1/in"), None);
+    }
+
+    #[test]
+    fn single_topic_view_exposes_one_name() {
+        let v = Value::Float(3.0);
+        let view = SingleTopic::new("localPosition", Some(&v));
+        assert_eq!(view.get("localPosition"), Some(&Value::Float(3.0)));
+        assert_eq!(view.get("other"), None);
+        let empty = SingleTopic::new("localPosition", None);
+        assert_eq!(empty.get("localPosition"), None);
+    }
+
+    #[test]
+    fn writer_collects_declared_outputs() {
+        let names = [TopicName::new("command"), TopicName::new("status")];
+        let mut entries = Vec::new();
+        let mut w = TopicWriter::new("ctrl", &names, &mut entries);
+        assert!(w.is_empty());
+        w.insert("status", Value::Bool(true));
+        w.insert("command", Value::Float(1.0));
+        w.insert("command", Value::Float(2.0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(
+            entries,
+            vec![
+                (1, Value::Bool(true)),
+                (0, Value::Float(1.0)),
+                (0, Value::Float(2.0)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared topic")]
+    fn writer_rejects_undeclared_topics() {
+        let names = [TopicName::new("command")];
+        let mut entries = Vec::new();
+        let mut w = TopicWriter::new("rogue", &names, &mut entries);
+        w.insert("other", Value::Bool(true));
+    }
+
+    #[test]
+    fn writer_reindexing_shares_the_buffer() {
+        let scoped = [TopicName::new("drone0/out")];
+        let plain = [TopicName::new("out")];
+        let mut entries = Vec::new();
+        let mut w = TopicWriter::new("drone0/relay", &scoped, &mut entries);
+        {
+            let mut inner = w.reindexed("relay", &plain);
+            inner.insert("out", Value::Int(1));
+        }
+        w.insert("drone0/out", Value::Int(2));
+        assert_eq!(entries, vec![(0, Value::Int(1)), (0, Value::Int(2))]);
     }
 }

@@ -303,13 +303,13 @@ pub fn check_p3<P: PlantAbstraction>(
 /// }
 /// # struct LineOracle;
 /// # impl SafetyOracle for LineOracle {
-/// #     fn is_safe(&self, o: &TopicMap) -> bool {
+/// #     fn is_safe(&self, o: &dyn TopicRead) -> bool {
 /// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() <= 10.0).unwrap_or(false)
 /// #     }
-/// #     fn is_safer(&self, o: &TopicMap) -> bool {
+/// #     fn is_safer(&self, o: &dyn TopicRead) -> bool {
 /// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() <= 5.0).unwrap_or(false)
 /// #     }
-/// #     fn may_leave_safe_within(&self, o: &TopicMap, h: Duration) -> bool {
+/// #     fn may_leave_safe_within(&self, o: &dyn TopicRead, h: Duration) -> bool {
 /// #         o.get("state").and_then(Value::as_float).map(|x| x.abs() + h.as_secs_f64() > 10.0).unwrap_or(true)
 /// #     }
 /// # }

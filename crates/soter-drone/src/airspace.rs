@@ -34,7 +34,7 @@ use soter_core::composition::RtaSystem;
 use soter_core::node::Node;
 use soter_core::rta::{RtaModule, SafetyOracle};
 use soter_core::time::{Duration, Time};
-use soter_core::topic::{TopicMap, TopicName, Value};
+use soter_core::topic::{RenamedView, SingleTopic, TopicName, TopicRead, TopicWriter, Value};
 use soter_ctrl::reference::WaypointMission;
 use soter_ctrl::shielded::{ShieldedSafeConfig, ShieldedSafeController};
 use soter_ctrl::traits::MotionController;
@@ -73,6 +73,9 @@ pub struct ScopedNode {
     subscriptions: Vec<(TopicName, TopicName)>,
     /// `(unscoped, scoped)` output names, precomputed once.
     outputs: Vec<(TopicName, TopicName)>,
+    /// The unscoped output names alone, index-aligned with `outputs` — the
+    /// alias list handed to the writer on every firing.
+    unscoped_outputs: Vec<TopicName>,
 }
 
 impl ScopedNode {
@@ -96,11 +99,13 @@ impl ScopedNode {
         };
         let subscriptions = scope_all(inner.subscriptions());
         let outputs = scope_all(inner.outputs());
+        let unscoped_outputs = outputs.iter().map(|(plain, _)| plain.clone()).collect();
         ScopedNode {
             name,
             inner,
             subscriptions,
             outputs,
+            unscoped_outputs,
         }
     }
 }
@@ -128,24 +133,16 @@ impl Node for ScopedNode {
         self.inner.period()
     }
 
-    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut unscoped = TopicMap::new();
-        for (plain, scoped) in &self.subscriptions {
-            if let Some(v) = inputs.get(scoped.as_str()) {
-                unscoped.insert(plain.clone(), v.clone());
-            }
-        }
-        let step_outputs = self.inner.step(now, &unscoped);
-        let mut scoped_outputs = TopicMap::new();
-        for (t, v) in step_outputs.iter() {
-            let (_, scoped) = self
-                .outputs
-                .iter()
-                .find(|(plain, _)| plain == t)
-                .expect("inner node published on an undeclared topic");
-            scoped_outputs.insert(scoped.clone(), v.clone());
-        }
-        scoped_outputs
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
+        // Both directions are pure renamings, resolved without copying any
+        // values: reads go through a view that maps unscoped names to the
+        // scoped valuation, and writes reuse the outer writer's buffer with
+        // the alias list swapped in (scoping a name preserves relative
+        // order, so the two output lists are index-aligned by
+        // construction).
+        let view = RenamedView::new(&self.subscriptions, inputs);
+        let mut inner_out = out.reindexed(&self.name, &self.unscoped_outputs);
+        self.inner.step(now, &view, &mut inner_out);
     }
 
     fn reset(&mut self) {
@@ -207,7 +204,7 @@ impl YieldingSafeNode {
     /// so continuing to track the waypoint could close the remaining gap
     /// before either vehicle can stop.  Returns the most urgent such peer
     /// (smallest slack).
-    fn yield_trigger(&self, own: &DroneState, inputs: &TopicMap) -> Option<DroneState> {
+    fn yield_trigger(&self, own: &DroneState, inputs: &dyn TopicRead) -> Option<DroneState> {
         const A_BRAKE: f64 = 6.0;
         let stop = |speed: f64| speed * speed / (2.0 * A_BRAKE);
         let mut trigger: Option<(f64, DroneState)> = None;
@@ -248,13 +245,12 @@ impl Node for YieldingSafeNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let Some(state) = inputs
             .get(&self.position_topic)
             .and_then(topics::value_to_state)
         else {
-            return out;
+            return;
         };
         let control = if let Some(peer) = self.yield_trigger(&state, inputs) {
             // Yield: brake against the own velocity and sidestep to the
@@ -283,11 +279,7 @@ impl Node for YieldingSafeNode {
             self.controller
                 .control(&state, target, self.period.as_secs_f64())
         };
-        out.insert(
-            TopicName::new(&self.output_topic),
-            topics::control_to_value(&control),
-        );
-        out
+        out.insert(&self.output_topic, topics::control_to_value(&control));
     }
 
     fn reset(&mut self) {
@@ -351,7 +343,7 @@ impl SeparationOracle {
         &self.peers
     }
 
-    fn own_state(&self, observed: &TopicMap) -> Option<DroneState> {
+    fn own_state(&self, observed: &dyn TopicRead) -> Option<DroneState> {
         observed
             .get(&self.position_topic)
             .and_then(topics::value_to_state)
@@ -359,7 +351,7 @@ impl SeparationOracle {
 
     /// The peers' states, or `None` if any peer estimate is missing (the
     /// conservative reading: an unobserved peer could be anywhere).
-    fn peer_states(&self, observed: &TopicMap) -> Option<Vec<DroneState>> {
+    fn peer_states(&self, observed: &dyn TopicRead) -> Option<Vec<DroneState>> {
         self.peer_topics
             .iter()
             .map(|t| observed.get(t).and_then(topics::value_to_state))
@@ -367,18 +359,14 @@ impl SeparationOracle {
     }
 
     /// Re-keys the own position under the unscoped name the single-drone
-    /// oracle expects.
-    fn translated(&self, observed: &TopicMap) -> TopicMap {
-        let mut map = TopicMap::new();
-        if let Some(v) = observed.get(&self.position_topic) {
-            map.insert(topics::LOCAL_POSITION, v.clone());
-        }
-        map
+    /// oracle expects — a borrowed single-topic view, no map is built.
+    fn translated<'a>(&self, observed: &'a dyn TopicRead) -> SingleTopic<'a> {
+        SingleTopic::new(topics::LOCAL_POSITION, observed.get(&self.position_topic))
     }
 }
 
 impl SafetyOracle for SeparationOracle {
-    fn is_safe(&self, observed: &TopicMap) -> bool {
+    fn is_safe(&self, observed: &dyn TopicRead) -> bool {
         let (Some(own), Some(peers)) = (self.own_state(observed), self.peer_states(observed))
         else {
             return false;
@@ -389,7 +377,7 @@ impl SafetyOracle for SeparationOracle {
                 .all(|p| self.peers.separated(own.position, p.position))
     }
 
-    fn is_safer(&self, observed: &TopicMap) -> bool {
+    fn is_safer(&self, observed: &dyn TopicRead) -> bool {
         let (Some(own), Some(peers)) = (self.own_state(observed), self.peer_states(observed))
         else {
             return false;
@@ -401,7 +389,7 @@ impl SafetyOracle for SeparationOracle {
 
     fn may_leave_safe_within(
         &self,
-        observed: &TopicMap,
+        observed: &dyn TopicRead,
         horizon: soter_core::time::Duration,
     ) -> bool {
         let (Some(own), Some(peers)) = (self.own_state(observed), self.peer_states(observed))
@@ -581,6 +569,7 @@ pub fn build_airspace_stack(config: &AirspaceStackConfig) -> (RtaSystem, Vec<Pla
 mod tests {
     use super::*;
     use soter_core::node::FnNode;
+    use soter_core::topic::TopicMap;
 
     fn two_drone_config(protection: Protection) -> AirspaceStackConfig {
         let base = DroneStackConfig {
@@ -627,7 +616,7 @@ mod tests {
         inputs.insert("drone3/in", Value::Float(7.0));
         // A same-named topic of another drone must be invisible.
         inputs.insert("drone1/in", Value::Float(-1.0));
-        let out = scoped.step(Time::ZERO, &inputs);
+        let out = scoped.step_to_map(Time::ZERO, &inputs);
         assert_eq!(out.get("drone3/out"), Some(&Value::Float(7.0)));
         assert_eq!(out.len(), 1);
     }
@@ -684,7 +673,7 @@ mod tests {
             "drone1/localPosition",
             topics::state_to_value(&DroneState::at_rest(Vec3::new(17.0, 17.0, 5.0))),
         );
-        let out = sc.step(Time::ZERO, &inputs);
+        let out = sc.step_to_map(Time::ZERO, &inputs);
         let u = out
             .get("drone0/controlAction")
             .and_then(topics::value_to_control)
@@ -700,7 +689,7 @@ mod tests {
             "drone1/localPosition",
             topics::state_to_value(&DroneState::at_rest(Vec3::new(11.5, 3.0, 5.0))),
         );
-        let out = sc.step(Time::ZERO, &inputs);
+        let out = sc.step_to_map(Time::ZERO, &inputs);
         let u = out
             .get("drone0/controlAction")
             .and_then(topics::value_to_control)

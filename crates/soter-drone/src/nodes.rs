@@ -20,13 +20,14 @@
 use crate::topics;
 use soter_core::node::Node;
 use soter_core::time::{Duration, Time};
-use soter_core::topic::{TopicMap, TopicName, Value};
+use soter_core::topic::{TopicName, TopicRead, TopicWriter, Value};
 use soter_ctrl::reference::WaypointMission;
 use soter_ctrl::traits::MotionController;
 use soter_plan::surveillance::SurveillanceApp;
 use soter_plan::traits::MotionPlanner;
 use soter_sim::vec3::Vec3;
 use soter_sim::world::Workspace;
+use std::sync::Arc;
 
 /// A motion-primitive node wrapping a [`MotionController`].
 pub struct ControllerNode {
@@ -75,13 +76,12 @@ impl Node for ControllerNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let Some(state) = inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
         else {
-            return out;
+            return;
         };
         let target = inputs
             .get(topics::TARGET_WAYPOINT)
@@ -92,7 +92,6 @@ impl Node for ControllerNode {
             .controller
             .control(&state, target, self.period.as_secs_f64());
         out.insert(topics::CONTROL_ACTION, topics::control_to_value(&control));
-        out
     }
 
     fn reset(&mut self) {
@@ -147,20 +146,19 @@ impl Node for PlannerNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let Some(target) = inputs
             .get(topics::TARGET_LOCATION)
             .and_then(Value::as_vector)
             .map(Vec3::from_array)
         else {
-            return out;
+            return;
         };
         let Some(state) = inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
         else {
-            return out;
+            return;
         };
         // Re-plan only when the application issues a new target (planning is
         // expensive; this also matches the paper's planner, which is invoked
@@ -170,13 +168,12 @@ impl Node for PlannerNode {
             .map(|t| t.distance(&target) < 0.5)
             .unwrap_or(false)
         {
-            return out;
+            return;
         }
         if let Some(plan) = self.planner.plan(&self.workspace, state.position, target) {
             self.last_target = Some(target);
             out.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
         }
-        out
     }
 
     fn reset(&mut self) {
@@ -192,6 +189,10 @@ pub struct PlanFollowerNode {
     period: Duration,
     arrival_tolerance: f64,
     plan: Vec<Vec3>,
+    /// The raw `Value::Path` storage the current plan was decoded from;
+    /// plans flow by every firing but change rarely, so a pointer
+    /// comparison short-circuits the per-firing decode.
+    plan_raw: Option<Arc<[[f64; 3]]>>,
     index: usize,
 }
 
@@ -203,6 +204,7 @@ impl PlanFollowerNode {
             period,
             arrival_tolerance,
             plan: Vec::new(),
+            plan_raw: None,
             index: 0,
         }
     }
@@ -228,25 +230,29 @@ impl Node for PlanFollowerNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
-        if let Some(plan) = inputs
-            .get(topics::MOTION_PLAN)
-            .and_then(topics::value_to_plan)
-        {
-            if plan != self.plan {
-                self.plan = plan;
-                self.index = 0;
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
+        if let Some(Value::Path(raw)) = inputs.get(topics::MOTION_PLAN) {
+            let changed = !self
+                .plan_raw
+                .as_ref()
+                .is_some_and(|prev| Arc::ptr_eq(prev, raw));
+            if changed {
+                self.plan_raw = Some(Arc::clone(raw));
+                let plan: Vec<Vec3> = raw.iter().map(|a| Vec3::from_array(*a)).collect();
+                if plan != self.plan {
+                    self.plan = plan;
+                    self.index = 0;
+                }
             }
         }
         let Some(state) = inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
         else {
-            return out;
+            return;
         };
         if self.plan.is_empty() {
-            return out;
+            return;
         }
         let current = self.plan[self.index.min(self.plan.len() - 1)];
         if state.position.distance(&current) < self.arrival_tolerance
@@ -256,11 +262,11 @@ impl Node for PlanFollowerNode {
         }
         let target = self.plan[self.index.min(self.plan.len() - 1)];
         out.insert(topics::TARGET_WAYPOINT, Value::Vector(target.to_array()));
-        out
     }
 
     fn reset(&mut self) {
         self.plan.clear();
+        self.plan_raw = None;
         self.index = 0;
     }
 }
@@ -302,8 +308,7 @@ impl Node for LandingNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         if let Some(state) = inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
@@ -311,7 +316,6 @@ impl Node for LandingNode {
             let touchdown = Vec3::new(state.position.x, state.position.y, 0.0);
             out.insert(topics::TARGET_WAYPOINT, Value::Vector(touchdown.to_array()));
         }
-        out
     }
 }
 
@@ -365,8 +369,7 @@ impl Node for SurveillanceNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let state = inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state);
@@ -389,7 +392,6 @@ impl Node for SurveillanceNode {
             out.insert(topics::TARGET_LOCATION, Value::Vector(t.to_array()));
         }
         out.insert(topics::MISSION_PROGRESS, Value::Int(self.reached));
-        out
     }
 }
 
@@ -428,8 +430,7 @@ impl Node for CircuitNode {
         self.period
     }
 
-    fn step(&mut self, _now: Time, inputs: &TopicMap) -> TopicMap {
-        let mut out = TopicMap::new();
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let target = match inputs
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
@@ -440,7 +441,6 @@ impl Node for CircuitNode {
         out.insert(topics::TARGET_WAYPOINT, Value::Vector(target.to_array()));
         let progress = (self.mission.laps() * self.mission.waypoints().len()) as i64;
         out.insert(topics::MISSION_PROGRESS, Value::Int(progress));
-        out
     }
 
     fn reset(&mut self) {
@@ -451,6 +451,7 @@ impl Node for CircuitNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soter_core::topic::TopicMap;
     use soter_ctrl::safe::SafeTrackingController;
     use soter_plan::astar::GridAstar;
     use soter_sim::dynamics::DroneState;
@@ -474,7 +475,7 @@ mod tests {
         );
         let mut inputs = state_inputs(Vec3::new(0.0, 0.0, 3.0));
         inputs.insert(topics::TARGET_WAYPOINT, Value::Vector([10.0, 0.0, 3.0]));
-        let out = node.step(Time::ZERO, &inputs);
+        let out = node.step_to_map(Time::ZERO, &inputs);
         let u = out
             .get(topics::CONTROL_ACTION)
             .and_then(topics::value_to_control)
@@ -490,7 +491,7 @@ mod tests {
             Duration::from_millis(10),
             3.0,
         );
-        let out = node.step(Time::ZERO, &TopicMap::new());
+        let out = node.step_to_map(Time::ZERO, &TopicMap::new());
         assert!(out.is_empty());
     }
 
@@ -502,7 +503,7 @@ mod tests {
             Duration::from_millis(10),
             3.0,
         );
-        let out = node.step(Time::ZERO, &state_inputs(Vec3::new(5.0, 5.0, 3.0)));
+        let out = node.step_to_map(Time::ZERO, &state_inputs(Vec3::new(5.0, 5.0, 3.0)));
         let u = out
             .get(topics::CONTROL_ACTION)
             .and_then(topics::value_to_control)
@@ -521,14 +522,14 @@ mod tests {
         );
         let mut inputs = state_inputs(Vec3::new(3.0, 3.0, 2.5));
         inputs.insert(topics::TARGET_LOCATION, Value::Vector([3.0, 40.0, 2.5]));
-        let out1 = node.step(Time::ZERO, &inputs);
+        let out1 = node.step_to_map(Time::ZERO, &inputs);
         assert!(out1.contains(topics::MOTION_PLAN));
         // Same target again: no re-plan.
-        let out2 = node.step(Time::from_millis(500), &inputs);
+        let out2 = node.step_to_map(Time::from_millis(500), &inputs);
         assert!(!out2.contains(topics::MOTION_PLAN));
         // New target: re-plan.
         inputs.insert(topics::TARGET_LOCATION, Value::Vector([47.0, 3.0, 2.5]));
-        let out3 = node.step(Time::from_millis(1000), &inputs);
+        let out3 = node.step_to_map(Time::from_millis(1000), &inputs);
         assert!(out3.contains(topics::MOTION_PLAN));
     }
 
@@ -542,7 +543,7 @@ mod tests {
         ];
         let mut inputs = state_inputs(Vec3::new(0.0, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
-        let out = node.step(Time::ZERO, &inputs);
+        let out = node.step_to_map(Time::ZERO, &inputs);
         // At the first waypoint already: advances to the second.
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
@@ -551,7 +552,7 @@ mod tests {
         // Move near the second waypoint: target becomes the third.
         let mut inputs = state_inputs(Vec3::new(4.8, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
-        let out = node.step(Time::from_millis(100), &inputs);
+        let out = node.step_to_map(Time::from_millis(100), &inputs);
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([10.0, 0.0, 2.0])
@@ -559,7 +560,7 @@ mod tests {
         // Far from everything: target stays the third (the last one).
         let mut inputs = state_inputs(Vec3::new(20.0, 0.0, 2.0));
         inputs.insert(topics::MOTION_PLAN, topics::plan_to_value(&plan));
-        let out = node.step(Time::from_millis(200), &inputs);
+        let out = node.step_to_map(Time::from_millis(200), &inputs);
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([10.0, 0.0, 2.0])
@@ -569,14 +570,14 @@ mod tests {
     #[test]
     fn plan_follower_without_plan_publishes_nothing() {
         let mut node = PlanFollowerNode::new("bat_ac", Duration::from_millis(100), 1.0);
-        let out = node.step(Time::ZERO, &state_inputs(Vec3::new(0.0, 0.0, 2.0)));
+        let out = node.step_to_map(Time::ZERO, &state_inputs(Vec3::new(0.0, 0.0, 2.0)));
         assert!(out.is_empty());
     }
 
     #[test]
     fn landing_node_targets_the_ground_below() {
         let mut node = LandingNode::new("bat_sc", Duration::from_millis(100));
-        let out = node.step(Time::ZERO, &state_inputs(Vec3::new(7.0, 9.0, 6.0)));
+        let out = node.step_to_map(Time::ZERO, &state_inputs(Vec3::new(7.0, 9.0, 6.0)));
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([7.0, 9.0, 0.0])
@@ -588,7 +589,7 @@ mod tests {
         let w = Workspace::city_block();
         let app = SurveillanceApp::new(&w, soter_plan::surveillance::TargetPolicy::RoundRobin);
         let mut node = SurveillanceNode::new(app, w.clone(), Duration::from_millis(500), 1.5);
-        let out = node.step(Time::ZERO, &state_inputs(Vec3::new(25.0, 21.0, 2.5)));
+        let out = node.step_to_map(Time::ZERO, &state_inputs(Vec3::new(25.0, 21.0, 2.5)));
         let first_target = out
             .get(topics::TARGET_LOCATION)
             .and_then(Value::as_vector)
@@ -596,7 +597,7 @@ mod tests {
         assert_eq!(out.get(topics::MISSION_PROGRESS), Some(&Value::Int(0)));
         // Arrive at the first target: progress increments and a new target is
         // issued.
-        let out = node.step(
+        let out = node.step_to_map(
             Time::from_millis(500),
             &state_inputs(Vec3::from_array(first_target)),
         );
@@ -614,19 +615,19 @@ mod tests {
         let mission = WaypointMission::new(wps.clone(), 1.0, true);
         let mut node = CircuitNode::new(mission, Duration::from_millis(100));
         // No state yet: publishes the first waypoint.
-        let out = node.step(Time::ZERO, &TopicMap::new());
+        let out = node.step_to_map(Time::ZERO, &TopicMap::new());
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([0.0, 0.0, 2.0])
         );
         // At the first waypoint: advances.
-        let out = node.step(Time::from_millis(100), &state_inputs(wps[0]));
+        let out = node.step_to_map(Time::from_millis(100), &state_inputs(wps[0]));
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([10.0, 0.0, 2.0])
         );
         node.reset();
-        let out = node.step(Time::from_millis(200), &TopicMap::new());
+        let out = node.step_to_map(Time::from_millis(200), &TopicMap::new());
         assert_eq!(
             out.get(topics::TARGET_WAYPOINT).and_then(Value::as_vector),
             Some([0.0, 0.0, 2.0])

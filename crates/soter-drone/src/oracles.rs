@@ -14,7 +14,7 @@
 use crate::topics;
 use soter_core::rta::SafetyOracle;
 use soter_core::time::Duration;
-use soter_core::topic::{TopicMap, Value};
+use soter_core::topic::{TopicRead, Value};
 use soter_plan::validate::validate_plan;
 use soter_reach::ttf::ObstacleTtf;
 use soter_sim::battery::BatteryModel;
@@ -54,7 +54,7 @@ impl MotionPrimitiveOracle {
         &self.ttf
     }
 
-    fn observed_state(observed: &TopicMap) -> Option<soter_sim::dynamics::DroneState> {
+    fn observed_state(observed: &dyn TopicRead) -> Option<soter_sim::dynamics::DroneState> {
         observed
             .get(topics::LOCAL_POSITION)
             .and_then(topics::value_to_state)
@@ -62,7 +62,7 @@ impl MotionPrimitiveOracle {
 }
 
 impl SafetyOracle for MotionPrimitiveOracle {
-    fn is_safe(&self, observed: &TopicMap) -> bool {
+    fn is_safe(&self, observed: &dyn TopicRead) -> bool {
         match Self::observed_state(observed) {
             Some(s) => self.ttf.is_safe(&s),
             // No state estimate yet: treat as unsafe so the module stays in
@@ -71,7 +71,7 @@ impl SafetyOracle for MotionPrimitiveOracle {
         }
     }
 
-    fn is_safer(&self, observed: &TopicMap) -> bool {
+    fn is_safer(&self, observed: &dyn TopicRead) -> bool {
         match Self::observed_state(observed) {
             Some(s) => {
                 // φ_safer = R(φ_safe, k·2Δ), evaluated through the same
@@ -85,7 +85,7 @@ impl SafetyOracle for MotionPrimitiveOracle {
         }
     }
 
-    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+    fn may_leave_safe_within(&self, observed: &dyn TopicRead, horizon: Duration) -> bool {
         match Self::observed_state(observed) {
             Some(s) => self.ttf.may_leave_safe_within(&s, horizon.as_secs_f64()),
             None => true,
@@ -138,7 +138,7 @@ impl BatteryOracle {
         self.landing_reserve
     }
 
-    fn charge(observed: &TopicMap) -> Option<f64> {
+    fn charge(observed: &dyn TopicRead) -> Option<f64> {
         observed
             .get(topics::BATTERY_CHARGE)
             .and_then(Value::as_float)
@@ -146,17 +146,17 @@ impl BatteryOracle {
 }
 
 impl SafetyOracle for BatteryOracle {
-    fn is_safe(&self, observed: &TopicMap) -> bool {
+    fn is_safe(&self, observed: &dyn TopicRead) -> bool {
         Self::charge(observed).map(|bt| bt > 0.0).unwrap_or(false)
     }
 
-    fn is_safer(&self, observed: &TopicMap) -> bool {
+    fn is_safer(&self, observed: &dyn TopicRead) -> bool {
         Self::charge(observed)
             .map(|bt| bt > self.safer_threshold)
             .unwrap_or(false)
     }
 
-    fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+    fn may_leave_safe_within(&self, observed: &dyn TopicRead, horizon: Duration) -> bool {
         match Self::charge(observed) {
             // The paper's ttf_2Δ: bt − cost* < T_max, with cost* the
             // worst-case discharge over the horizon.
@@ -183,7 +183,7 @@ impl PlanOracle {
         PlanOracle { workspace, margin }
     }
 
-    fn plan_is_valid(&self, observed: &TopicMap) -> bool {
+    fn plan_is_valid(&self, observed: &dyn TopicRead) -> bool {
         match observed
             .get(topics::MOTION_PLAN)
             .and_then(topics::value_to_plan)
@@ -197,15 +197,15 @@ impl PlanOracle {
 }
 
 impl SafetyOracle for PlanOracle {
-    fn is_safe(&self, observed: &TopicMap) -> bool {
+    fn is_safe(&self, observed: &dyn TopicRead) -> bool {
         self.plan_is_valid(observed)
     }
 
-    fn is_safer(&self, observed: &TopicMap) -> bool {
+    fn is_safer(&self, observed: &dyn TopicRead) -> bool {
         self.plan_is_valid(observed)
     }
 
-    fn may_leave_safe_within(&self, observed: &TopicMap, _horizon: Duration) -> bool {
+    fn may_leave_safe_within(&self, observed: &dyn TopicRead, _horizon: Duration) -> bool {
         !self.plan_is_valid(observed)
     }
 }
@@ -213,6 +213,7 @@ impl SafetyOracle for PlanOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soter_core::topic::TopicMap;
     use soter_reach::forward::ForwardReach;
     use soter_sim::dynamics::{DroneState, QuadrotorDynamics};
     use soter_sim::vec3::Vec3;

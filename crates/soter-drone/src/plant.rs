@@ -13,7 +13,7 @@ use crate::topics;
 use parking_lot::Mutex;
 use soter_core::node::Node;
 use soter_core::time::{Duration, Time};
-use soter_core::topic::{TopicMap, TopicName, Value};
+use soter_core::topic::{TopicName, TopicRead, TopicWriter, Value};
 use soter_sim::drone::Drone;
 use soter_sim::dynamics::ControlInput;
 use std::sync::Arc;
@@ -66,7 +66,7 @@ impl Node for PlantNode {
         self.period
     }
 
-    fn step(&mut self, now: Time, inputs: &TopicMap) -> TopicMap {
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
         let control = inputs
             .get(topics::CONTROL_ACTION)
             .and_then(topics::value_to_control)
@@ -85,11 +85,9 @@ impl Node for PlantNode {
         let estimate = drone.estimated_state();
         let charge = drone.battery_charge();
         drop(drone);
-        let mut out = TopicMap::new();
         out.insert(topics::LOCAL_POSITION, topics::state_to_value(&estimate));
         out.insert(topics::GROUND_TRUTH, topics::state_to_value(&truth));
         out.insert(topics::BATTERY_CHARGE, Value::Float(charge));
-        out
     }
 
     fn reset(&mut self) {
@@ -100,6 +98,7 @@ impl Node for PlantNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soter_core::topic::TopicMap;
     use soter_sim::vec3::Vec3;
 
     #[test]
@@ -110,7 +109,7 @@ mod tests {
         );
         assert_eq!(node.name(), "plant");
         assert_eq!(node.period(), Duration::from_millis(10));
-        let out = node.step(Time::from_millis(10), &TopicMap::new());
+        let out = node.step_to_map(Time::from_millis(10), &TopicMap::new());
         assert!(out.contains(topics::LOCAL_POSITION));
         assert!(out.contains(topics::GROUND_TRUTH));
         let charge = out
@@ -130,7 +129,7 @@ mod tests {
         let mut inputs = TopicMap::new();
         inputs.insert(topics::CONTROL_ACTION, Value::Vector([3.0, 0.0, 0.0]));
         for i in 1..=200 {
-            node.step(Time::from_millis(10 * i), &inputs);
+            node.step_to_map(Time::from_millis(10 * i), &inputs);
         }
         let drone = handle.lock();
         assert!(
@@ -154,12 +153,12 @@ mod tests {
             Duration::from_millis(10),
         );
         for i in 1..=100 {
-            regular.step(Time::from_millis(10 * i), &TopicMap::new());
+            regular.step_to_map(Time::from_millis(10 * i), &TopicMap::new());
         }
         let mut t = 0u64;
         while t < 1000 {
             t += 25;
-            jittered.step(Time::from_millis(t), &TopicMap::new());
+            jittered.step_to_map(Time::from_millis(t), &TopicMap::new());
         }
         assert!((h1.lock().elapsed() - h2.lock().elapsed()).abs() < 0.05);
     }

@@ -12,9 +12,9 @@
 use crate::traits::MotionPlanner;
 use serde::{Deserialize, Serialize};
 use soter_sim::vec3::Vec3;
-use soter_sim::world::Workspace;
+use soter_sim::world::{ClearanceChecker, Workspace};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Grid A* configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,8 +89,8 @@ impl GridAstar {
         Vec3::new(c.0 as f64 * r, c.1 as f64 * r, c.2 as f64 * r)
     }
 
-    fn cell_is_free(&self, workspace: &Workspace, c: (i64, i64, i64)) -> bool {
-        workspace.is_free_with_margin(self.to_point(c), self.config.margin)
+    fn cell_is_free(&self, checker: &ClearanceChecker, c: (i64, i64, i64)) -> bool {
+        checker.point_free(self.to_point(c))
     }
 
     fn heuristic(&self, a: (i64, i64, i64), b: (i64, i64, i64)) -> f64 {
@@ -118,6 +118,54 @@ impl GridAstar {
     }
 }
 
+/// Dense per-query grid state: the search only ever touches cells within
+/// one step of the workspace bounds, so scores, parents and the freeness
+/// cache live in flat arrays indexed by cell — no hashing on the hot path.
+/// (Freeness memoisation and flat storage change nothing observable: the
+/// queries are pure and no map iteration order is consumed.)
+struct DenseGrid {
+    min: (i64, i64, i64),
+    dims: (i64, i64, i64),
+    g: Vec<f64>,
+    /// Parent cell index per cell; `u32::MAX` = none.
+    parent: Vec<u32>,
+    /// 0 = unknown, 1 = free, 2 = blocked.
+    free: Vec<u8>,
+    /// Whether the cell has already been expanded (heuristic is consistent,
+    /// so later pops of an expanded cell can never change any state — they
+    /// are skipped without perturbing the search).
+    expanded: Vec<bool>,
+}
+
+impl DenseGrid {
+    fn new(min: (i64, i64, i64), max: (i64, i64, i64)) -> Self {
+        let dims = (max.0 - min.0 + 1, max.1 - min.1 + 1, max.2 - min.2 + 1);
+        let len = (dims.0 * dims.1 * dims.2) as usize;
+        DenseGrid {
+            min,
+            dims,
+            g: vec![f64::INFINITY; len],
+            parent: vec![u32::MAX; len],
+            free: vec![0; len],
+            expanded: vec![false; len],
+        }
+    }
+
+    fn index(&self, c: (i64, i64, i64)) -> Option<usize> {
+        let (x, y, z) = (c.0 - self.min.0, c.1 - self.min.1, c.2 - self.min.2);
+        (x >= 0 && x < self.dims.0 && y >= 0 && y < self.dims.1 && z >= 0 && z < self.dims.2)
+            .then(|| ((x * self.dims.1 + y) * self.dims.2 + z) as usize)
+    }
+
+    fn cell_of(&self, index: u32) -> (i64, i64, i64) {
+        let i = index as i64;
+        let z = i % self.dims.2;
+        let y = (i / self.dims.2) % self.dims.1;
+        let x = i / (self.dims.1 * self.dims.2);
+        (x + self.min.0, y + self.min.1, z + self.min.2)
+    }
+}
+
 impl MotionPlanner for GridAstar {
     fn name(&self) -> &str {
         "grid-astar"
@@ -129,15 +177,27 @@ impl MotionPlanner for GridAstar {
         }
         let start_cell = self.to_cell(start);
         let goal_cell = self.to_cell(goal);
+        // Every reachable cell snaps into the workspace bounds; pad by one
+        // so the (never-free) boundary ring of neighbours is addressable.
+        let b = workspace.bounds();
+        let bounds_min = self.to_cell(b.min);
+        let bounds_max = self.to_cell(b.max);
+        let mut grid = DenseGrid::new(
+            (bounds_min.0 - 1, bounds_min.1 - 1, bounds_min.2 - 1),
+            (bounds_max.0 + 1, bounds_max.1 + 1, bounds_max.2 + 1),
+        );
         // The snapped start/goal cells must themselves be usable; if the
         // margin makes them unusable, fall back to requiring plain freeness.
-        let cell_ok = |this: &Self, c: (i64, i64, i64)| {
-            this.cell_is_free(workspace, c) || c == start_cell || c == goal_cell
+        let checker = workspace.clearance_checker(self.config.margin);
+        let cell_ok = |this: &Self, grid: &mut DenseGrid, c: (i64, i64, i64), i: usize| {
+            if grid.free[i] == 0 {
+                grid.free[i] = if this.cell_is_free(&checker, c) { 1 } else { 2 };
+            }
+            grid.free[i] == 1 || c == start_cell || c == goal_cell
         };
         let mut open = BinaryHeap::new();
-        let mut g_score: HashMap<(i64, i64, i64), f64> = HashMap::new();
-        let mut came_from: HashMap<(i64, i64, i64), (i64, i64, i64)> = HashMap::new();
-        g_score.insert(start_cell, 0.0);
+        let start_idx = grid.index(start_cell)?;
+        grid.g[start_idx] = 0.0;
         open.push(QueueEntry {
             f: self.heuristic(start_cell, goal_cell),
             cell: start_cell,
@@ -161,16 +221,24 @@ impl MotionPlanner for GridAstar {
             if expansions > self.config.max_expansions {
                 break;
             }
-            let current_g = g_score[&cell];
+            let cell_idx = grid.index(cell).expect("expanded cells are in range");
+            if grid.expanded[cell_idx] {
+                continue;
+            }
+            grid.expanded[cell_idx] = true;
+            let current_g = grid.g[cell_idx];
             for d in neighbors {
                 let n = (cell.0 + d.0, cell.1 + d.1, cell.2 + d.2);
-                if !cell_ok(self, n) {
+                let Some(n_idx) = grid.index(n) else {
+                    continue;
+                };
+                if !cell_ok(self, &mut grid, n, n_idx) {
                     continue;
                 }
                 let tentative = current_g + self.config.resolution;
-                if tentative < *g_score.get(&n).unwrap_or(&f64::INFINITY) {
-                    g_score.insert(n, tentative);
-                    came_from.insert(n, cell);
+                if tentative < grid.g[n_idx] {
+                    grid.g[n_idx] = tentative;
+                    grid.parent[n_idx] = cell_idx as u32;
                     open.push(QueueEntry {
                         f: tentative + self.heuristic(n, goal_cell),
                         cell: n,
@@ -183,10 +251,10 @@ impl MotionPlanner for GridAstar {
         }
         // Reconstruct, snap the endpoints to the exact start/goal, smooth.
         let mut cells = vec![goal_cell];
-        let mut cur = goal_cell;
-        while let Some(prev) = came_from.get(&cur) {
-            cells.push(*prev);
-            cur = *prev;
+        let mut cur = grid.index(goal_cell).expect("goal cell is in range");
+        while grid.parent[cur] != u32::MAX {
+            cur = grid.parent[cur] as usize;
+            cells.push(grid.cell_of(cur as u32));
         }
         cells.reverse();
         let mut path: Vec<Vec3> = cells.into_iter().map(|c| self.to_point(c)).collect();

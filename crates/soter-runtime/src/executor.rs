@@ -21,16 +21,40 @@
 //! rewrites the OE entries of its controllers; AC-OR-SC-STEP fires a
 //! controller or free node and merges its outputs into `Topics` only when
 //! its output is enabled.
+//!
+//! ## Hot-path layout
+//!
+//! Everything name- or map-shaped is compiled away at construction time so
+//! that steady-state execution performs **zero heap allocation per node
+//! firing** (see `tests/zero_alloc.rs` and the "Hot path & performance
+//! model" section of `docs/ARCHITECTURE.md`):
+//!
+//! * all declared topics are interned into a [`TopicInterner`]; the global
+//!   valuation is a dense `Vec<Value>` slot store indexed by [`TopicId`]
+//!   (plus a `published` bitset distinguishing "never published" from an
+//!   explicit `Unit`),
+//! * every node is compiled to a `CompiledNode`: interned name, period,
+//!   and its subscription/output lists resolved to `TopicId`s once,
+//! * nodes read through borrowed [`SlotView`]s (semantically identical to
+//!   the former `TopicMap::restrict` projection) and publish through a
+//!   [`TopicWriter`] into one scratch buffer reused across firings,
+//! * the calendar is a per-node `next_due: Vec<Time>` with O(1) reschedule
+//!   and a single linear minimum scan per instant (node counts are tens,
+//!   not thousands — a flat scan beats a heap and keeps firing order
+//!   trivially canonical),
+//! * the OE map is a `Vec<bool>` indexed by node, and trace events carry
+//!   interned [`TopicName`]s, so recording is a refcount bump.
 
-use crate::schedule::{JitterSchedule, ScheduleSampler};
+use crate::schedule::{JitterSchedule, NodeId, ScheduleSampler};
 use crate::trace::{Trace, TraceEvent};
 use soter_core::composition::RtaSystem;
 use soter_core::invariant::InvariantMonitor;
 use soter_core::node::Node;
 use soter_core::rta::Mode;
 use soter_core::time::{Duration, Time};
-use soter_core::topic::{TopicMap, TopicName, Value};
-use std::collections::BTreeMap;
+use soter_core::topic::{
+    SlotView, TopicId, TopicInterner, TopicMap, TopicName, TopicRead, TopicWriter, Value,
+};
 
 /// A source of ENVIRONMENT-INPUT transitions: values published onto the
 /// system's environment topics from outside the node system.
@@ -77,7 +101,7 @@ impl Default for ExecutorConfig {
     }
 }
 
-/// Identifies a node within the system for calendar bookkeeping.
+/// Identifies a node within the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeRef {
     /// Decision module of module `i`.
@@ -90,6 +114,33 @@ enum NodeRef {
     Free(usize),
 }
 
+/// One node's construction-time compilation: everything `fire` needs,
+/// resolved once so the firing itself touches no maps and no strings
+/// (except borrowed `&str` comparisons inside the view).
+struct CompiledNode {
+    kind: NodeRef,
+    name: TopicName,
+    period: Duration,
+    /// Subscriptions in declaration order; parallel to `sub_ids`.
+    sub_names: Vec<TopicName>,
+    sub_ids: Vec<TopicId>,
+    /// Declared outputs in declaration order; parallel to `out_ids`.
+    out_names: Vec<TopicName>,
+    out_ids: Vec<TopicId>,
+}
+
+/// Borrowed read access to the executor's entire topic valuation (every
+/// published slot plus undeclared extras) — see [`Executor::reader`].
+pub struct GlobalView<'a> {
+    exec: &'a Executor,
+}
+
+impl TopicRead for GlobalView<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        self.exec.topic(topic)
+    }
+}
+
 /// A snapshot of one RTA module's mode, passed to observers.
 pub type ModeSnapshot = Vec<(String, Mode)>;
 
@@ -99,20 +150,39 @@ type Observer = Box<dyn FnMut(Time, &TopicMap, &ModeSnapshot) + Send>;
 pub struct Executor {
     system: RtaSystem,
     config: ExecutorConfig,
-    topics: TopicMap,
-    oe: BTreeMap<String, bool>,
+    interner: TopicInterner,
+    /// The global valuation: one slot per interned topic, `Unit` until
+    /// first published.
+    slots: Vec<Value>,
+    /// Whether each slot has ever been published (so [`Executor::topics`]
+    /// reports exactly the topics a `TopicMap`-based valuation would hold).
+    published: Vec<bool>,
+    /// Values published on topics no node declares (one-off test inputs);
+    /// invisible to nodes, visible through [`Executor::topics`].
+    extra: TopicMap,
+    /// All nodes in canonical firing order: DMs, then ACs, then SCs (module
+    /// order within each block), then free nodes.
+    nodes: Vec<CompiledNode>,
+    /// The calendar: the next due instant of each node.
+    next_due: Vec<Time>,
+    /// The OE map, indexed like `nodes` (`true` for DMs and free nodes).
+    oe: Vec<bool>,
+    /// Interned module names, in module order.
+    module_names: Vec<TopicName>,
+    /// `(module name, module index)` sorted by name, for O(log n)
+    /// [`Executor::module_mode`].
+    module_lookup: Vec<(TopicName, usize)>,
     now: Time,
-    calendar: Vec<(NodeRef, Time)>,
-    /// Node names aligned index-for-index with `calendar`, so the schedule
-    /// sampler can be consulted per node without re-allocating names on
-    /// every reschedule.
-    calendar_names: Vec<String>,
     trace: Trace,
     monitors: Vec<InvariantMonitor>,
     environment: Option<Box<dyn EnvironmentModel>>,
     sampler: Box<dyn ScheduleSampler>,
     observers: Vec<Observer>,
     fired_steps: u64,
+    /// Scratch: indices of the nodes firing at the current instant.
+    fireable_scratch: Vec<u32>,
+    /// Scratch: output entries of the node currently firing.
+    out_scratch: Vec<(u32, Value)>,
 }
 
 impl Executor {
@@ -121,51 +191,93 @@ impl Executor {
         Executor::with_config(system, ExecutorConfig::default())
     }
 
-    /// Creates an executor with an explicit configuration.
+    /// Creates an executor with an explicit configuration.  All interning
+    /// and per-node compilation happens here, once.
     pub fn with_config(system: RtaSystem, config: ExecutorConfig) -> Self {
-        let mut oe = BTreeMap::new();
-        let mut calendar = Vec::new();
+        let infos = system.all_node_infos();
+        let interner = TopicInterner::new(
+            infos
+                .iter()
+                .flat_map(|i| i.subscriptions.iter().chain(i.outputs.iter()).cloned()),
+        );
+        let compile = |kind: NodeRef, info: &soter_core::node::NodeInfo| {
+            let resolve = |names: &[TopicName]| -> Vec<TopicId> {
+                names
+                    .iter()
+                    .map(|n| interner.id(n.as_str()).expect("declared topic is interned"))
+                    .collect()
+            };
+            CompiledNode {
+                kind,
+                name: TopicName::new(&info.name),
+                period: info.period,
+                sub_ids: resolve(&info.subscriptions),
+                sub_names: info.subscriptions.clone(),
+                out_ids: resolve(&info.outputs),
+                out_names: info.outputs.clone(),
+            }
+        };
+        let mut nodes = Vec::new();
+        let mut oe = Vec::new();
         let mut monitors = Vec::new();
+        let mut module_names = Vec::new();
+        // Canonical order: all DMs, then all ACs, then all SCs, then the
+        // free nodes — the firing order of simultaneously scheduled nodes.
         for (i, m) in system.modules().iter().enumerate() {
+            nodes.push(compile(NodeRef::Dm(i), &m.dm().info()));
+            oe.push(true);
+            monitors.push(InvariantMonitor::new(m.name(), m.oracle(), m.delta()));
+            module_names.push(TopicName::new(m.name()));
+        }
+        for (i, m) in system.modules().iter().enumerate() {
+            nodes.push(compile(NodeRef::Ac(i), &m.ac().info()));
             // Initial configuration: every module starts in SC mode, so the
             // SC output is enabled and the AC output disabled.
-            oe.insert(m.ac().name().to_string(), false);
-            oe.insert(m.sc().name().to_string(), true);
-            calendar.push((NodeRef::Dm(i), Time::ZERO + m.dm().period()));
-            calendar.push((NodeRef::Ac(i), Time::ZERO + m.ac().period()));
-            calendar.push((NodeRef::Sc(i), Time::ZERO + m.sc().period()));
-            monitors.push(InvariantMonitor::new(m.name(), m.oracle(), m.delta()));
+            oe.push(false);
+        }
+        for (i, m) in system.modules().iter().enumerate() {
+            nodes.push(compile(NodeRef::Sc(i), &m.sc().info()));
+            oe.push(true);
         }
         for (i, n) in system.free_nodes().iter().enumerate() {
-            calendar.push((NodeRef::Free(i), Time::ZERO + n.period()));
+            nodes.push(compile(NodeRef::Free(i), &n.info()));
+            oe.push(true);
         }
+        let next_due: Vec<Time> = nodes.iter().map(|n| Time::ZERO + n.period).collect();
+        let mut module_lookup: Vec<(TopicName, usize)> = module_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        module_lookup.sort_by(|a, b| a.0.cmp(&b.0));
         let trace = if config.record_trace {
             Trace::new()
         } else {
             Trace::disabled()
         };
         let sampler = config.schedule.sampler();
-        let mut exec = Executor {
+        Executor {
+            slots: vec![Value::Unit; interner.len()],
+            published: vec![false; interner.len()],
+            extra: TopicMap::new(),
+            interner,
             system,
             config,
-            topics: TopicMap::new(),
+            nodes,
+            next_due,
             oe,
+            module_names,
+            module_lookup,
             now: Time::ZERO,
-            calendar,
-            calendar_names: Vec::new(),
             trace,
             monitors,
             environment: None,
             sampler,
             observers: Vec::new(),
             fired_steps: 0,
-        };
-        exec.calendar_names = exec
-            .calendar
-            .iter()
-            .map(|(node, _)| exec.node_name(*node))
-            .collect();
-        exec
+            fireable_scratch: Vec::new(),
+            out_scratch: Vec::new(),
+        }
     }
 
     /// Replaces the schedule sampler (e.g. with a custom
@@ -184,6 +296,9 @@ impl Executor {
 
     /// Registers an observer called after every discrete instant with the
     /// current time, the topic valuation and the modes of all RTA modules.
+    ///
+    /// Observer support is pay-as-you-go: with no observers registered the
+    /// executor never materialises the valuation or the mode snapshot.
     pub fn add_observer<F>(&mut self, f: F)
     where
         F: FnMut(Time, &TopicMap, &ModeSnapshot) + Send + 'static,
@@ -197,9 +312,23 @@ impl Executor {
         let topic = topic.into();
         self.trace.record(TraceEvent::EnvironmentInput {
             time: self.now,
-            topic: topic.as_str().to_string(),
+            topic: topic.clone(),
         });
-        self.topics.insert(topic, value);
+        self.set_topic(topic, value);
+    }
+
+    fn set_topic(&mut self, topic: TopicName, value: Value) {
+        match self.interner.id(topic.as_str()) {
+            Some(id) => {
+                self.slots[id.index()] = value;
+                self.published[id.index()] = true;
+            }
+            // A topic no node declares: nodes can never read it, but it
+            // stays visible through `topics()` like any map entry would.
+            None => {
+                self.extra.insert(topic, value);
+            }
+        }
     }
 
     /// The current time `ct`.
@@ -207,9 +336,34 @@ impl Executor {
         self.now
     }
 
-    /// The current global topic valuation.
-    pub fn topics(&self) -> &TopicMap {
-        &self.topics
+    /// The current global topic valuation, materialised as an owned map
+    /// (name-ordered, published topics only).  This walks every slot — use
+    /// [`Executor::topic`] for cheap single-topic reads in loops.
+    pub fn topics(&self) -> TopicMap {
+        let mut map = self.extra.clone();
+        for (id, name) in self.interner.iter() {
+            if self.published[id.index()] {
+                map.insert(name.clone(), self.slots[id.index()].clone());
+            }
+        }
+        map
+    }
+
+    /// Reads one topic of the global valuation without materialising a map
+    /// (`None` if nothing was ever published on it).
+    pub fn topic(&self, name: &str) -> Option<&Value> {
+        match self.interner.id(name) {
+            Some(id) => self.published[id.index()].then(|| &self.slots[id.index()]),
+            None => self.extra.get(name),
+        }
+    }
+
+    /// A borrowed [`TopicRead`] over the whole global valuation —
+    /// allocation-free read access for per-instant consumers (observers of
+    /// the exploration engine, predicates) that would otherwise
+    /// materialise [`Executor::topics`] every instant.
+    pub fn reader(&self) -> GlobalView<'_> {
+        GlobalView { exec: self }
     }
 
     /// The recorded trace.
@@ -239,13 +393,13 @@ impl Executor {
         self.system
     }
 
-    /// The mode of a module by name, if it exists.
+    /// The mode of a module by name, if it exists (O(log n) via the
+    /// construction-time name index).
     pub fn module_mode(&self, name: &str) -> Option<Mode> {
-        self.system
-            .modules()
-            .iter()
-            .find(|m| m.name() == name)
-            .map(|m| m.mode())
+        self.module_lookup
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.system.modules()[self.module_lookup[i].1].mode())
     }
 
     /// The modes of all modules, in module order.
@@ -260,7 +414,10 @@ impl Executor {
     /// Whether a node's output is currently enabled (controllers only; free
     /// nodes and DMs are not in the OE map).
     pub fn output_enabled(&self, node: &str) -> Option<bool> {
-        self.oe.get(node).copied()
+        self.nodes.iter().enumerate().find_map(|(i, n)| {
+            (matches!(n.kind, NodeRef::Ac(_) | NodeRef::Sc(_)) && n.name == node)
+                .then(|| self.oe[i])
+        })
     }
 
     /// Total number of node firings executed so far.
@@ -273,7 +430,18 @@ impl Executor {
     /// that instant (decision modules first, then controllers, then free
     /// nodes).  Returns the new time, or `None` if the calendar is empty.
     pub fn step_instant(&mut self) -> Option<Time> {
-        self.step_instant_with_order(|_candidates| 0)
+        let next_time = self.begin_instant()?;
+        let mut fireable = std::mem::take(&mut self.fireable_scratch);
+        self.collect_fireable(next_time, &mut fireable);
+        // The canonical order needs no chooser: fire straight through.
+        for &idx in &fireable {
+            self.fire(idx as usize);
+            self.reschedule(idx as usize);
+        }
+        fireable.clear();
+        self.fireable_scratch = fireable;
+        self.notify_observers(next_time);
+        Some(next_time)
     }
 
     /// Like [`Executor::step_instant`], but the order in which
@@ -281,63 +449,71 @@ impl Executor {
     /// given the names of the not-yet-fired nodes of this instant and must
     /// return the index of the one to fire next.  This is the hook the
     /// bounded-asynchrony systematic tester uses to explore interleavings.
+    /// (Building the candidate name list allocates; the default
+    /// [`Executor::step_instant`] path does not.)
     pub fn step_instant_with_order<F>(&mut self, mut chooser: F) -> Option<Time>
     where
-        F: FnMut(&[String]) -> usize,
+        F: FnMut(&[&str]) -> usize,
     {
-        if self.calendar.is_empty() {
-            return None;
-        }
-        // DISCRETE-TIME-PROGRESS-STEP: ct' = min pending calendar time.
-        let next_time = self.calendar.iter().map(|(_, t)| *t).min()?;
-        self.now = next_time;
-        // ENVIRONMENT-INPUT transitions at this instant.
-        if let Some(env) = self.environment.as_mut() {
-            for (topic, value) in env.inputs_at(next_time) {
-                self.trace.record(TraceEvent::EnvironmentInput {
-                    time: next_time,
-                    topic: topic.as_str().to_string(),
-                });
-                self.topics.insert(topic, value);
-            }
-        }
-        // FN = nodes scheduled at this instant, in a canonical order: DMs
-        // first, then ACs, SCs, free nodes (ties broken by index).
-        let mut fireable: Vec<NodeRef> = Vec::new();
-        for kind in 0..4 {
-            for (node, t) in &self.calendar {
-                if *t != next_time {
-                    continue;
-                }
-                let matches_kind = matches!(
-                    (kind, node),
-                    (0, NodeRef::Dm(_))
-                        | (1, NodeRef::Ac(_))
-                        | (2, NodeRef::Sc(_))
-                        | (3, NodeRef::Free(_))
-                );
-                if matches_kind {
-                    fireable.push(*node);
-                }
-            }
-        }
+        let next_time = self.begin_instant()?;
+        let mut fireable = std::mem::take(&mut self.fireable_scratch);
+        self.collect_fireable(next_time, &mut fireable);
         while !fireable.is_empty() {
-            let names: Vec<String> = fireable.iter().map(|r| self.node_name(*r)).collect();
+            let names: Vec<&str> = fireable
+                .iter()
+                .map(|&i| self.nodes[i as usize].name.as_str())
+                .collect();
             let mut idx = chooser(&names);
             if idx >= fireable.len() {
                 idx = 0;
             }
-            let node_ref = fireable.remove(idx);
-            self.fire(node_ref);
-            self.reschedule(node_ref);
+            let node = fireable.remove(idx) as usize;
+            self.fire(node);
+            self.reschedule(node);
         }
-        // Notify observers with the post-instant configuration.
-        let snapshot = self.mode_snapshot();
-        let topics = self.topics.clone();
-        for obs in &mut self.observers {
-            obs(next_time, &topics, &snapshot);
+        self.fireable_scratch = fireable;
+        self.notify_observers(next_time);
+        Some(next_time)
+    }
+
+    /// DISCRETE-TIME-PROGRESS-STEP plus ENVIRONMENT-INPUT: advances `ct` to
+    /// the earliest pending calendar entry and injects environment inputs.
+    fn begin_instant(&mut self) -> Option<Time> {
+        let next_time = self.next_due.iter().copied().min()?;
+        self.now = next_time;
+        if let Some(env) = self.environment.as_mut() {
+            for (topic, value) in env.inputs_at(next_time) {
+                self.trace.record(TraceEvent::EnvironmentInput {
+                    time: next_time,
+                    topic: topic.clone(),
+                });
+                self.set_topic(topic, value);
+            }
         }
         Some(next_time)
+    }
+
+    /// FN = nodes scheduled at this instant.  `nodes` is stored in the
+    /// canonical order (DMs, ACs, SCs, free nodes), so an index scan
+    /// produces FN already canonically ordered.
+    fn collect_fireable(&self, at: Time, fireable: &mut Vec<u32>) {
+        fireable.clear();
+        for (i, due) in self.next_due.iter().enumerate() {
+            if *due == at {
+                fireable.push(i as u32);
+            }
+        }
+    }
+
+    fn notify_observers(&mut self, now: Time) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let snapshot = self.mode_snapshot();
+        let topics = self.topics();
+        for obs in &mut self.observers {
+            obs(now, &topics, &snapshot);
+        }
     }
 
     /// Runs the system until the current time reaches or exceeds `deadline`.
@@ -355,127 +531,109 @@ impl Executor {
         self.run_until(deadline);
     }
 
-    fn node_name(&self, node: NodeRef) -> String {
-        match node {
-            NodeRef::Dm(i) => self.system.modules()[i].dm().name().to_string(),
-            NodeRef::Ac(i) => self.system.modules()[i].ac().name().to_string(),
-            NodeRef::Sc(i) => self.system.modules()[i].sc().name().to_string(),
-            NodeRef::Free(i) => self.system.free_nodes()[i].name().to_string(),
-        }
+    fn reschedule(&mut self, idx: usize) {
+        let delay = self
+            .sampler
+            .delay(NodeId(idx as u32), self.nodes[idx].name.as_str(), self.now);
+        self.next_due[idx] = self.now + self.nodes[idx].period + delay;
     }
 
-    fn reschedule(&mut self, node: NodeRef) {
-        let period = match node {
-            NodeRef::Dm(i) => self.system.modules()[i].dm().period(),
-            NodeRef::Ac(i) => self.system.modules()[i].ac().period(),
-            NodeRef::Sc(i) => self.system.modules()[i].sc().period(),
-            NodeRef::Free(i) => self.system.free_nodes()[i].period(),
-        };
-        for (idx, entry) in self.calendar.iter_mut().enumerate() {
-            if entry.0 == node {
-                let delay = self.sampler.delay(&self.calendar_names[idx], self.now);
-                entry.1 = self.now + period + delay;
-                return;
-            }
-        }
-    }
-
-    fn fire(&mut self, node: NodeRef) {
+    fn fire(&mut self, idx: usize) {
         self.fired_steps += 1;
-        match node {
-            NodeRef::Dm(i) => self.fire_dm(i),
-            NodeRef::Ac(i) => {
-                let name = self.system.modules()[i].ac().name().to_string();
-                let enabled = *self.oe.get(&name).unwrap_or(&false);
-                let subs = self.system.modules()[i].ac().subscriptions();
-                let declared = self.system.modules()[i].ac().outputs();
-                let inputs = self.topics.restrict(subs.iter());
-                let now = self.now;
-                let outputs = self.system.modules_mut()[i].ac_mut().step(now, &inputs);
-                self.apply_outputs(&name, &declared, outputs, enabled);
-            }
-            NodeRef::Sc(i) => {
-                let name = self.system.modules()[i].sc().name().to_string();
-                let enabled = *self.oe.get(&name).unwrap_or(&false);
-                let subs = self.system.modules()[i].sc().subscriptions();
-                let declared = self.system.modules()[i].sc().outputs();
-                let inputs = self.topics.restrict(subs.iter());
-                let now = self.now;
-                let outputs = self.system.modules_mut()[i].sc_mut().step(now, &inputs);
-                self.apply_outputs(&name, &declared, outputs, enabled);
-            }
-            NodeRef::Free(i) => {
-                let name = self.system.free_nodes()[i].name().to_string();
-                let subs = self.system.free_nodes()[i].subscriptions();
-                let declared = self.system.free_nodes()[i].outputs();
-                let inputs = self.topics.restrict(subs.iter());
-                let now = self.now;
-                let outputs = self.system.free_nodes_mut()[i].step(now, &inputs);
-                self.apply_outputs(&name, &declared, outputs, true);
+        if let NodeRef::Dm(i) = self.nodes[idx].kind {
+            self.fire_dm(idx, i);
+            return;
+        }
+        // AC-OR-SC-STEP (and free-node firing): step the node against a
+        // borrowed view of its subscriptions, collecting outputs into the
+        // reused scratch buffer.
+        let now = self.now;
+        let mut entries = std::mem::take(&mut self.out_scratch);
+        entries.clear();
+        {
+            let node = &self.nodes[idx];
+            let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
+            let mut writer = TopicWriter::new(node.name.as_str(), &node.out_names, &mut entries);
+            match node.kind {
+                NodeRef::Ac(i) => {
+                    self.system.modules_mut()[i]
+                        .ac_mut()
+                        .step(now, &view, &mut writer)
+                }
+                NodeRef::Sc(i) => {
+                    self.system.modules_mut()[i]
+                        .sc_mut()
+                        .step(now, &view, &mut writer)
+                }
+                NodeRef::Free(i) => self.system.free_nodes_mut()[i].step(now, &view, &mut writer),
+                NodeRef::Dm(_) => unreachable!("DM firings take the fire_dm path"),
             }
         }
-    }
-
-    fn fire_dm(&mut self, i: usize) {
-        let now = self.now;
-        let dm_name = self.system.modules()[i].dm().name().to_string();
-        let module_name = self.system.modules()[i].name().to_string();
-        let ac_name = self.system.modules()[i].ac().name().to_string();
-        let sc_name = self.system.modules()[i].sc().name().to_string();
-        let subs = self.system.modules()[i].dm().subscriptions();
-        let inputs = self.topics.restrict(subs.iter());
-        let before = self.system.modules()[i].mode();
-        self.system.modules_mut()[i].dm_mut().step(now, &inputs);
-        let after = self.system.modules()[i].mode();
-        // DM-STEP: rewrite the OE entries of the module's controllers.
-        self.oe.insert(ac_name, after == Mode::Ac);
-        self.oe.insert(sc_name, after == Mode::Sc);
+        let enabled = self.oe[idx];
+        if enabled {
+            // `out ∪ Topics[T \ dom(out)]`: later writes win, like a map.
+            let node = &self.nodes[idx];
+            for (local, value) in entries.drain(..) {
+                let slot = node.out_ids[local as usize].index();
+                self.slots[slot] = value;
+                self.published[slot] = true;
+            }
+        } else {
+            entries.clear();
+        }
+        self.out_scratch = entries;
         self.trace.record(TraceEvent::NodeFired {
             time: now,
-            node: dm_name,
+            node: self.nodes[idx].name.clone(),
+            output_enabled: enabled,
+        });
+    }
+
+    fn fire_dm(&mut self, idx: usize, i: usize) {
+        let now = self.now;
+        let modules = self.system.modules().len();
+        let before = self.system.modules()[i].mode();
+        let mut entries = std::mem::take(&mut self.out_scratch);
+        entries.clear();
+        {
+            let node = &self.nodes[idx];
+            let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
+            let mut writer = TopicWriter::new(node.name.as_str(), &node.out_names, &mut entries);
+            self.system.modules_mut()[i]
+                .dm_mut()
+                .step(now, &view, &mut writer);
+        }
+        self.out_scratch = entries;
+        let after = self.system.modules()[i].mode();
+        // DM-STEP: rewrite the OE entries of the module's controllers
+        // (AC block starts at `modules`, SC block at `2 * modules`).
+        self.oe[modules + i] = after == Mode::Ac;
+        self.oe[2 * modules + i] = after == Mode::Sc;
+        self.trace.record(TraceEvent::NodeFired {
+            time: now,
+            node: self.nodes[idx].name.clone(),
             output_enabled: true,
         });
         if before != after {
             self.trace.record(TraceEvent::ModeSwitch {
                 time: now,
-                module: module_name.clone(),
+                module: self.module_names[i].clone(),
                 from: before,
                 to: after,
             });
         }
         if self.config.monitor_invariants {
-            let status = self.monitors[i].check(now, after, &inputs);
+            let node = &self.nodes[idx];
+            let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
+            let status = self.monitors[i].check(now, after, &view);
             if !status.holds() {
                 self.trace.record(TraceEvent::InvariantViolation {
                     time: now,
-                    module: module_name,
+                    module: self.module_names[i].clone(),
                     mode: after,
                 });
             }
         }
-    }
-
-    fn apply_outputs(
-        &mut self,
-        node_name: &str,
-        declared: &[TopicName],
-        outputs: TopicMap,
-        enabled: bool,
-    ) {
-        for (topic, _) in outputs.iter() {
-            assert!(
-                declared.contains(topic),
-                "node `{node_name}` published on undeclared topic `{topic}`"
-            );
-        }
-        if enabled {
-            self.topics.merge_from(&outputs);
-        }
-        self.trace.record(TraceEvent::NodeFired {
-            time: self.now,
-            node: node_name.to_string(),
-            output_enabled: enabled,
-        });
     }
 }
 
@@ -493,21 +651,21 @@ mod tests {
     struct LineOracle;
 
     impl SafetyOracle for LineOracle {
-        fn is_safe(&self, observed: &TopicMap) -> bool {
+        fn is_safe(&self, observed: &dyn TopicRead) -> bool {
             observed
                 .get("state")
                 .and_then(Value::as_float)
                 .map(|x| x.abs() <= 10.0)
                 .unwrap_or(false)
         }
-        fn is_safer(&self, observed: &TopicMap) -> bool {
+        fn is_safer(&self, observed: &dyn TopicRead) -> bool {
             observed
                 .get("state")
                 .and_then(Value::as_float)
                 .map(|x| x.abs() <= 5.0)
                 .unwrap_or(false)
         }
-        fn may_leave_safe_within(&self, observed: &TopicMap, horizon: Duration) -> bool {
+        fn may_leave_safe_within(&self, observed: &dyn TopicRead, horizon: Duration) -> bool {
             match observed.get("state").and_then(Value::as_float) {
                 Some(x) => x.abs() + horizon.as_secs_f64() > 10.0,
                 None => true,
@@ -591,6 +749,8 @@ mod tests {
         let t2 = exec.step_instant().unwrap();
         assert_eq!(t2, Time::from_millis(20));
         assert!(exec.topics().get("state").is_some());
+        assert!(exec.topic("state").is_some());
+        assert_eq!(exec.topic("command"), None, "not yet published");
     }
 
     #[test]
@@ -693,6 +853,19 @@ mod tests {
     }
 
     #[test]
+    fn publishing_on_an_undeclared_topic_is_visible_but_unread() {
+        // `state` is declared (subscribed by the module); `wholly_unknown`
+        // is not declared by any node: it must surface in `topics()` (like
+        // any map entry) without perturbing execution.
+        let mut exec = Executor::new(module_only_system());
+        exec.publish("wholly_unknown", Value::Int(42));
+        exec.publish("state", Value::Float(7.0));
+        assert_eq!(exec.topic("wholly_unknown"), Some(&Value::Int(42)));
+        exec.run_until(Time::from_millis(200));
+        assert_eq!(exec.topics().get("wholly_unknown"), Some(&Value::Int(42)),);
+    }
+
+    #[test]
     fn observers_see_every_instant() {
         let counter = StdArc::new(AtomicUsize::new(0));
         let c2 = StdArc::clone(&counter);
@@ -789,6 +962,27 @@ mod tests {
             picked.push(exec.trace().len() - before);
         }
         assert!(exec.topics().get("state").is_some());
+    }
+
+    #[test]
+    fn default_chooser_and_hot_path_agree() {
+        // step_instant and step_instant_with_order(|_| 0) must produce the
+        // exact same execution (the hot path skips the name list entirely).
+        let run = |ordered: bool| {
+            let mut exec = Executor::new(line_system());
+            while exec.now() < Time::from_secs_f64(2.0) {
+                let step = if ordered {
+                    exec.step_instant_with_order(|_| 0)
+                } else {
+                    exec.step_instant()
+                };
+                if step.is_none() {
+                    break;
+                }
+            }
+            (exec.trace().digest(), exec.fired_steps())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use soter_core::composition::RtaSystem;
 use soter_core::rta::Mode;
 use soter_core::time::Time;
-use soter_core::topic::TopicMap;
+use soter_core::topic::TopicRead;
 
 /// The verdict of exploring one schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,7 +61,7 @@ impl ExplorationReport {
 }
 
 type Factory = Box<dyn Fn() -> RtaSystem>;
-type Predicate = Box<dyn Fn(Time, &TopicMap, &[(String, Mode)]) -> bool>;
+type Predicate = Box<dyn Fn(Time, &dyn TopicRead, &[(String, Mode)]) -> bool>;
 
 /// A bounded-asynchrony systematic tester.
 pub struct SystematicTester {
@@ -77,13 +77,13 @@ impl SystematicTester {
     /// * `factory` rebuilds the system under test in its initial
     ///   configuration (called once per schedule),
     /// * `predicate` is evaluated after every discrete instant on the
-    ///   current time, topic valuation and module modes; returning `false`
-    ///   marks the schedule as violating,
+    ///   current time, a borrowed view of the topic valuation and the
+    ///   module modes; returning `false` marks the schedule as violating,
     /// * `horizon` bounds the simulated time of each schedule.
     pub fn new<F, P>(factory: F, predicate: P, horizon: Time) -> Self
     where
         F: Fn() -> RtaSystem + 'static,
-        P: Fn(Time, &TopicMap, &[(String, Mode)]) -> bool + 'static,
+        P: Fn(Time, &dyn TopicRead, &[(String, Mode)]) -> bool + 'static,
     {
         SystematicTester {
             factory: Box::new(factory),
@@ -139,7 +139,7 @@ impl SystematicTester {
                 break;
             }
             let snapshot = exec.mode_snapshot();
-            if safe && !(self.predicate)(now, exec.topics(), &snapshot) {
+            if safe && !(self.predicate)(now, &exec.reader(), &snapshot) {
                 safe = false;
                 violation_time = Some(now);
             }

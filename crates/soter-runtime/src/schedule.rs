@@ -30,17 +30,34 @@ use serde::{Deserialize, Serialize};
 use soter_core::time::{Duration, Time};
 use std::collections::BTreeMap;
 
+/// Interned identity of a node within one executor run: a dense index that
+/// is stable for the lifetime of the run and maps 1:1 to the node's name.
+/// Samplers that keep per-node state can index a flat array by it instead
+/// of hashing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A source of per-firing scheduling delays, consulted by the executor
 /// every time a node is rescheduled.
 ///
-/// `node` is the name of the node that just fired at `now`; the returned
-/// duration is added to that node's next calendar entry (i.e. it delays
-/// the *next* firing dispatched from this instant).  Implementations must
-/// be deterministic given their construction state — campaign records and
-/// golden traces rely on it.
+/// `node`/`name` identify the node that just fired at `now` (`name` is
+/// resolved from the executor's interner, so taking it costs nothing); the
+/// returned duration is added to that node's next calendar entry (i.e. it
+/// delays the *next* firing dispatched from this instant).
+/// Implementations must be deterministic given their construction state —
+/// campaign records and golden traces rely on it — and must not allocate
+/// per call in steady state (the executor's zero-allocation hot path runs
+/// through here).
 pub trait ScheduleSampler: Send {
-    /// The delay to add to `node`'s next firing after it fired at `now`.
-    fn delay(&mut self, node: &str, now: Time) -> Duration;
+    /// The delay to add to the node's next firing after it fired at `now`.
+    fn delay(&mut self, node: NodeId, name: &str, now: Time) -> Duration;
 }
 
 /// One entry of a [`RecordedSchedule`]: delay the `firing`-th firing
@@ -277,7 +294,7 @@ pub fn delta_slack(delta: Duration, safer_factor: f64) -> Duration {
 struct IdealSampler;
 
 impl ScheduleSampler for IdealSampler {
-    fn delay(&mut self, _node: &str, _now: Time) -> Duration {
+    fn delay(&mut self, _node: NodeId, _name: &str, _now: Time) -> Duration {
         Duration::ZERO
     }
 }
@@ -288,7 +305,7 @@ impl ScheduleSampler for IdealSampler {
 struct IidSampler(JitterSampler);
 
 impl ScheduleSampler for IidSampler {
-    fn delay(&mut self, _node: &str, _now: Time) -> Duration {
+    fn delay(&mut self, _node: NodeId, _name: &str, _now: Time) -> Duration {
         self.0.sample()
     }
 }
@@ -303,9 +320,9 @@ struct WindowSampler {
 }
 
 impl ScheduleSampler for WindowSampler {
-    fn delay(&mut self, node: &str, now: Time) -> Duration {
+    fn delay(&mut self, _node: NodeId, name: &str, now: Time) -> Duration {
         if let Some(target) = &self.node {
-            if target != node {
+            if target != name {
                 return Duration::ZERO;
             }
         }
@@ -325,7 +342,7 @@ struct PhaseLockedSampler {
 }
 
 impl ScheduleSampler for PhaseLockedSampler {
-    fn delay(&mut self, _node: &str, now: Time) -> Duration {
+    fn delay(&mut self, _node: NodeId, _name: &str, now: Time) -> Duration {
         if self.period.is_zero() {
             return Duration::ZERO;
         }
@@ -341,30 +358,39 @@ impl ScheduleSampler for PhaseLockedSampler {
 }
 
 struct RecordedSampler {
-    delays: BTreeMap<(String, u64), Duration>,
-    firings: BTreeMap<String, u64>,
+    /// Per node name, the recorded delays keyed by firing index.
+    delays: BTreeMap<String, BTreeMap<u64, Duration>>,
+    /// Per-node firing counters, indexed by the interned [`NodeId`] (grown
+    /// on first encounter, so steady-state calls allocate nothing).
+    firings: Vec<u64>,
 }
 
 impl RecordedSampler {
     fn new(rec: &RecordedSchedule) -> Self {
+        let mut delays: BTreeMap<String, BTreeMap<u64, Duration>> = BTreeMap::new();
+        for d in &rec.delays {
+            delays
+                .entry(d.node.clone())
+                .or_default()
+                .insert(d.firing, d.delay);
+        }
         RecordedSampler {
-            delays: rec
-                .delays
-                .iter()
-                .map(|d| ((d.node.clone(), d.firing), d.delay))
-                .collect(),
-            firings: BTreeMap::new(),
+            delays,
+            firings: Vec::new(),
         }
     }
 }
 
 impl ScheduleSampler for RecordedSampler {
-    fn delay(&mut self, node: &str, _now: Time) -> Duration {
-        let counter = self.firings.entry(node.to_string()).or_insert(0);
-        let firing = *counter;
-        *counter += 1;
+    fn delay(&mut self, node: NodeId, name: &str, _now: Time) -> Duration {
+        if node.index() >= self.firings.len() {
+            self.firings.resize(node.index() + 1, 0);
+        }
+        let firing = self.firings[node.index()];
+        self.firings[node.index()] += 1;
         self.delays
-            .get(&(node.to_string(), firing))
+            .get(name)
+            .and_then(|per_firing| per_firing.get(&firing))
             .copied()
             .unwrap_or(Duration::ZERO)
     }
@@ -379,7 +405,10 @@ mod tests {
         let mut s = JitterSchedule::Ideal.sampler();
         assert!(!JitterSchedule::Ideal.is_enabled());
         for t in 0..100 {
-            assert_eq!(s.delay("any", Time::from_millis(t)), Duration::ZERO);
+            assert_eq!(
+                s.delay(NodeId(0), "any", Time::from_millis(t)),
+                Duration::ZERO
+            );
         }
     }
 
@@ -391,7 +420,7 @@ mod tests {
         for t in 0..200 {
             assert_eq!(
                 legacy.sample(),
-                scheduled.delay("node", Time::from_millis(t)),
+                scheduled.delay(NodeId(0), "node", Time::from_millis(t)),
                 "the Iid schedule must reproduce the legacy delay stream"
             );
         }
@@ -405,16 +434,22 @@ mod tests {
             delay: Duration::from_millis(7),
         };
         let mut s = schedule.sampler();
-        assert_eq!(s.delay("a", Time::from_millis(99)), Duration::ZERO);
         assert_eq!(
-            s.delay("a", Time::from_millis(100)),
+            s.delay(NodeId(0), "a", Time::from_millis(99)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            s.delay(NodeId(0), "a", Time::from_millis(100)),
             Duration::from_millis(7)
         );
         assert_eq!(
-            s.delay("b", Time::from_millis(149)),
+            s.delay(NodeId(1), "b", Time::from_millis(149)),
             Duration::from_millis(7)
         );
-        assert_eq!(s.delay("a", Time::from_millis(150)), Duration::ZERO);
+        assert_eq!(
+            s.delay(NodeId(0), "a", Time::from_millis(150)),
+            Duration::ZERO
+        );
         assert!(schedule.is_enabled());
         assert_eq!(schedule.max_delay(), Duration::from_millis(7));
     }
@@ -429,12 +464,21 @@ mod tests {
         };
         let mut s = schedule.sampler();
         assert_eq!(
-            s.delay("mpr_sc", Time::from_millis(5)),
+            s.delay(NodeId(0), "mpr_sc", Time::from_millis(5)),
             Duration::from_millis(400)
         );
-        assert_eq!(s.delay("mpr_ac", Time::from_millis(5)), Duration::ZERO);
-        assert_eq!(s.delay("plant", Time::from_millis(5)), Duration::ZERO);
-        assert_eq!(s.delay("mpr_sc", Time::from_secs_f64(11.0)), Duration::ZERO);
+        assert_eq!(
+            s.delay(NodeId(1), "mpr_ac", Time::from_millis(5)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            s.delay(NodeId(2), "plant", Time::from_millis(5)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            s.delay(NodeId(0), "mpr_sc", Time::from_secs_f64(11.0)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -448,16 +492,22 @@ mod tests {
         let mut s = schedule.sampler();
         for cycle in 0..5u64 {
             let base = cycle * 100;
-            assert_eq!(s.delay("n", Time::from_millis(base + 19)), Duration::ZERO);
             assert_eq!(
-                s.delay("n", Time::from_millis(base + 20)),
+                s.delay(NodeId(0), "n", Time::from_millis(base + 19)),
+                Duration::ZERO
+            );
+            assert_eq!(
+                s.delay(NodeId(0), "n", Time::from_millis(base + 20)),
                 Duration::from_millis(3)
             );
             assert_eq!(
-                s.delay("n", Time::from_millis(base + 29)),
+                s.delay(NodeId(0), "n", Time::from_millis(base + 29)),
                 Duration::from_millis(3)
             );
-            assert_eq!(s.delay("n", Time::from_millis(base + 30)), Duration::ZERO);
+            assert_eq!(
+                s.delay(NodeId(0), "n", Time::from_millis(base + 30)),
+                Duration::ZERO
+            );
         }
     }
 
@@ -477,14 +527,23 @@ mod tests {
         ]));
         let mut s = schedule.sampler();
         // sc firing 0: no entry; ac firing 0: 5 ms; sc firing 1: 40 ms.
-        assert_eq!(s.delay("sc", Time::ZERO), Duration::ZERO);
-        assert_eq!(s.delay("ac", Time::ZERO), Duration::from_millis(5));
+        assert_eq!(s.delay(NodeId(0), "sc", Time::ZERO), Duration::ZERO);
         assert_eq!(
-            s.delay("sc", Time::from_millis(10)),
+            s.delay(NodeId(1), "ac", Time::ZERO),
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            s.delay(NodeId(0), "sc", Time::from_millis(10)),
             Duration::from_millis(40)
         );
-        assert_eq!(s.delay("sc", Time::from_millis(20)), Duration::ZERO);
-        assert_eq!(s.delay("ac", Time::from_millis(20)), Duration::ZERO);
+        assert_eq!(
+            s.delay(NodeId(0), "sc", Time::from_millis(20)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            s.delay(NodeId(1), "ac", Time::from_millis(20)),
+            Duration::ZERO
+        );
         assert_eq!(schedule.max_delay(), Duration::from_millis(40));
     }
 
@@ -514,7 +573,10 @@ mod tests {
             assert_eq!(schedule.max_delay(), Duration::ZERO, "{schedule:?}");
             let mut s = schedule.sampler();
             for t in 0..50 {
-                assert_eq!(s.delay("sc", Time::from_millis(t)), Duration::ZERO);
+                assert_eq!(
+                    s.delay(NodeId(0), "sc", Time::from_millis(t)),
+                    Duration::ZERO
+                );
             }
         }
     }

@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 use soter_core::rta::Mode;
 use soter_core::time::Time;
+use soter_core::topic::TopicName;
 
 /// A streaming 64-bit FNV-1a hasher used to digest executions.
 ///
@@ -93,8 +94,8 @@ pub enum TraceEvent {
     NodeFired {
         /// Firing time.
         time: Time,
-        /// Node name.
-        node: String,
+        /// Node name (interned — cloning is a reference-count bump).
+        node: TopicName,
         /// Whether the node's outputs were applied to the global topics
         /// (`false` for a controller whose output is disabled by the OE
         /// map).
@@ -104,8 +105,8 @@ pub enum TraceEvent {
     ModeSwitch {
         /// Switch time.
         time: Time,
-        /// RTA module name.
-        module: String,
+        /// RTA module name (interned).
+        module: TopicName,
         /// Previous mode.
         from: Mode,
         /// New mode.
@@ -115,8 +116,8 @@ pub enum TraceEvent {
     InvariantViolation {
         /// Observation time.
         time: Time,
-        /// RTA module name.
-        module: String,
+        /// RTA module name (interned).
+        module: TopicName,
         /// Mode at the time of the violation.
         mode: Mode,
     },
@@ -124,8 +125,8 @@ pub enum TraceEvent {
     EnvironmentInput {
         /// Injection time.
         time: Time,
-        /// Topic that was updated.
-        topic: String,
+        /// Topic that was updated (interned).
+        topic: TopicName,
     },
 }
 
@@ -198,7 +199,7 @@ impl Trace {
             } => {
                 h.write_u8(0);
                 h.write_u64(time.as_micros());
-                h.write_str(node);
+                h.write_str(node.as_str());
                 h.write_u8(*output_enabled as u8);
             }
             TraceEvent::ModeSwitch {
@@ -209,20 +210,20 @@ impl Trace {
             } => {
                 h.write_u8(1);
                 h.write_u64(time.as_micros());
-                h.write_str(module);
+                h.write_str(module.as_str());
                 h.write_u8(matches!(from, Mode::Ac) as u8);
                 h.write_u8(matches!(to, Mode::Ac) as u8);
             }
             TraceEvent::InvariantViolation { time, module, mode } => {
                 h.write_u8(2);
                 h.write_u64(time.as_micros());
-                h.write_str(module);
+                h.write_str(module.as_str());
                 h.write_u8(matches!(mode, Mode::Ac) as u8);
             }
             TraceEvent::EnvironmentInput { time, topic } => {
                 h.write_u8(3);
                 h.write_u64(time.as_micros());
-                h.write_str(topic);
+                h.write_str(topic.as_str());
             }
         }
     }

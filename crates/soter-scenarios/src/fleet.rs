@@ -201,8 +201,7 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
         let mut positions = Vec::with_capacity(n);
         for i in 0..n {
             let Some(truth) = exec
-                .topics()
-                .get(&truth_topics[i])
+                .topic(&truth_topics[i])
                 .and_then(topics::value_to_state)
             else {
                 continue;
@@ -221,8 +220,7 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
         }
         if !looping && completion_time.is_none() {
             let all_done = (0..n).all(|i| {
-                exec.topics()
-                    .get(&progress_topics[i])
+                exec.topic(&progress_topics[i])
                     .and_then(Value::as_int)
                     .unwrap_or(0)
                     >= lap_targets[i]
@@ -235,8 +233,7 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
     }
     let targets_reached: Vec<usize> = (0..n)
         .map(|i| {
-            exec.topics()
-                .get(&progress_topics[i])
+            exec.topic(&progress_topics[i])
                 .and_then(Value::as_int)
                 .unwrap_or(0)
                 .max(0) as usize

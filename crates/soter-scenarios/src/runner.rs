@@ -91,9 +91,8 @@ pub fn run_stack(
         if t > max_time {
             break;
         }
-        let topics_map = exec.topics();
-        if let Some(truth) = topics_map
-            .get(topics::GROUND_TRUTH)
+        if let Some(truth) = exec
+            .topic(topics::GROUND_TRUTH)
             .and_then(topics::value_to_state)
         {
             let safe_mode = exec
@@ -102,8 +101,8 @@ pub fn run_stack(
                 .unwrap_or(unprotected_safe_mode);
             trajectory.push(t, truth, safe_mode);
             if t - last_profile_sample >= 0.5 {
-                let charge = topics_map
-                    .get(topics::BATTERY_CHARGE)
+                let charge = exec
+                    .topic(topics::BATTERY_CHARGE)
                     .and_then(Value::as_float)
                     .unwrap_or(1.0);
                 profile.push((t, truth.position.z, charge));
@@ -115,18 +114,15 @@ pub fn run_stack(
                 && mode == Mode::Sc
                 && battery_switch_charge.is_none()
             {
-                battery_switch_charge = exec
-                    .topics()
-                    .get(topics::BATTERY_CHARGE)
-                    .and_then(Value::as_float);
+                battery_switch_charge =
+                    exec.topic(topics::BATTERY_CHARGE).and_then(Value::as_float);
             }
             battery_prev_mode = Some(mode);
         }
         if completion_time.is_none() {
             if let Some(target) = target_progress {
                 let progress = exec
-                    .topics()
-                    .get(topics::MISSION_PROGRESS)
+                    .topic(topics::MISSION_PROGRESS)
                     .and_then(Value::as_int)
                     .unwrap_or(0);
                 if progress >= target {
@@ -137,8 +133,7 @@ pub fn run_stack(
         }
     }
     let targets_reached = exec
-        .topics()
-        .get(topics::MISSION_PROGRESS)
+        .topic(topics::MISSION_PROGRESS)
         .and_then(Value::as_int)
         .unwrap_or(0)
         .max(0) as usize;

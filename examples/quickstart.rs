@@ -11,19 +11,19 @@ use soter::runtime::executor::Executor;
 struct LineOracle;
 
 impl SafetyOracle for LineOracle {
-    fn is_safe(&self, obs: &TopicMap) -> bool {
+    fn is_safe(&self, obs: &dyn TopicRead) -> bool {
         obs.get("state")
             .and_then(Value::as_float)
             .map(|x| x.abs() <= 10.0)
             .unwrap_or(false)
     }
-    fn is_safer(&self, obs: &TopicMap) -> bool {
+    fn is_safer(&self, obs: &dyn TopicRead) -> bool {
         obs.get("state")
             .and_then(Value::as_float)
             .map(|x| x.abs() <= 5.0)
             .unwrap_or(false)
     }
-    fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
+    fn may_leave_safe_within(&self, obs: &dyn TopicRead, h: Duration) -> bool {
         match obs.get("state").and_then(Value::as_float) {
             Some(x) => x.abs() + h.as_secs_f64() > 10.0,
             None => true,

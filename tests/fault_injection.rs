@@ -112,19 +112,19 @@ fn systematic_testing_covers_interleavings_of_a_small_module() {
         let oracle_topic = "x";
         struct O;
         impl SafetyOracle for O {
-            fn is_safe(&self, obs: &TopicMap) -> bool {
+            fn is_safe(&self, obs: &dyn TopicRead) -> bool {
                 obs.get("x")
                     .and_then(Value::as_float)
                     .map(|x| x.abs() <= 5.0)
                     .unwrap_or(true)
             }
-            fn is_safer(&self, obs: &TopicMap) -> bool {
+            fn is_safer(&self, obs: &dyn TopicRead) -> bool {
                 obs.get("x")
                     .and_then(Value::as_float)
                     .map(|x| x.abs() <= 2.0)
                     .unwrap_or(false)
             }
-            fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
+            fn may_leave_safe_within(&self, obs: &dyn TopicRead, h: Duration) -> bool {
                 match obs.get("x").and_then(Value::as_float) {
                     Some(x) => x.abs() + h.as_secs_f64() > 5.0,
                     None => true,

@@ -18,19 +18,19 @@ struct LineOracle {
 }
 
 impl SafetyOracle for LineOracle {
-    fn is_safe(&self, obs: &TopicMap) -> bool {
+    fn is_safe(&self, obs: &dyn TopicRead) -> bool {
         obs.get(&self.topic)
             .and_then(Value::as_float)
             .map(|x| x.abs() <= self.bound)
             .unwrap_or(false)
     }
-    fn is_safer(&self, obs: &TopicMap) -> bool {
+    fn is_safer(&self, obs: &dyn TopicRead) -> bool {
         obs.get(&self.topic)
             .and_then(Value::as_float)
             .map(|x| x.abs() <= self.bound / 2.0)
             .unwrap_or(false)
     }
-    fn may_leave_safe_within(&self, obs: &TopicMap, h: Duration) -> bool {
+    fn may_leave_safe_within(&self, obs: &dyn TopicRead, h: Duration) -> bool {
         match obs.get(&self.topic).and_then(Value::as_float) {
             Some(x) => x.abs() + self.speed * h.as_secs_f64() > self.bound,
             None => true,
