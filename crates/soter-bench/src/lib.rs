@@ -5,6 +5,9 @@
 //! perf trajectory (see the `exec_throughput` bench and the CI `bench-smoke`
 //! step).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::io;

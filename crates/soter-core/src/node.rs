@@ -88,7 +88,7 @@ pub trait Node: Send {
         let names = self.outputs();
         let mut entries: Vec<(u32, Value)> = Vec::new();
         let name = self.name().to_string();
-        let mut writer = TopicWriter::new(&name, &names, &mut entries);
+        let mut writer = TopicWriter::new(&name, now, &names, &mut entries);
         self.step(now, inputs, &mut writer);
         let mut map = TopicMap::new();
         for (i, value) in entries {
@@ -101,6 +101,39 @@ pub trait Node: Send {
 impl fmt::Debug for dyn Node {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Node({})", self.name())
+    }
+}
+
+/// A boxed node is a node: lets factories return `Box<dyn Node>` and hand
+/// the box to adapters taking `impl Node + 'static` (e.g. scoped wrappers)
+/// without unboxing.
+impl Node for Box<dyn Node> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn subscriptions(&self) -> Vec<TopicName> {
+        (**self).subscriptions()
+    }
+
+    fn outputs(&self) -> Vec<TopicName> {
+        (**self).outputs()
+    }
+
+    fn period(&self) -> Duration {
+        (**self).period()
+    }
+
+    fn step(&mut self, now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
+        (**self).step(now, inputs, out)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn info(&self) -> NodeInfo {
+        (**self).info()
     }
 }
 

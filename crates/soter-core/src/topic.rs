@@ -19,6 +19,7 @@
 //!   buffer the executor reuses across firings.  This is what makes the
 //!   steady-state hot path allocation-free.
 
+use crate::time::Time;
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::collections::BTreeMap;
@@ -381,16 +382,24 @@ impl TopicRead for SingleTopic<'_> {
 /// undeclared-publish check of `apply_outputs`, moved to the write site.
 pub struct TopicWriter<'a> {
     node: &'a str,
+    now: Time,
     names: &'a [TopicName],
     entries: &'a mut Vec<(u32, Value)>,
 }
 
 impl<'a> TopicWriter<'a> {
-    /// Creates a writer for `node` over its declared output `names`
-    /// (declaration order), appending into `entries`.
-    pub fn new(node: &'a str, names: &'a [TopicName], entries: &'a mut Vec<(u32, Value)>) -> Self {
+    /// Creates a writer for `node` firing at instant `now` over its
+    /// declared output `names` (declaration order), appending into
+    /// `entries`.
+    pub fn new(
+        node: &'a str,
+        now: Time,
+        names: &'a [TopicName],
+        entries: &'a mut Vec<(u32, Value)>,
+    ) -> Self {
         TopicWriter {
             node,
+            now,
             names,
             entries,
         }
@@ -401,14 +410,17 @@ impl<'a> TopicWriter<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `topic` is not among the node's declared outputs.
+    /// Panics if `topic` is not among the node's declared outputs, naming
+    /// the node, the topic and the firing instant so the offending firing
+    /// can be located in a trace.
     pub fn insert(&mut self, topic: impl AsRef<str>, value: Value) {
         let topic = topic.as_ref();
         match self.names.iter().position(|n| n.as_str() == topic) {
             Some(i) => self.entries.push((i as u32, value)),
             None => panic!(
-                "node `{}` published on undeclared topic `{topic}`",
-                self.node
+                "node `{}` published on undeclared topic `{topic}` at {} \
+                 (declared outputs: {:?})",
+                self.node, self.now, self.names
             ),
         }
     }
@@ -425,6 +437,7 @@ impl<'a> TopicWriter<'a> {
         );
         TopicWriter {
             node,
+            now: self.now,
             names,
             entries: self.entries,
         }
@@ -732,7 +745,7 @@ mod tests {
     fn writer_collects_declared_outputs() {
         let names = [TopicName::new("command"), TopicName::new("status")];
         let mut entries = Vec::new();
-        let mut w = TopicWriter::new("ctrl", &names, &mut entries);
+        let mut w = TopicWriter::new("ctrl", Time::ZERO, &names, &mut entries);
         assert!(w.is_empty());
         w.insert("status", Value::Bool(true));
         w.insert("command", Value::Float(1.0));
@@ -753,7 +766,7 @@ mod tests {
     fn writer_rejects_undeclared_topics() {
         let names = [TopicName::new("command")];
         let mut entries = Vec::new();
-        let mut w = TopicWriter::new("rogue", &names, &mut entries);
+        let mut w = TopicWriter::new("rogue", Time::ZERO, &names, &mut entries);
         w.insert("other", Value::Bool(true));
     }
 
@@ -762,7 +775,7 @@ mod tests {
         let scoped = [TopicName::new("drone0/out")];
         let plain = [TopicName::new("out")];
         let mut entries = Vec::new();
-        let mut w = TopicWriter::new("drone0/relay", &scoped, &mut entries);
+        let mut w = TopicWriter::new("drone0/relay", Time::ZERO, &scoped, &mut entries);
         {
             let mut inner = w.reindexed("relay", &plain);
             inner.insert("out", Value::Int(1));

@@ -21,7 +21,7 @@
 //!   the learned-controller experiment.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fault;
 pub mod learned;

@@ -25,7 +25,7 @@
 //! footprints, so by the time two drones are mutually yielding their
 //! stopping envelopes are still disjoint.
 
-use crate::nodes::{CircuitNode, ControllerNode};
+use crate::nodes::CircuitNode;
 use crate::oracles::MotionPrimitiveOracle;
 use crate::plant::{PlantHandle, PlantNode};
 use crate::stack::{AdvancedKind, DroneStackConfig, Protection};
@@ -455,7 +455,7 @@ impl AirspaceStackConfig {
         DroneStackConfig {
             start: agent.start,
             protection: agent.protection,
-            advanced: agent.advanced,
+            advanced: agent.advanced.clone(),
             seed: agent.seed,
             ..self.base.clone()
         }
@@ -503,15 +503,7 @@ pub fn build_airspace_stack(config: &AirspaceStackConfig) -> (RtaSystem, Vec<Pla
         let yield_radius = config.separation_radius + config.yield_margin;
         match agent.protection {
             Protection::Rta => {
-                let ac = ScopedNode::new(
-                    &prefix,
-                    ControllerNode::new(
-                        "mpr_ac",
-                        dcfg.advanced_controller(),
-                        dcfg.controller_period,
-                        agent.start.z,
-                    ),
-                );
+                let ac = ScopedNode::new(&prefix, dcfg.advanced_mpr_node());
                 let sc = YieldingSafeNode::new(&prefix, &dcfg, peer_topics.clone(), yield_radius);
                 let reach = ForwardReach::new(
                     soter_sim::dynamics::QuadrotorDynamics::default(),
@@ -539,15 +531,7 @@ pub fn build_airspace_stack(config: &AirspaceStackConfig) -> (RtaSystem, Vec<Pla
             }
             Protection::AcOnly => {
                 system
-                    .add_node(ScopedNode::new(
-                        &prefix,
-                        ControllerNode::new(
-                            "mpr_ac",
-                            dcfg.advanced_controller(),
-                            dcfg.controller_period,
-                            agent.start.z,
-                        ),
-                    ))
+                    .add_node(ScopedNode::new(&prefix, dcfg.advanced_mpr_node()))
                     .expect("unprotected controller composes");
             }
             Protection::ScOnly => {

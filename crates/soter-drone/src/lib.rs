@@ -30,7 +30,7 @@
 //! original entry points.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod airspace;
 pub mod evidence;

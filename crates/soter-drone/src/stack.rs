@@ -20,8 +20,10 @@ use crate::oracles::{BatteryOracle, MotionPrimitiveOracle, PlanOracle};
 use crate::plant::{PlantHandle, PlantNode};
 use crate::topics;
 use soter_core::composition::RtaSystem;
+use soter_core::node::{Node, NodeInfo};
 use soter_core::rta::RtaModule;
 use soter_core::time::Duration;
+use soter_core::topic::TopicName;
 use soter_ctrl::fault::{FaultInjector, FaultSpec};
 use soter_ctrl::learned::LearnedController;
 use soter_ctrl::px4_like::Px4LikeController;
@@ -56,7 +58,7 @@ pub enum Protection {
 }
 
 /// Which advanced (untrusted) motion primitive to use.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdvancedKind {
     /// The PX4-like aggressive controller (Fig. 5 right).
     Px4Like,
@@ -72,6 +74,14 @@ pub enum AdvancedKind {
         fault: FaultSpec,
         /// Fault RNG seed.
         seed: u64,
+    },
+    /// A sandboxed bytecode controller, statically verified before it is
+    /// allowed into the stack (see the `soter-vm` crate).  The literal
+    /// "untrusted controller" of the paper: the assembly source is data,
+    /// not compiled-in code.
+    Vm {
+        /// VM assembly source of the controller (shared, cheap to clone).
+        asm: std::sync::Arc<str>,
     },
 }
 
@@ -154,14 +164,61 @@ impl Default for DroneStackConfig {
 impl DroneStackConfig {
     /// Builds the advanced motion-primitive controller selected by
     /// [`DroneStackConfig::advanced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AdvancedKind::Vm`]: a bytecode controller is hosted as
+    /// a whole node, not a [`MotionController`] — use
+    /// [`DroneStackConfig::advanced_mpr_node`] instead.
     pub fn advanced_controller(&self) -> Box<dyn MotionController> {
-        match self.advanced {
+        match &self.advanced {
             AdvancedKind::Px4Like => Box::new(Px4LikeController::default()),
-            AdvancedKind::Learned { seed } => Box::new(LearnedController::with_seed(seed)),
+            AdvancedKind::Learned { seed } => Box::new(LearnedController::with_seed(*seed)),
             AdvancedKind::Faulted { fault, seed } => Box::new(FaultInjector::new(
                 Px4LikeController::default(),
-                fault,
-                seed,
+                *fault,
+                *seed,
+            )),
+            AdvancedKind::Vm { .. } => panic!(
+                "a VM-hosted advanced controller is a node, not a MotionController; \
+                 use DroneStackConfig::advanced_mpr_node"
+            ),
+        }
+    }
+
+    /// Builds the advanced motion-primitive **node** (`mpr_ac`): either the
+    /// native [`ControllerNode`] wrapper around
+    /// [`DroneStackConfig::advanced_controller`], or — for
+    /// [`AdvancedKind::Vm`] — a [`soter_vm::VmNode`] hosting the bytecode
+    /// program after it passes static verification against the `mpr_ac`
+    /// interface (name, subscriptions, outputs and period must all match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VM program fails parsing, verification or the interface
+    /// check: an unverifiable controller must never enter the stack.
+    pub fn advanced_mpr_node(&self) -> Box<dyn Node> {
+        match &self.advanced {
+            AdvancedKind::Vm { asm } => {
+                let expected = NodeInfo {
+                    name: "mpr_ac".to_string(),
+                    subscriptions: vec![
+                        TopicName::new(topics::LOCAL_POSITION),
+                        TopicName::new(topics::TARGET_WAYPOINT),
+                    ],
+                    outputs: vec![TopicName::new(topics::CONTROL_ACTION)],
+                    period: self.controller_period,
+                };
+                match soter_vm::VmNode::load_expecting(asm, &expected) {
+                    Ok(node) => Box::new(node),
+                    Err(e) => panic!("rejected VM advanced controller: {e}"),
+                }
+            }
+            _ => Box::new(ControllerNode::new(
+                "mpr_ac",
+                self.advanced_controller(),
+                self.controller_period,
+                self.start.z,
             )),
         }
     }
@@ -208,12 +265,7 @@ impl DroneStackConfig {
     /// Builds the RTA-protected motion-primitive module
     /// (`SafeMotionPrimitive` in the paper's Fig. 7).
     pub fn motion_primitive_module(&self) -> RtaModule {
-        let ac = ControllerNode::new(
-            "mpr_ac",
-            self.advanced_controller(),
-            self.controller_period,
-            self.start.z,
-        );
+        let ac = self.advanced_mpr_node();
         let sc = ControllerNode::new(
             "mpr_sc",
             self.safe_controller(),
@@ -221,7 +273,7 @@ impl DroneStackConfig {
             self.start.z,
         );
         RtaModule::builder("safe_motion_primitive")
-            .advanced(ac)
+            .advanced_boxed(ac)
             .safe(sc)
             .delta(self.delta_mpr)
             .oracle(self.mpr_oracle())
@@ -292,12 +344,7 @@ impl DroneStackConfig {
             }
             Protection::AcOnly => {
                 system
-                    .add_node(ControllerNode::new(
-                        "mpr_ac",
-                        self.advanced_controller(),
-                        self.controller_period,
-                        self.start.z,
-                    ))
+                    .add_node(self.advanced_mpr_node())
                     .expect("node composes with the stack");
             }
             Protection::ScOnly => {

@@ -18,7 +18,7 @@
 //!   patrol targets (round-robin or randomised).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod astar;
 pub mod buggy;

@@ -553,7 +553,8 @@ impl Executor {
         {
             let node = &self.nodes[idx];
             let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
-            let mut writer = TopicWriter::new(node.name.as_str(), &node.out_names, &mut entries);
+            let mut writer =
+                TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
             match node.kind {
                 NodeRef::Ac(i) => {
                     self.system.modules_mut()[i]
@@ -598,7 +599,8 @@ impl Executor {
         {
             let node = &self.nodes[idx];
             let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
-            let mut writer = TopicWriter::new(node.name.as_str(), &node.out_names, &mut entries);
+            let mut writer =
+                TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
             self.system.modules_mut()[i]
                 .dm_mut()
                 .step(now, &view, &mut writer);

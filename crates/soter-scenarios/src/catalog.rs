@@ -16,11 +16,12 @@ use soter_runtime::schedule::{delta_slack, JitterSchedule};
 use soter_sim::battery::BatteryModel;
 use soter_sim::wind::WindModel;
 
-fn advanced_label(advanced: AdvancedKind) -> &'static str {
+fn advanced_label(advanced: &AdvancedKind) -> &'static str {
     match advanced {
         AdvancedKind::Px4Like => "px4like",
         AdvancedKind::Learned { .. } => "learned",
         AdvancedKind::Faulted { .. } => "faulted",
+        AdvancedKind::Vm { .. } => "vm",
     }
 }
 
@@ -36,7 +37,7 @@ fn protection_label(protection: Protection) -> &'static str {
 /// controller, demonstrating that third-party / learned controllers are
 /// unsafe on their own.
 pub fn fig5(advanced: AdvancedKind, seed: u64, horizon: f64) -> Scenario {
-    Scenario::new(format!("fig5-{}", advanced_label(advanced)))
+    Scenario::new(format!("fig5-{}", advanced_label(&advanced)))
         .with_workspace(WorkspaceSpec::CornerCutCourse)
         .with_mission(MissionSpec::CircuitLoop)
         .with_protection(Protection::AcOnly)
@@ -65,6 +66,21 @@ pub fn fig12b(seed: u64, targets: i64, horizon: f64) -> Scenario {
         })
         .with_horizon(horizon)
         .with_seed(seed)
+}
+
+/// The surveillance mission of Fig. 12b flown with the advanced motion
+/// primitive hosted in the bytecode sandbox: the `mpr_ac` slot runs
+/// [`soter_vm::programs::SURVEILLANCE_AC`], statically verified at stack
+/// construction, under the same Simplex decision module as the native
+/// controllers.  This is the paper's "unverified third-party controller"
+/// made literal — the controller is data that must pass the verifier
+/// before it may fly.
+pub fn vm_surveillance(seed: u64, targets: i64, horizon: f64) -> Scenario {
+    fig12b(seed, targets, horizon)
+        .with_name("vm-surveillance")
+        .with_advanced(AdvancedKind::Vm {
+            asm: soter_vm::programs::SURVEILLANCE_AC.into(),
+        })
 }
 
 /// The fast-draining battery model of the Fig. 12c experiment: ~100 s of
@@ -359,6 +375,8 @@ pub fn golden_suite() -> Vec<Scenario> {
     // crash.
     suite.extend(adversarial_stress(13, 30.0));
     suite.push(sc_starvation());
+    // The sandboxed-bytecode advanced controller under the Simplex DM.
+    suite.push(vm_surveillance(7, 2, 150.0));
     suite
 }
 

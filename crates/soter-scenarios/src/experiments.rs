@@ -44,13 +44,17 @@ fn mission_outcome(outcome: ScenarioOutcome) -> (RunOutcome, MissionMetrics, Opt
 /// Fig. 5: fly the circuit with an *unprotected* advanced controller and
 /// report the violations it causes.
 pub fn fig5_unprotected(advanced: AdvancedKind, seed: u64, max_time: f64) -> Fig5Report {
-    let (run, metrics, max_deviation) =
-        mission_outcome(run_scenario(&catalog::fig5(advanced, seed, max_time)));
+    let (run, metrics, max_deviation) = mission_outcome(run_scenario(&catalog::fig5(
+        advanced.clone(),
+        seed,
+        max_time,
+    )));
     Fig5Report {
-        controller: match advanced {
+        controller: match &advanced {
             AdvancedKind::Px4Like => "px4-like".to_string(),
             AdvancedKind::Learned { .. } => "learned".to_string(),
             AdvancedKind::Faulted { .. } => "fault-injected".to_string(),
+            AdvancedKind::Vm { .. } => "vm-sandboxed".to_string(),
         },
         max_deviation: max_deviation.expect("circuit scenarios measure deviation"),
         waypoints_reached: run.targets_reached,

@@ -122,7 +122,7 @@ pub fn fleet_agents(
                 }
             };
             let (protection, advanced) =
-                fleet.drone_config(i, scenario.protection, scenario.advanced);
+                fleet.drone_config(i, scenario.protection, scenario.advanced.clone());
             DroneAgent {
                 start: circuit[0],
                 circuit,

@@ -324,8 +324,8 @@ impl FleetSpec {
             if let Some(p) = o.protection {
                 protection = p;
             }
-            if let Some(a) = o.advanced {
-                advanced = a;
+            if let Some(a) = &o.advanced {
+                advanced = a.clone();
             }
         }
         (protection, advanced)
@@ -525,7 +525,7 @@ impl Scenario {
         DroneStackConfig {
             workspace: workspace.clone(),
             protection: self.protection,
-            advanced: self.advanced,
+            advanced: self.advanced.clone(),
             start: self
                 .start
                 .unwrap_or_else(|| workspace.surveillance_points()[0]),

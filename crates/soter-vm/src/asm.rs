@@ -1,0 +1,694 @@
+//! The text assembly format and its parser.
+//!
+//! A program is a header of declarations followed by instructions, one per
+//! line.  `;` starts a comment; commas between operands are optional
+//! whitespace.  Example:
+//!
+//! ```text
+//! ; a proportional controller
+//! node   mpr_ac
+//! period 20ms
+//! budget 64
+//! sub    localPosition
+//! sub    targetWaypoint
+//! pub    controlAction
+//!
+//! ld.pos r0, localPosition
+//! ld.v   r1, targetWaypoint
+//! vsub   r2, r1, r0
+//! fconst r3, 2.0
+//! vscale r4, r2, r3
+//! st.v   controlAction, r4
+//! halt
+//! ```
+//!
+//! Header directives: `node <name>`, `period <N>(us|ms|s)`, `budget <N>`,
+//! `sub <topic>` (repeatable), `pub <topic>` (repeatable).  Jump targets
+//! are either `label:` names defined in the program or literal instruction
+//! indices.  The parser checks *syntax* only (mnemonics, register ranges,
+//! literal shapes); every semantic property — topic discipline, types,
+//! def-before-use, loop structure, jump ranges, the fuel budget — is the
+//! verifier's job, so malformed semantics surface as structured
+//! [`VerifyError`](crate::error::VerifyError)s rather than parse errors.
+
+use crate::error::AsmError;
+use crate::isa::{
+    BOp, Cmp, FOp, FUn, GReg, Instr, Program, Reg, MAX_INSTRS, NUM_GLOBALS, NUM_SCRATCH,
+};
+use soter_core::time::Duration;
+use soter_core::topic::TopicName;
+use std::collections::BTreeMap;
+
+/// Parses assembly source into an (unverified) [`Program`].
+pub fn parse(src: &str) -> Result<Program, AsmError> {
+    Parser::new().parse(src)
+}
+
+/// A pending jump operand: either a label or a literal index.
+enum Target {
+    Label(String),
+    Index(u32),
+}
+
+/// An instruction with unresolved jump targets.
+enum Pending {
+    Ready(Instr),
+    Jmp(Target),
+    Jz(Reg, Target),
+    Jnz(Reg, Target),
+}
+
+struct Parser {
+    name: Option<String>,
+    period: Option<Duration>,
+    budget: Option<u32>,
+    subs: Vec<TopicName>,
+    outs: Vec<TopicName>,
+    topics: Vec<TopicName>,
+    labels: BTreeMap<String, u32>,
+    pending: Vec<(usize, Pending)>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            name: None,
+            period: None,
+            budget: None,
+            subs: Vec::new(),
+            outs: Vec::new(),
+            topics: Vec::new(),
+            labels: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn parse(mut self, src: &str) -> Result<Program, AsmError> {
+        for (i, raw) in src.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split(';').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let label = label.trim();
+                if label.is_empty() || label.contains(char::is_whitespace) {
+                    return Err(err(line_no, format!("malformed label `{label}`")));
+                }
+                let at = self.pending.len() as u32;
+                if self.labels.insert(label.to_string(), at).is_some() {
+                    return Err(err(line_no, format!("duplicate label `{label}`")));
+                }
+                continue;
+            }
+            let tokens: Vec<&str> = line
+                .split(|c: char| c.is_whitespace() || c == ',')
+                .filter(|t| !t.is_empty())
+                .collect();
+            self.line(line_no, &tokens)?;
+            if self.pending.len() > MAX_INSTRS {
+                return Err(err(
+                    line_no,
+                    format!("program exceeds {MAX_INSTRS} instructions"),
+                ));
+            }
+        }
+        self.finish()
+    }
+
+    fn line(&mut self, line: usize, tokens: &[&str]) -> Result<(), AsmError> {
+        let mnemonic = tokens[0];
+        // Header directives may appear only before the first instruction.
+        let directive = matches!(mnemonic, "node" | "period" | "budget" | "sub" | "pub");
+        if directive {
+            if !self.pending.is_empty() {
+                return Err(err(
+                    line,
+                    format!("directive `{mnemonic}` must precede all instructions"),
+                ));
+            }
+            return self.directive(line, tokens);
+        }
+        let instr = self.instruction(line, tokens)?;
+        self.pending.push((line, instr));
+        Ok(())
+    }
+
+    fn directive(&mut self, line: usize, tokens: &[&str]) -> Result<(), AsmError> {
+        let arity = |n: usize| -> Result<(), AsmError> {
+            if tokens.len() != n + 1 {
+                Err(err(
+                    line,
+                    format!(
+                        "`{}` takes {n} operand(s), got {}",
+                        tokens[0],
+                        tokens.len() - 1
+                    ),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match tokens[0] {
+            "node" => {
+                arity(1)?;
+                if self.name.replace(tokens[1].to_string()).is_some() {
+                    return Err(err(line, "duplicate `node` directive"));
+                }
+            }
+            "period" => {
+                arity(1)?;
+                let period = parse_period(tokens[1])
+                    .ok_or_else(|| err(line, format!("malformed period `{}`", tokens[1])))?;
+                if period.is_zero() {
+                    return Err(err(line, "period must be positive"));
+                }
+                if self.period.replace(period).is_some() {
+                    return Err(err(line, "duplicate `period` directive"));
+                }
+            }
+            "budget" => {
+                arity(1)?;
+                let budget: u32 = tokens[1]
+                    .parse()
+                    .map_err(|_| err(line, format!("malformed budget `{}`", tokens[1])))?;
+                if self.budget.replace(budget).is_some() {
+                    return Err(err(line, "duplicate `budget` directive"));
+                }
+            }
+            "sub" => {
+                arity(1)?;
+                let t = TopicName::new(tokens[1]);
+                if self.subs.contains(&t) {
+                    return Err(err(line, format!("duplicate subscription `{t}`")));
+                }
+                self.subs.push(t);
+            }
+            "pub" => {
+                arity(1)?;
+                let t = TopicName::new(tokens[1]);
+                if self.outs.contains(&t) {
+                    return Err(err(line, format!("duplicate output `{t}`")));
+                }
+                self.outs.push(t);
+            }
+            _ => unreachable!("directive() is only called for known directives"),
+        }
+        Ok(())
+    }
+
+    fn topic(&mut self, name: &str) -> u16 {
+        let t = TopicName::new(name);
+        match self.topics.iter().position(|x| *x == t) {
+            Some(i) => i as u16,
+            None => {
+                self.topics.push(t);
+                (self.topics.len() - 1) as u16
+            }
+        }
+    }
+
+    fn instruction(&mut self, line: usize, tokens: &[&str]) -> Result<Pending, AsmError> {
+        let ops = &tokens[1..];
+        let arity = |n: usize| -> Result<(), AsmError> {
+            if ops.len() != n {
+                Err(err(
+                    line,
+                    format!("`{}` takes {n} operand(s), got {}", tokens[0], ops.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let reg = |t: &str| -> Result<Reg, AsmError> { parse_reg(line, t) };
+        let imm = |t: &str| -> Result<f64, AsmError> {
+            t.parse::<f64>()
+                .map_err(|_| err(line, format!("malformed number `{t}`")))
+        };
+        let target = |t: &str| -> Target {
+            match t.parse::<u32>() {
+                Ok(i) => Target::Index(i),
+                Err(_) => Target::Label(t.to_string()),
+            }
+        };
+        let fbin = |op: FOp| -> Result<Pending, AsmError> {
+            arity(3)?;
+            Ok(Pending::Ready(Instr::Fbin {
+                op,
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+                rb: reg(ops[2])?,
+            }))
+        };
+        let fun = |op: FUn| -> Result<Pending, AsmError> {
+            arity(2)?;
+            Ok(Pending::Ready(Instr::Fun {
+                op,
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+            }))
+        };
+        let fcmp = |op: Cmp| -> Result<Pending, AsmError> {
+            arity(3)?;
+            Ok(Pending::Ready(Instr::Fcmp {
+                op,
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+                rb: reg(ops[2])?,
+            }))
+        };
+        let bbin = |op: BOp| -> Result<Pending, AsmError> {
+            arity(3)?;
+            Ok(Pending::Ready(Instr::Bbin {
+                op,
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+                rb: reg(ops[2])?,
+            }))
+        };
+        let instr = match tokens[0] {
+            "fconst" => {
+                arity(2)?;
+                Pending::Ready(Instr::Fconst {
+                    rd: reg(ops[0])?,
+                    imm: imm(ops[1])?,
+                })
+            }
+            "vconst" => {
+                arity(4)?;
+                Pending::Ready(Instr::Vconst {
+                    rd: reg(ops[0])?,
+                    imm: [imm(ops[1])?, imm(ops[2])?, imm(ops[3])?],
+                })
+            }
+            "mov" => {
+                arity(2)?;
+                Pending::Ready(Instr::Mov {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                })
+            }
+            "gld" => {
+                arity(2)?;
+                Pending::Ready(Instr::Gld {
+                    rd: reg(ops[0])?,
+                    g: parse_greg(line, ops[1])?,
+                })
+            }
+            "gst" => {
+                arity(2)?;
+                Pending::Ready(Instr::Gst {
+                    g: parse_greg(line, ops[0])?,
+                    rs: reg(ops[1])?,
+                })
+            }
+            "fadd" => return fbin(FOp::Add),
+            "fsub" => return fbin(FOp::Sub),
+            "fmul" => return fbin(FOp::Mul),
+            "fdiv" => return fbin(FOp::Div),
+            "fmod" => return fbin(FOp::Mod),
+            "fmin" => return fbin(FOp::Min),
+            "fmax" => return fbin(FOp::Max),
+            "fneg" => return fun(FUn::Neg),
+            "fabs" => return fun(FUn::Abs),
+            "fsqrt" => return fun(FUn::Sqrt),
+            "flt" => return fcmp(Cmp::Lt),
+            "fle" => return fcmp(Cmp::Le),
+            "and" => return bbin(BOp::And),
+            "or" => return bbin(BOp::Or),
+            "not" => {
+                arity(2)?;
+                Pending::Ready(Instr::Bnot {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                })
+            }
+            "sel" => {
+                arity(4)?;
+                Pending::Ready(Instr::Select {
+                    rd: reg(ops[0])?,
+                    rc: reg(ops[1])?,
+                    ra: reg(ops[2])?,
+                    rb: reg(ops[3])?,
+                })
+            }
+            "vadd" => {
+                arity(3)?;
+                Pending::Ready(Instr::Vadd {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                    rb: reg(ops[2])?,
+                })
+            }
+            "vsub" => {
+                arity(3)?;
+                Pending::Ready(Instr::Vsub {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                    rb: reg(ops[2])?,
+                })
+            }
+            "vscale" => {
+                arity(3)?;
+                Pending::Ready(Instr::Vscale {
+                    rd: reg(ops[0])?,
+                    rv: reg(ops[1])?,
+                    rs: reg(ops[2])?,
+                })
+            }
+            "vdot" => {
+                arity(3)?;
+                Pending::Ready(Instr::Vdot {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                    rb: reg(ops[2])?,
+                })
+            }
+            "vnorm" => {
+                arity(2)?;
+                Pending::Ready(Instr::Vnorm {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                })
+            }
+            "vget" => {
+                arity(3)?;
+                let axis = match ops[2] {
+                    "x" | "0" => 0,
+                    "y" | "1" => 1,
+                    "z" | "2" => 2,
+                    other => return Err(err(line, format!("malformed axis `{other}`"))),
+                };
+                Pending::Ready(Instr::Vget {
+                    rd: reg(ops[0])?,
+                    ra: reg(ops[1])?,
+                    axis,
+                })
+            }
+            "vpack" => {
+                arity(4)?;
+                Pending::Ready(Instr::Vpack {
+                    rd: reg(ops[0])?,
+                    rx: reg(ops[1])?,
+                    ry: reg(ops[2])?,
+                    rz: reg(ops[3])?,
+                })
+            }
+            "plen" => {
+                arity(2)?;
+                Pending::Ready(Instr::Plen {
+                    rd: reg(ops[0])?,
+                    rp: reg(ops[1])?,
+                })
+            }
+            "pget" => {
+                arity(3)?;
+                Pending::Ready(Instr::Pget {
+                    rd: reg(ops[0])?,
+                    rp: reg(ops[1])?,
+                    ri: reg(ops[2])?,
+                })
+            }
+            "ld.f" => {
+                arity(3)?;
+                Pending::Ready(Instr::LdF {
+                    rd: reg(ops[0])?,
+                    topic: self.topic(ops[1]),
+                    default: imm(ops[2])?,
+                })
+            }
+            "ld.v" => {
+                arity(2)?;
+                Pending::Ready(Instr::LdV {
+                    rd: reg(ops[0])?,
+                    topic: self.topic(ops[1]),
+                })
+            }
+            "ld.pos" => {
+                arity(2)?;
+                Pending::Ready(Instr::LdPos {
+                    rd: reg(ops[0])?,
+                    topic: self.topic(ops[1]),
+                })
+            }
+            "ld.vel" => {
+                arity(2)?;
+                Pending::Ready(Instr::LdVel {
+                    rd: reg(ops[0])?,
+                    topic: self.topic(ops[1]),
+                })
+            }
+            "ld.path" => {
+                arity(2)?;
+                Pending::Ready(Instr::LdPath {
+                    rd: reg(ops[0])?,
+                    topic: self.topic(ops[1]),
+                })
+            }
+            "st.f" => {
+                arity(2)?;
+                Pending::Ready(Instr::StF {
+                    topic: self.topic(ops[0]),
+                    rs: reg(ops[1])?,
+                })
+            }
+            "st.v" => {
+                arity(2)?;
+                Pending::Ready(Instr::StV {
+                    topic: self.topic(ops[0]),
+                    rs: reg(ops[1])?,
+                })
+            }
+            "jmp" => {
+                arity(1)?;
+                Pending::Jmp(target(ops[0]))
+            }
+            "jz" => {
+                arity(2)?;
+                Pending::Jz(reg(ops[0])?, target(ops[1]))
+            }
+            "jnz" => {
+                arity(2)?;
+                Pending::Jnz(reg(ops[0])?, target(ops[1]))
+            }
+            "loop" => {
+                arity(1)?;
+                let count: u32 = ops[0]
+                    .parse()
+                    .map_err(|_| err(line, format!("malformed loop count `{}`", ops[0])))?;
+                Pending::Ready(Instr::Loop { count })
+            }
+            "endloop" => {
+                arity(0)?;
+                Pending::Ready(Instr::EndLoop)
+            }
+            "halt" => {
+                arity(0)?;
+                Pending::Ready(Instr::Halt)
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        Ok(instr)
+    }
+
+    fn finish(self) -> Result<Program, AsmError> {
+        let name = self
+            .name
+            .ok_or_else(|| err(0, "missing `node` directive"))?;
+        let period = self
+            .period
+            .ok_or_else(|| err(0, "missing `period` directive"))?;
+        let budget = self
+            .budget
+            .ok_or_else(|| err(0, "missing `budget` directive"))?;
+        let labels = self.labels;
+        let resolve = |line: usize, t: Target| -> Result<u32, AsmError> {
+            match t {
+                Target::Index(i) => Ok(i),
+                Target::Label(l) => labels
+                    .get(&l)
+                    .copied()
+                    .ok_or_else(|| err(line, format!("undefined label `{l}`"))),
+            }
+        };
+        let mut instrs = Vec::with_capacity(self.pending.len());
+        for (line, pending) in self.pending {
+            instrs.push(match pending {
+                Pending::Ready(i) => i,
+                Pending::Jmp(t) => Instr::Jmp {
+                    target: resolve(line, t)?,
+                },
+                Pending::Jz(rc, t) => Instr::Jz {
+                    rc,
+                    target: resolve(line, t)?,
+                },
+                Pending::Jnz(rc, t) => Instr::Jnz {
+                    rc,
+                    target: resolve(line, t)?,
+                },
+            });
+        }
+        Ok(Program {
+            name,
+            period,
+            budget,
+            subs: self.subs,
+            outs: self.outs,
+            topics: self.topics,
+            instrs,
+        })
+    }
+}
+
+fn parse_reg(line: usize, t: &str) -> Result<Reg, AsmError> {
+    let n: Option<u8> = t.strip_prefix('r').and_then(|d| d.parse().ok());
+    match n {
+        Some(i) if (i as usize) < NUM_SCRATCH => Ok(Reg(i)),
+        _ => Err(err(
+            line,
+            format!(
+                "malformed register `{t}` (expected r0..r{})",
+                NUM_SCRATCH - 1
+            ),
+        )),
+    }
+}
+
+fn parse_greg(line: usize, t: &str) -> Result<GReg, AsmError> {
+    let n: Option<u8> = t.strip_prefix('g').and_then(|d| d.parse().ok());
+    match n {
+        Some(i) if (i as usize) < NUM_GLOBALS => Ok(GReg(i)),
+        _ => Err(err(
+            line,
+            format!(
+                "malformed global register `{t}` (expected g0..g{})",
+                NUM_GLOBALS - 1
+            ),
+        )),
+    }
+}
+
+fn parse_period(t: &str) -> Option<Duration> {
+    let (digits, unit) = t.split_at(t.find(|c: char| !c.is_ascii_digit())?);
+    let n: u64 = digits.parse().ok()?;
+    match unit {
+        "us" => Some(Duration::from_micros(n)),
+        "ms" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "node t\nperiod 20ms\nbudget 32\nsub in\npub out\n";
+
+    fn with_header(body: &str) -> String {
+        format!("{HEADER}{body}")
+    }
+
+    #[test]
+    fn parses_a_minimal_program() {
+        let p = parse(&with_header("ld.f r0, in, 0.5\nst.f out, r0\nhalt\n")).unwrap();
+        assert_eq!(p.name, "t");
+        assert_eq!(p.period, Duration::from_millis(20));
+        assert_eq!(p.budget, 32);
+        assert_eq!(p.subs, vec![TopicName::new("in")]);
+        assert_eq!(p.outs, vec![TopicName::new("out")]);
+        assert_eq!(p.instrs.len(), 3);
+        assert_eq!(
+            p.instrs[0],
+            Instr::LdF {
+                rd: Reg(0),
+                topic: 0,
+                default: 0.5
+            }
+        );
+        assert_eq!(p.topic(0).as_str(), "in");
+    }
+
+    #[test]
+    fn labels_resolve_to_instruction_indices() {
+        let p = parse(&with_header(
+            "fconst r0, 1.0\nfconst r1, 2.0\nflt r2, r0, r1\njz r2, done\nfconst r0, 3.0\ndone:\nhalt\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.instrs[3],
+            Instr::Jz {
+                rc: Reg(2),
+                target: 5
+            }
+        );
+    }
+
+    #[test]
+    fn numeric_jump_targets_pass_through_unchecked() {
+        // Range checking is the verifier's job, so an out-of-range literal
+        // target must *parse*.
+        let p = parse(&with_header("jmp 99\n")).unwrap();
+        assert_eq!(p.instrs[0], Instr::Jmp { target: 99 });
+    }
+
+    #[test]
+    fn comments_commas_and_blank_lines_are_ignored() {
+        let p = parse(&with_header(
+            "; leading comment\n\nfconst r0, 1.0 ; trailing\nfadd r1 r0 r0\n",
+        ))
+        .unwrap();
+        assert_eq!(p.instrs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonics_bad_registers_and_stray_directives() {
+        assert!(parse(&with_header("frob r0\n"))
+            .unwrap_err()
+            .message
+            .contains("unknown"));
+        assert!(parse(&with_header("fconst r16, 1.0\n"))
+            .unwrap_err()
+            .message
+            .contains("register"));
+        assert!(parse(&with_header("gst g9, r0\n"))
+            .unwrap_err()
+            .message
+            .contains("global"));
+        let late = parse(&with_header("halt\nbudget 3\n")).unwrap_err();
+        assert!(late.message.contains("precede"));
+    }
+
+    #[test]
+    fn rejects_missing_header_and_undefined_labels() {
+        assert!(parse("halt\n").unwrap_err().message.contains("node"));
+        assert!(parse("node t\nperiod 10ms\nhalt\n")
+            .unwrap_err()
+            .message
+            .contains("budget"));
+        assert!(parse(&with_header("jmp nowhere\n"))
+            .unwrap_err()
+            .message
+            .contains("undefined label"));
+        assert!(parse(&with_header("done:\ndone:\n"))
+            .unwrap_err()
+            .message
+            .contains("duplicate label"));
+    }
+
+    #[test]
+    fn period_units_parse() {
+        assert_eq!(parse_period("250us"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_period("20ms"), Some(Duration::from_millis(20)));
+        assert_eq!(parse_period("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_period("20"), None);
+        assert_eq!(parse_period("ms"), None);
+    }
+}

@@ -1,0 +1,399 @@
+//! Structured errors of the assembler, the verifier and the load path.
+
+use soter_core::topic::TopicName;
+use std::fmt;
+
+/// An assembly parse error, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmError {
+    /// 1-based line number in the assembly source.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A static-verification rejection.  Every variant that concerns one
+/// instruction carries its index (`at`) and its rendered assembly form
+/// (`instr`), so rejections localise to the offending instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A backward jump — the only way to form an unbounded loop in this
+    /// ISA, and therefore rejected outright (bounded iteration uses
+    /// `loop N` / `endloop`).
+    UnboundedLoop {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+    },
+    /// A jump past the end of the program.
+    JumpOutOfRange {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length (valid targets are `at+1 ..= len`).
+        len: usize,
+    },
+    /// A jump entering or leaving a `loop` body (would desynchronise the
+    /// loop stack).
+    JumpCrossesLoop {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+    },
+    /// `loop`/`endloop` nesting deeper than [`crate::isa::MAX_LOOP_DEPTH`].
+    LoopTooDeep {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The nesting depth reached.
+        depth: usize,
+    },
+    /// A `loop` without a matching `endloop`, or vice versa.
+    UnmatchedLoop {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+    },
+    /// A `loop` with a zero trip count or one above
+    /// [`crate::isa::MAX_LOOP_COUNT`].
+    BadLoopCount {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The rejected count.
+        count: u32,
+    },
+    /// A topic read whose topic is not in the declared subscription list.
+    UndeclaredRead {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The undeclared topic.
+        topic: TopicName,
+    },
+    /// A topic write whose topic is not in the declared output list.
+    UndeclaredPublish {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The undeclared topic.
+        topic: TopicName,
+    },
+    /// A register read on a path where the register may not have been
+    /// written yet this step.
+    UseBeforeDef {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The possibly-undefined register (rendered, e.g. `r3`).
+        reg: String,
+    },
+    /// An operand whose inferred type does not match what the instruction
+    /// requires (or whose type differs across joining control-flow paths).
+    TypeConfusion {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The offending register (rendered, e.g. `r3`).
+        reg: String,
+        /// What the instruction requires.
+        expected: crate::isa::Ty,
+        /// What abstract interpretation inferred (`mixed` when paths
+        /// disagree).
+        found: &'static str,
+    },
+    /// A division or modulo whose divisor interval contains zero.  Guard
+    /// divisors with `fmax`/`fneg` (e.g. `fmax rb, rb, r_eps` with a
+    /// positive `r_eps`) to establish a sign-definite interval.
+    PossiblyZeroDivisor {
+        /// Offending instruction index.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// Inferred divisor interval lower bound.
+        lo: f64,
+        /// Inferred divisor interval upper bound.
+        hi: f64,
+    },
+    /// The worst-case instruction count exceeds the declared fuel budget.
+    /// `at` is the instruction at which the accumulated worst-case cost
+    /// first crosses the budget.
+    BudgetOverflow {
+        /// Instruction where the running worst-case total crosses the
+        /// budget.
+        at: usize,
+        /// Rendered instruction.
+        instr: String,
+        /// The program's worst-case executed-instruction count (saturating).
+        worst_case: u64,
+        /// The declared budget.
+        budget: u32,
+    },
+    /// The declared budget itself exceeds [`crate::isa::MAX_BUDGET`].
+    BudgetTooLarge {
+        /// The declared budget.
+        budget: u32,
+    },
+    /// An instruction with an out-of-range register, global or topic
+    /// index.  The assembler never emits these, but `verify` accepts any
+    /// [`crate::isa::Program`] value and must reject hand-built garbage
+    /// rather than panic (the instruction is shown in its debug form
+    /// because rendering needs valid indices).
+    MalformedInstruction {
+        /// Offending instruction index.
+        at: usize,
+        /// Debug rendering of the instruction.
+        instr: String,
+        /// Which index is out of range.
+        message: String,
+    },
+}
+
+impl VerifyError {
+    /// A stable kebab-case tag for the rejection rule, used by the pinned
+    /// corpus annotations (`; expect: <kind>`) and the CI verdict report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VerifyError::UnboundedLoop { .. } => "unbounded-loop",
+            VerifyError::JumpOutOfRange { .. } => "jump-out-of-range",
+            VerifyError::JumpCrossesLoop { .. } => "jump-crosses-loop",
+            VerifyError::LoopTooDeep { .. } => "loop-too-deep",
+            VerifyError::UnmatchedLoop { .. } => "unmatched-loop",
+            VerifyError::BadLoopCount { .. } => "bad-loop-count",
+            VerifyError::UndeclaredRead { .. } => "undeclared-read",
+            VerifyError::UndeclaredPublish { .. } => "undeclared-publish",
+            VerifyError::UseBeforeDef { .. } => "use-before-def",
+            VerifyError::TypeConfusion { .. } => "type-confusion",
+            VerifyError::PossiblyZeroDivisor { .. } => "div-by-zero",
+            VerifyError::BudgetOverflow { .. } => "budget-overflow",
+            VerifyError::BudgetTooLarge { .. } => "budget-too-large",
+            VerifyError::MalformedInstruction { .. } => "malformed-instruction",
+        }
+    }
+
+    /// The index of the offending instruction, when the rejection concerns
+    /// one.
+    pub fn at(&self) -> Option<usize> {
+        match self {
+            VerifyError::UnboundedLoop { at, .. }
+            | VerifyError::JumpOutOfRange { at, .. }
+            | VerifyError::JumpCrossesLoop { at, .. }
+            | VerifyError::LoopTooDeep { at, .. }
+            | VerifyError::UnmatchedLoop { at, .. }
+            | VerifyError::BadLoopCount { at, .. }
+            | VerifyError::UndeclaredRead { at, .. }
+            | VerifyError::UndeclaredPublish { at, .. }
+            | VerifyError::UseBeforeDef { at, .. }
+            | VerifyError::TypeConfusion { at, .. }
+            | VerifyError::PossiblyZeroDivisor { at, .. }
+            | VerifyError::BudgetOverflow { at, .. }
+            | VerifyError::MalformedInstruction { at, .. } => Some(*at),
+            VerifyError::BudgetTooLarge { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnboundedLoop { at, instr } => write!(
+                f,
+                "instruction {at} (`{instr}`): backward jump — only statically \
+                 bounded `loop N`/`endloop` iteration is allowed"
+            ),
+            VerifyError::JumpOutOfRange {
+                at,
+                instr,
+                target,
+                len,
+            } => write!(
+                f,
+                "instruction {at} (`{instr}`): jump target {target} is out of \
+                 range (program has {len} instructions)"
+            ),
+            VerifyError::JumpCrossesLoop { at, instr } => write!(
+                f,
+                "instruction {at} (`{instr}`): jump crosses a loop boundary"
+            ),
+            VerifyError::LoopTooDeep { at, instr, depth } => write!(
+                f,
+                "instruction {at} (`{instr}`): loop nesting depth {depth} exceeds \
+                 the maximum of {}",
+                crate::isa::MAX_LOOP_DEPTH
+            ),
+            VerifyError::UnmatchedLoop { at, instr } => {
+                write!(f, "instruction {at} (`{instr}`): unmatched loop/endloop")
+            }
+            VerifyError::BadLoopCount { at, instr, count } => write!(
+                f,
+                "instruction {at} (`{instr}`): loop count {count} is outside \
+                 1..={}",
+                crate::isa::MAX_LOOP_COUNT
+            ),
+            VerifyError::UndeclaredRead { at, instr, topic } => write!(
+                f,
+                "instruction {at} (`{instr}`): reads topic `{topic}` which is \
+                 not in the declared subscription list"
+            ),
+            VerifyError::UndeclaredPublish { at, instr, topic } => write!(
+                f,
+                "instruction {at} (`{instr}`): publishes on topic `{topic}` \
+                 which is not in the declared output list"
+            ),
+            VerifyError::UseBeforeDef { at, instr, reg } => write!(
+                f,
+                "instruction {at} (`{instr}`): register {reg} may be read \
+                 before it is written"
+            ),
+            VerifyError::TypeConfusion {
+                at,
+                instr,
+                reg,
+                expected,
+                found,
+            } => write!(
+                f,
+                "instruction {at} (`{instr}`): register {reg} must be \
+                 {expected} but may hold {found}"
+            ),
+            VerifyError::PossiblyZeroDivisor { at, instr, lo, hi } => write!(
+                f,
+                "instruction {at} (`{instr}`): divisor interval [{lo}, {hi}] \
+                 may contain zero — guard it (e.g. `fmax` against a positive \
+                 constant) before dividing"
+            ),
+            VerifyError::BudgetOverflow {
+                at,
+                instr,
+                worst_case,
+                budget,
+            } => write!(
+                f,
+                "instruction {at} (`{instr}`): worst-case execution of \
+                 {worst_case} instructions exceeds the declared budget of \
+                 {budget}"
+            ),
+            VerifyError::BudgetTooLarge { budget } => write!(
+                f,
+                "declared budget {budget} exceeds the maximum of {}",
+                crate::isa::MAX_BUDGET
+            ),
+            VerifyError::MalformedInstruction { at, instr, message } => {
+                write!(f, "instruction {at} (`{instr}`): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Any failure on the parse → verify → load path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The assembly did not parse.
+    Asm(AsmError),
+    /// The program parsed but was rejected by the static verifier.
+    Verify(VerifyError),
+    /// The verified program's declared interface (name, topics or period)
+    /// does not match what the hosting stack expects.
+    InfoMismatch(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Asm(e) => write!(f, "assembly error: {e}"),
+            VmError::Verify(e) => write!(f, "verification rejected: {e}"),
+            VmError::InfoMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<AsmError> for VmError {
+    fn from(e: AsmError) -> Self {
+        VmError::Asm(e)
+    }
+}
+
+impl From<VerifyError> for VmError {
+    fn from(e: VerifyError) -> Self {
+        VmError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_name_the_offending_instruction() {
+        let e = VerifyError::PossiblyZeroDivisor {
+            at: 7,
+            instr: "fdiv r2, r1, r0".into(),
+            lo: -1.0,
+            hi: 1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("instruction 7"));
+        assert!(msg.contains("fdiv r2, r1, r0"));
+        assert_eq!(e.kind(), "div-by-zero");
+        assert_eq!(e.at(), Some(7));
+    }
+
+    #[test]
+    fn kinds_are_distinct_slugs() {
+        use std::collections::BTreeSet;
+        let errors = [
+            VerifyError::UnboundedLoop {
+                at: 0,
+                instr: String::new(),
+            },
+            VerifyError::JumpOutOfRange {
+                at: 0,
+                instr: String::new(),
+                target: 9,
+                len: 1,
+            },
+            VerifyError::UndeclaredRead {
+                at: 0,
+                instr: String::new(),
+                topic: TopicName::new("t"),
+            },
+            VerifyError::UndeclaredPublish {
+                at: 0,
+                instr: String::new(),
+                topic: TopicName::new("t"),
+            },
+            VerifyError::UseBeforeDef {
+                at: 0,
+                instr: String::new(),
+                reg: "r1".into(),
+            },
+            VerifyError::BudgetTooLarge { budget: 1 },
+        ];
+        let kinds: BTreeSet<&str> = errors.iter().map(VerifyError::kind).collect();
+        assert_eq!(kinds.len(), errors.len());
+    }
+}

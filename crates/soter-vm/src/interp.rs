@@ -1,0 +1,529 @@
+//! The deterministic bytecode interpreter, hosted as a [`Node`].
+//!
+//! [`VmNode`] can only be built from a [`VerifiedProgram`], so every
+//! property the verifier proved holds here by construction.  The
+//! interpreter is nevertheless **total** as defense in depth: every
+//! register read has a typed fallback, topic loads substitute the
+//! instruction's declared default when the topic is absent or has an
+//! unexpected shape, path indexing clamps, and a fuel counter (the
+//! declared budget) halts the program even if the static cost bound were
+//! ever wrong.  None of these fallbacks fire for a verified program; they
+//! exist so that no input valuation can turn a bytecode bug into a panic
+//! of the hosting executor.
+//!
+//! The steady-state step performs **zero heap allocation**: scratch
+//! registers hold scalars, booleans, inline vectors or reference-counted
+//! path handles (cloning a handle is a refcount bump), the loop stack is a
+//! fixed array, and outputs go through the executor's reusable scratch
+//! buffer.
+
+use crate::asm;
+use crate::error::VmError;
+use crate::isa::{
+    BOp, Cmp, FOp, FUn, Instr, Program, Reg, VmValue, MAX_LOOP_DEPTH, NUM_GLOBALS, NUM_SCRATCH,
+};
+use crate::verify::{self, VerifiedProgram};
+use soter_core::node::{Node, NodeInfo};
+use soter_core::time::{Duration, Time};
+use soter_core::topic::{TopicName, TopicRead, TopicWriter, Value};
+use std::sync::Arc;
+
+/// A [`Node`] executing a [`VerifiedProgram`] on every period tick.
+///
+/// Scratch registers `r0..r15` are cleared to `0.0` at the start of every
+/// step (the verifier proves def-before-use, so programs cannot observe
+/// the clear value).  Global registers `g0..g7` persist across steps and
+/// are the program's entire mutable state; [`Node::reset`] zeroes them.
+#[derive(Debug)]
+pub struct VmNode {
+    /// Behind an `Arc` so `step` can hold the instruction list while
+    /// mutating registers (the handle clone is a refcount bump).
+    program: Arc<VerifiedProgram>,
+    regs: [VmValue; NUM_SCRATCH],
+    globals: [f64; NUM_GLOBALS],
+    /// Pre-allocated so `ld.path` misses never allocate inside `step`.
+    empty_path: Arc<[[f64; 3]]>,
+    last_cost: u32,
+}
+
+impl VmNode {
+    /// Hosts an already-verified program.
+    pub fn new(program: VerifiedProgram) -> Self {
+        VmNode {
+            program: Arc::new(program),
+            regs: std::array::from_fn(|_| VmValue::Scalar(0.0)),
+            globals: [0.0; NUM_GLOBALS],
+            empty_path: Arc::from(Vec::new()),
+            last_cost: 0,
+        }
+    }
+
+    /// Parses and verifies `src`, then hosts the program.
+    pub fn load(src: &str) -> Result<Self, VmError> {
+        Ok(VmNode::new(verify::verify(asm::parse(src)?)?))
+    }
+
+    /// Like [`VmNode::load`], but additionally checks that the program's
+    /// declared interface matches `expected` — the name and period must be
+    /// equal and the subscription/output lists must agree as sets.  This
+    /// is how a stack slot reserved for a known node (e.g. the `mpr_ac`
+    /// advanced controller) refuses a bytecode program wired for a
+    /// different interface.
+    pub fn load_expecting(src: &str, expected: &NodeInfo) -> Result<Self, VmError> {
+        let node = VmNode::load(src)?;
+        let got = node.program.info();
+        let mut problems = Vec::new();
+        if got.name != expected.name {
+            problems.push(format!(
+                "node name `{}` (want `{}`)",
+                got.name, expected.name
+            ));
+        }
+        if got.period != expected.period {
+            problems.push(format!("period {} (want {})", got.period, expected.period));
+        }
+        let same_set = |a: &[TopicName], b: &[TopicName]| {
+            a.len() == b.len() && a.iter().all(|t| b.contains(t))
+        };
+        if !same_set(&got.subscriptions, &expected.subscriptions) {
+            problems.push(format!(
+                "subscriptions {:?} (want {:?})",
+                got.subscriptions, expected.subscriptions
+            ));
+        }
+        if !same_set(&got.outputs, &expected.outputs) {
+            problems.push(format!(
+                "outputs {:?} (want {:?})",
+                got.outputs, expected.outputs
+            ));
+        }
+        if problems.is_empty() {
+            Ok(node)
+        } else {
+            Err(VmError::InfoMismatch(problems.join("; ")))
+        }
+    }
+
+    /// The verified program this node executes.
+    pub fn verified(&self) -> &VerifiedProgram {
+        &self.program
+    }
+
+    /// Instructions executed by the most recent `step` (always ≤ the
+    /// declared budget; the property tests pin this).
+    pub fn last_step_cost(&self) -> u32 {
+        self.last_cost
+    }
+
+    fn scalar(&self, r: Reg) -> f64 {
+        match self.regs[r.0 as usize] {
+            VmValue::Scalar(s) => s,
+            VmValue::Bool(b) => b as u8 as f64,
+            _ => 0.0,
+        }
+    }
+
+    fn boolean(&self, r: Reg) -> bool {
+        match self.regs[r.0 as usize] {
+            VmValue::Bool(b) => b,
+            VmValue::Scalar(s) => s != 0.0,
+            _ => false,
+        }
+    }
+
+    fn vec3(&self, r: Reg) -> [f64; 3] {
+        match self.regs[r.0 as usize] {
+            VmValue::Vec3(v) => v,
+            _ => [0.0; 3],
+        }
+    }
+
+    fn path(&self, r: Reg) -> Arc<[[f64; 3]]> {
+        match &self.regs[r.0 as usize] {
+            VmValue::Path(p) => p.clone(),
+            _ => self.empty_path.clone(),
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: VmValue) {
+        self.regs[r.0 as usize] = v;
+    }
+}
+
+/// Clamped `f64 → usize` index conversion: NaN and negatives map to 0,
+/// oversized values saturate at `len - 1`.
+fn clamp_index(x: f64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    if x.is_nan() || x <= 0.0 {
+        return 0;
+    }
+    let max = len - 1;
+    if x >= max as f64 {
+        max
+    } else {
+        x as usize
+    }
+}
+
+impl Node for VmNode {
+    fn name(&self) -> &str {
+        &self.program.program().name
+    }
+
+    fn subscriptions(&self) -> Vec<TopicName> {
+        self.program.program().subs.clone()
+    }
+
+    fn outputs(&self) -> Vec<TopicName> {
+        self.program.program().outs.clone()
+    }
+
+    fn period(&self) -> Duration {
+        self.program.program().period
+    }
+
+    fn step(&mut self, _now: Time, inputs: &dyn TopicRead, out: &mut TopicWriter<'_>) {
+        for r in self.regs.iter_mut() {
+            *r = VmValue::Scalar(0.0);
+        }
+        let verified = Arc::clone(&self.program);
+        let program: &Program = verified.program();
+        let instrs: &[Instr] = &program.instrs;
+        let mut ip: usize = 0;
+        let mut fuel: u32 = program.budget;
+        // (body start, iterations remaining) — fixed-size, never allocates.
+        let mut loops: [(u32, u32); MAX_LOOP_DEPTH] = [(0, 0); MAX_LOOP_DEPTH];
+        let mut depth: usize = 0;
+        let mut cost: u32 = 0;
+        // Reborrow dance: the instruction list lives in `self.program`, so
+        // copy each instruction out (they are small) before mutating regs.
+        while ip < instrs.len() {
+            if fuel == 0 {
+                break; // defense in depth; unreachable for verified programs
+            }
+            fuel -= 1;
+            cost += 1;
+            let instr = instrs[ip].clone();
+            ip += 1;
+            match instr {
+                Instr::Fconst { rd, imm } => self.set(rd, VmValue::Scalar(imm)),
+                Instr::Vconst { rd, imm } => self.set(rd, VmValue::Vec3(imm)),
+                Instr::Mov { rd, ra } => self.set(rd, self.regs[ra.0 as usize].clone()),
+                Instr::Gld { rd, g } => self.set(rd, VmValue::Scalar(self.globals[g.0 as usize])),
+                Instr::Gst { g, rs } => self.globals[g.0 as usize] = self.scalar(rs),
+                Instr::Fbin { op, rd, ra, rb } => {
+                    let (a, b) = (self.scalar(ra), self.scalar(rb));
+                    let v = match op {
+                        FOp::Add => a + b,
+                        FOp::Sub => a - b,
+                        FOp::Mul => a * b,
+                        FOp::Div => a / b,
+                        FOp::Mod => a % b,
+                        FOp::Min => a.min(b),
+                        FOp::Max => a.max(b),
+                    };
+                    self.set(rd, VmValue::Scalar(v));
+                }
+                Instr::Fun { op, rd, ra } => {
+                    let a = self.scalar(ra);
+                    let v = match op {
+                        FUn::Neg => -a,
+                        FUn::Abs => a.abs(),
+                        // Clamp keeps the result NaN-free, matching the
+                        // verifier's interval for sqrt.
+                        FUn::Sqrt => a.max(0.0).sqrt(),
+                    };
+                    self.set(rd, VmValue::Scalar(v));
+                }
+                Instr::Fcmp { op, rd, ra, rb } => {
+                    let (a, b) = (self.scalar(ra), self.scalar(rb));
+                    let v = match op {
+                        Cmp::Lt => a < b,
+                        Cmp::Le => a <= b,
+                    };
+                    self.set(rd, VmValue::Bool(v));
+                }
+                Instr::Bbin { op, rd, ra, rb } => {
+                    let (a, b) = (self.boolean(ra), self.boolean(rb));
+                    let v = match op {
+                        BOp::And => a && b,
+                        BOp::Or => a || b,
+                    };
+                    self.set(rd, VmValue::Bool(v));
+                }
+                Instr::Bnot { rd, ra } => {
+                    let v = !self.boolean(ra);
+                    self.set(rd, VmValue::Bool(v));
+                }
+                Instr::Select { rd, rc, ra, rb } => {
+                    let pick = if self.boolean(rc) { ra } else { rb };
+                    self.set(rd, self.regs[pick.0 as usize].clone());
+                }
+                Instr::Vadd { rd, ra, rb } => {
+                    let (a, b) = (self.vec3(ra), self.vec3(rb));
+                    self.set(rd, VmValue::Vec3([a[0] + b[0], a[1] + b[1], a[2] + b[2]]));
+                }
+                Instr::Vsub { rd, ra, rb } => {
+                    let (a, b) = (self.vec3(ra), self.vec3(rb));
+                    self.set(rd, VmValue::Vec3([a[0] - b[0], a[1] - b[1], a[2] - b[2]]));
+                }
+                Instr::Vscale { rd, rv, rs } => {
+                    let (v, s) = (self.vec3(rv), self.scalar(rs));
+                    self.set(rd, VmValue::Vec3([v[0] * s, v[1] * s, v[2] * s]));
+                }
+                Instr::Vdot { rd, ra, rb } => {
+                    let (a, b) = (self.vec3(ra), self.vec3(rb));
+                    self.set(rd, VmValue::Scalar(a[0] * b[0] + a[1] * b[1] + a[2] * b[2]));
+                }
+                Instr::Vnorm { rd, ra } => {
+                    let a = self.vec3(ra);
+                    let v = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+                    self.set(rd, VmValue::Scalar(v));
+                }
+                Instr::Vget { rd, ra, axis } => {
+                    let a = self.vec3(ra);
+                    self.set(rd, VmValue::Scalar(a[(axis as usize).min(2)]));
+                }
+                Instr::Vpack { rd, rx, ry, rz } => {
+                    let v = [self.scalar(rx), self.scalar(ry), self.scalar(rz)];
+                    self.set(rd, VmValue::Vec3(v));
+                }
+                Instr::Plen { rd, rp } => {
+                    let len = match &self.regs[rp.0 as usize] {
+                        VmValue::Path(p) => p.len() as f64,
+                        _ => 0.0,
+                    };
+                    self.set(rd, VmValue::Scalar(len));
+                }
+                Instr::Pget { rd, rp, ri } => {
+                    let idx = self.scalar(ri);
+                    let p = self.path(rp);
+                    let v = if p.is_empty() {
+                        [0.0; 3]
+                    } else {
+                        p[clamp_index(idx, p.len())]
+                    };
+                    self.set(rd, VmValue::Vec3(v));
+                }
+                Instr::LdF { rd, topic, default } => {
+                    let v = inputs
+                        .get(program.topic(topic).as_str())
+                        .and_then(Value::as_float)
+                        .unwrap_or(default);
+                    self.set(rd, VmValue::Scalar(v));
+                }
+                Instr::LdV { rd, topic } => {
+                    let v = inputs
+                        .get(program.topic(topic).as_str())
+                        .and_then(Value::as_vector)
+                        .unwrap_or([0.0; 3]);
+                    self.set(rd, VmValue::Vec3(v));
+                }
+                Instr::LdPos { rd, topic } => {
+                    let v = inputs
+                        .get(program.topic(topic).as_str())
+                        .and_then(Value::as_state)
+                        .map(|(p, _)| p)
+                        .unwrap_or([0.0; 3]);
+                    self.set(rd, VmValue::Vec3(v));
+                }
+                Instr::LdVel { rd, topic } => {
+                    let v = inputs
+                        .get(program.topic(topic).as_str())
+                        .and_then(Value::as_state)
+                        .map(|(_, v)| v)
+                        .unwrap_or([0.0; 3]);
+                    self.set(rd, VmValue::Vec3(v));
+                }
+                Instr::LdPath { rd, topic } => {
+                    let v = match inputs.get(program.topic(topic).as_str()) {
+                        Some(Value::Path(p)) => p.clone(),
+                        _ => self.empty_path.clone(),
+                    };
+                    self.set(rd, VmValue::Path(v));
+                }
+                Instr::StF { topic, rs } => {
+                    out.insert(program.topic(topic).as_str(), Value::Float(self.scalar(rs)));
+                }
+                Instr::StV { topic, rs } => {
+                    out.insert(program.topic(topic).as_str(), Value::Vector(self.vec3(rs)));
+                }
+                Instr::Jmp { target } => ip = target as usize,
+                Instr::Jz { rc, target } => {
+                    if !self.boolean(rc) {
+                        ip = target as usize;
+                    }
+                }
+                Instr::Jnz { rc, target } => {
+                    if self.boolean(rc) {
+                        ip = target as usize;
+                    }
+                }
+                Instr::Loop { count } => {
+                    if depth < MAX_LOOP_DEPTH {
+                        loops[depth] = (ip as u32, count);
+                        depth += 1;
+                    }
+                }
+                Instr::EndLoop => {
+                    if depth > 0 {
+                        let (start, remaining) = loops[depth - 1];
+                        if remaining > 1 {
+                            loops[depth - 1] = (start, remaining - 1);
+                            ip = start as usize;
+                        } else {
+                            depth -= 1;
+                        }
+                    }
+                }
+                Instr::Halt => break,
+            }
+        }
+        self.last_cost = cost;
+    }
+
+    fn reset(&mut self) {
+        self.globals = [0.0; NUM_GLOBALS];
+        for r in self.regs.iter_mut() {
+            *r = VmValue::Scalar(0.0);
+        }
+        self.last_cost = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soter_core::topic::TopicMap;
+
+    fn node(body: &str) -> VmNode {
+        let src = format!("node t\nperiod 20ms\nbudget 256\nsub in\npub out\n{body}");
+        VmNode::load(&src).expect("test program verifies")
+    }
+
+    fn step_with(node: &mut VmNode, inputs: &TopicMap) -> TopicMap {
+        node.step_to_map(Time::ZERO, inputs)
+    }
+
+    #[test]
+    fn straight_line_arithmetic_publishes() {
+        let mut n = node("ld.f r0, in, 1.0\nfconst r1, 2.0\nfmul r2, r0, r1\nst.f out, r2\nhalt\n");
+        let mut inputs = TopicMap::new();
+        inputs.insert("in", Value::Float(21.0));
+        let out = step_with(&mut n, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Float(42.0)));
+        assert_eq!(n.last_step_cost(), 5);
+    }
+
+    #[test]
+    fn missing_or_mistyped_topics_fall_back_to_defaults() {
+        let mut n = node("ld.f r0, in, 7.5\nst.f out, r0\n");
+        let out = step_with(&mut n, &TopicMap::new());
+        assert_eq!(out.get("out"), Some(&Value::Float(7.5)));
+        let mut inputs = TopicMap::new();
+        inputs.insert("in", Value::Text("junk".into()));
+        let out = step_with(&mut n, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Float(7.5)));
+    }
+
+    #[test]
+    fn loops_iterate_the_declared_count() {
+        let mut n = node(
+            "fconst r0, 0.0\nfconst r1, 1.0\nloop 10\nfadd r0, r0, r1\nendloop\nst.f out, r0\n",
+        );
+        let out = step_with(&mut n, &TopicMap::new());
+        assert_eq!(out.get("out"), Some(&Value::Float(10.0)));
+        let worst = n.verified().worst_case_cost();
+        assert!(
+            u64::from(n.last_step_cost()) <= worst,
+            "{} > {worst}",
+            n.last_step_cost()
+        );
+    }
+
+    #[test]
+    fn globals_persist_across_steps_and_reset_clears_them() {
+        let mut n = node("gld r0, g0\nfconst r1, 1.0\nfadd r0, r0, r1\ngst g0, r0\nst.f out, r0\n");
+        let empty = TopicMap::new();
+        assert_eq!(
+            step_with(&mut n, &empty).get("out"),
+            Some(&Value::Float(1.0))
+        );
+        assert_eq!(
+            step_with(&mut n, &empty).get("out"),
+            Some(&Value::Float(2.0))
+        );
+        n.reset();
+        assert_eq!(
+            step_with(&mut n, &empty).get("out"),
+            Some(&Value::Float(1.0))
+        );
+    }
+
+    #[test]
+    fn conditional_jumps_select_branches() {
+        let mut n = node(
+            "ld.f r0, in, 0.0\nfconst r1, 5.0\nflt r2, r0, r1\n\
+             jz r2, big\nfconst r3, 1.0\njmp done\nbig:\nfconst r3, 2.0\ndone:\nst.f out, r3\n",
+        );
+        let mut inputs = TopicMap::new();
+        inputs.insert("in", Value::Float(3.0));
+        assert_eq!(
+            step_with(&mut n, &inputs).get("out"),
+            Some(&Value::Float(1.0))
+        );
+        inputs.insert("in", Value::Float(9.0));
+        assert_eq!(
+            step_with(&mut n, &inputs).get("out"),
+            Some(&Value::Float(2.0))
+        );
+    }
+
+    #[test]
+    fn state_and_path_loads_work() {
+        let mut n = node("ld.pos r0, in\nld.vel r1, in\nvadd r2, r0, r1\nst.v out, r2\nhalt\n");
+        let mut inputs = TopicMap::new();
+        inputs.insert(
+            "in",
+            Value::State {
+                position: [1.0, 2.0, 3.0],
+                velocity: [0.5, 0.5, 0.5],
+            },
+        );
+        let out = step_with(&mut n, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Vector([1.5, 2.5, 3.5])));
+
+        let mut n = node("ld.path r0, in\nfconst r1, 1.0\npget r2, r0, r1\nst.v out, r2\n");
+        let mut inputs = TopicMap::new();
+        inputs.insert("in", Value::path(vec![[0.0; 3], [4.0, 5.0, 6.0]]));
+        let out = step_with(&mut n, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Vector([4.0, 5.0, 6.0])));
+        // Out-of-range indices clamp; an empty path yields the origin.
+        let mut n = node("ld.path r0, in\nfconst r1, 99.0\npget r2, r0, r1\nst.v out, r2\n");
+        let out = step_with(&mut n, &inputs);
+        assert_eq!(out.get("out"), Some(&Value::Vector([4.0, 5.0, 6.0])));
+        let mut n = node("ld.path r0, in\nfconst r1, 0.0\npget r2, r0, r1\nst.v out, r2\n");
+        let out = step_with(&mut n, &TopicMap::new());
+        assert_eq!(out.get("out"), Some(&Value::Vector([0.0; 3])));
+    }
+
+    #[test]
+    fn load_expecting_rejects_interface_mismatches() {
+        let src = "node t\nperiod 20ms\nbudget 16\nsub in\npub out\nhalt\n";
+        let want = NodeInfo {
+            name: "t".to_string(),
+            subscriptions: vec![TopicName::from("in")],
+            outputs: vec![TopicName::from("out")],
+            period: Duration::from_millis(20),
+        };
+        VmNode::load_expecting(src, &want).unwrap();
+        let wrong = NodeInfo {
+            period: Duration::from_millis(50),
+            ..want
+        };
+        let err = VmNode::load_expecting(src, &wrong).unwrap_err();
+        assert!(err.to_string().contains("period"), "{err}");
+    }
+}

@@ -1,0 +1,592 @@
+//! The instruction set of the controller VM.
+//!
+//! A program is a flat list of [`Instr`]s over two register banks:
+//!
+//! * **scratch registers** `r0..r15` — reset at the start of every `step`;
+//!   the verifier proves each one is written before it is read, so their
+//!   reset value is never observable;
+//! * **global registers** `g0..g7` — always scalar, initialised to `0.0`,
+//!   persisting across steps (the program's local state `C`).
+//!
+//! Values are scalars (`f64`), booleans, inline 3-vectors or shared path
+//! handles — see [`VmValue`].  Control flow is deliberately restricted so
+//! the verifier can bound execution statically: jumps are **forward only**
+//! and may not cross a loop boundary, and the only way to repeat code is a
+//! structured `loop N` / `endloop` pair with a static trip count.
+
+use soter_core::time::Duration;
+use soter_core::topic::TopicName;
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of scratch registers (`r0..r15`).
+pub const NUM_SCRATCH: usize = 16;
+/// Number of global (persistent, scalar-only) registers (`g0..g7`).
+pub const NUM_GLOBALS: usize = 8;
+/// Maximum static nesting depth of `loop`/`endloop` pairs.
+pub const MAX_LOOP_DEPTH: usize = 8;
+/// Maximum static trip count of a single `loop`.
+pub const MAX_LOOP_COUNT: u32 = 65_536;
+/// Maximum number of instructions in a program.
+pub const MAX_INSTRS: usize = 4_096;
+/// Maximum declarable fuel budget (worst-case executed instructions per
+/// step).  Chosen so even a pathological-but-accepted program stays well
+/// under a control period on any plausible host.
+pub const MAX_BUDGET: u32 = 100_000;
+
+/// A scratch register `r0..r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A global register `g0..g7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GReg(pub u8);
+
+impl fmt::Display for GReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Binary scalar arithmetic operators (`Scalar × Scalar → Scalar`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division — the verifier proves the divisor cannot be zero.
+    Div,
+    /// Remainder — same divisor obligation as [`FOp::Div`].
+    Mod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl FOp {
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FOp::Add => "fadd",
+            FOp::Sub => "fsub",
+            FOp::Mul => "fmul",
+            FOp::Div => "fdiv",
+            FOp::Mod => "fmod",
+            FOp::Min => "fmin",
+            FOp::Max => "fmax",
+        }
+    }
+}
+
+/// Unary scalar operators (`Scalar → Scalar`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FUn {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root (of the non-negative part; negative inputs clamp to 0).
+    Sqrt,
+}
+
+impl FUn {
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FUn::Neg => "fneg",
+            FUn::Abs => "fabs",
+            FUn::Sqrt => "fsqrt",
+        }
+    }
+}
+
+/// Scalar comparisons (`Scalar × Scalar → Bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl Cmp {
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cmp::Lt => "flt",
+            Cmp::Le => "fle",
+        }
+    }
+}
+
+/// Binary boolean operators (`Bool × Bool → Bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+}
+
+impl BOp {
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BOp::And => "and",
+            BOp::Or => "or",
+        }
+    }
+}
+
+/// One VM instruction.  `topic` operands index the program's
+/// [`Program::topics`] table; whether the referenced topic is actually in
+/// the declared subscription/output list is a *verifier* obligation, so
+/// undeclared accesses surface as structured verification errors rather
+/// than parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `fconst rd, imm` — load a scalar constant.
+    Fconst {
+        /// Destination.
+        rd: Reg,
+        /// The constant.
+        imm: f64,
+    },
+    /// `vconst rd, x, y, z` — load a vector constant.
+    Vconst {
+        /// Destination.
+        rd: Reg,
+        /// The constant.
+        imm: [f64; 3],
+    },
+    /// `mov rd, ra` — copy a register of any type.
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+    },
+    /// `gld rd, gN` — read a global register (always scalar).
+    Gld {
+        /// Destination.
+        rd: Reg,
+        /// Global source.
+        g: GReg,
+    },
+    /// `gst gN, rs` — write a scalar into a global register.
+    Gst {
+        /// Global destination.
+        g: GReg,
+        /// Scalar source.
+        rs: Reg,
+    },
+    /// Binary scalar arithmetic `op rd, ra, rb`.
+    Fbin {
+        /// Operator.
+        op: FOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand (the divisor for `fdiv`/`fmod`).
+        rb: Reg,
+    },
+    /// Unary scalar arithmetic `op rd, ra`.
+    Fun {
+        /// Operator.
+        op: FUn,
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+    },
+    /// Scalar comparison `op rd, ra, rb` producing a boolean.
+    Fcmp {
+        /// Operator.
+        op: Cmp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// Binary boolean `op rd, ra, rb`.
+    Bbin {
+        /// Operator.
+        op: BOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `not rd, ra` — boolean negation.
+    Bnot {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+    },
+    /// `sel rd, rc, ra, rb` — `rd = if rc { ra } else { rb }`; `ra` and
+    /// `rb` must have the same type.
+    Select {
+        /// Destination.
+        rd: Reg,
+        /// Boolean condition.
+        rc: Reg,
+        /// Value if true.
+        ra: Reg,
+        /// Value if false.
+        rb: Reg,
+    },
+    /// `vadd rd, ra, rb` — vector addition.
+    Vadd {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `vsub rd, ra, rb` — vector subtraction.
+    Vsub {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `vscale rd, rv, rs` — scale a vector by a scalar.
+    Vscale {
+        /// Destination.
+        rd: Reg,
+        /// Vector operand.
+        rv: Reg,
+        /// Scalar operand.
+        rs: Reg,
+    },
+    /// `vdot rd, ra, rb` — dot product (scalar result).
+    Vdot {
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// `vnorm rd, ra` — Euclidean norm (scalar result, always ≥ 0).
+    Vnorm {
+        /// Destination.
+        rd: Reg,
+        /// Vector operand.
+        ra: Reg,
+    },
+    /// `vget rd, ra, axis` — extract one component (`axis` is 0/1/2 for
+    /// x/y/z; the parser only emits in-range axes).
+    Vget {
+        /// Destination.
+        rd: Reg,
+        /// Vector operand.
+        ra: Reg,
+        /// Component index (0..=2).
+        axis: u8,
+    },
+    /// `vpack rd, rx, ry, rz` — build a vector from three scalars.
+    Vpack {
+        /// Destination.
+        rd: Reg,
+        /// x component.
+        rx: Reg,
+        /// y component.
+        ry: Reg,
+        /// z component.
+        rz: Reg,
+    },
+    /// `plen rd, rp` — number of waypoints of a path (scalar, always ≥ 0).
+    Plen {
+        /// Destination.
+        rd: Reg,
+        /// Path operand.
+        rp: Reg,
+    },
+    /// `pget rd, rp, ri` — waypoint `ri` of a path as a vector.  The index
+    /// is clamped into range; an empty path yields the zero vector, so the
+    /// operation is total.
+    Pget {
+        /// Destination.
+        rd: Reg,
+        /// Path operand.
+        rp: Reg,
+        /// Scalar index (rounded down, clamped).
+        ri: Reg,
+    },
+    /// `ld.f rd, topic, default` — read a scalar topic (missing or
+    /// non-numeric values yield `default`, so the read is total).
+    LdF {
+        /// Destination.
+        rd: Reg,
+        /// Topic-table index.
+        topic: u16,
+        /// Value when the topic is missing or not numeric.
+        default: f64,
+    },
+    /// `ld.v rd, topic` — read a vector topic (missing/mismatched → zero).
+    LdV {
+        /// Destination.
+        rd: Reg,
+        /// Topic-table index.
+        topic: u16,
+    },
+    /// `ld.pos rd, topic` — position of a state topic (missing → zero).
+    LdPos {
+        /// Destination.
+        rd: Reg,
+        /// Topic-table index.
+        topic: u16,
+    },
+    /// `ld.vel rd, topic` — velocity of a state topic (missing → zero).
+    LdVel {
+        /// Destination.
+        rd: Reg,
+        /// Topic-table index.
+        topic: u16,
+    },
+    /// `ld.path rd, topic` — read a path topic (missing → empty path).
+    LdPath {
+        /// Destination.
+        rd: Reg,
+        /// Topic-table index.
+        topic: u16,
+    },
+    /// `st.f topic, rs` — publish a scalar.
+    StF {
+        /// Topic-table index.
+        topic: u16,
+        /// Scalar source.
+        rs: Reg,
+    },
+    /// `st.v topic, rs` — publish a vector.
+    StV {
+        /// Topic-table index.
+        topic: u16,
+        /// Vector source.
+        rs: Reg,
+    },
+    /// `jmp target` — unconditional forward jump.
+    Jmp {
+        /// Target instruction index (must be forward and in the same loop
+        /// region — verifier obligations).
+        target: u32,
+    },
+    /// `jz rc, target` — jump if the boolean `rc` is false.
+    Jz {
+        /// Boolean condition.
+        rc: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// `jnz rc, target` — jump if the boolean `rc` is true.
+    Jnz {
+        /// Boolean condition.
+        rc: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// `loop count` — execute the body up to the matching `endloop` exactly
+    /// `count` times (`count ≥ 1`, statically bounded).
+    Loop {
+        /// Static trip count.
+        count: u32,
+    },
+    /// `endloop` — close the innermost `loop`.
+    EndLoop,
+    /// `halt` — stop the step (falling off the end of the program halts
+    /// too).
+    Halt,
+}
+
+/// A parsed (but not yet verified) VM program: the header declarations plus
+/// the instruction list.  Obtain one from [`crate::asm::parse`] and gate it
+/// through [`crate::verify::verify`] before execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Declared node name `N`.
+    pub name: String,
+    /// Declared firing period `δ(N)`.
+    pub period: Duration,
+    /// Declared fuel budget: the maximum number of instructions one `step`
+    /// may execute.  The verifier proves the worst-case path fits.
+    pub budget: u32,
+    /// Declared subscriptions `I` (in declaration order).
+    pub subs: Vec<TopicName>,
+    /// Declared outputs `O` (in declaration order).
+    pub outs: Vec<TopicName>,
+    /// Every topic referenced by any instruction (declared or not — the
+    /// verifier checks membership against `subs`/`outs`).
+    pub topics: Vec<TopicName>,
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The name of the topic-table entry `t` (used by error rendering and
+    /// the interpreter; indices emitted by the parser are always in range).
+    pub fn topic(&self, t: u16) -> &TopicName {
+        &self.topics[t as usize]
+    }
+
+    /// Renders instruction `i` back to its assembly form, e.g. for
+    /// verification errors ("instruction 7 (`fdiv r2, r1, r0`)").
+    pub fn render_instr(&self, i: usize) -> String {
+        let topic = |t: &u16| self.topic(*t).as_str().to_string();
+        match &self.instrs[i] {
+            Instr::Fconst { rd, imm } => format!("fconst {rd}, {imm}"),
+            Instr::Vconst { rd, imm } => {
+                format!("vconst {rd}, {}, {}, {}", imm[0], imm[1], imm[2])
+            }
+            Instr::Mov { rd, ra } => format!("mov {rd}, {ra}"),
+            Instr::Gld { rd, g } => format!("gld {rd}, {g}"),
+            Instr::Gst { g, rs } => format!("gst {g}, {rs}"),
+            Instr::Fbin { op, rd, ra, rb } => format!("{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::Fun { op, rd, ra } => format!("{} {rd}, {ra}", op.mnemonic()),
+            Instr::Fcmp { op, rd, ra, rb } => format!("{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::Bbin { op, rd, ra, rb } => format!("{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::Bnot { rd, ra } => format!("not {rd}, {ra}"),
+            Instr::Select { rd, rc, ra, rb } => format!("sel {rd}, {rc}, {ra}, {rb}"),
+            Instr::Vadd { rd, ra, rb } => format!("vadd {rd}, {ra}, {rb}"),
+            Instr::Vsub { rd, ra, rb } => format!("vsub {rd}, {ra}, {rb}"),
+            Instr::Vscale { rd, rv, rs } => format!("vscale {rd}, {rv}, {rs}"),
+            Instr::Vdot { rd, ra, rb } => format!("vdot {rd}, {ra}, {rb}"),
+            Instr::Vnorm { rd, ra } => format!("vnorm {rd}, {ra}"),
+            Instr::Vget { rd, ra, axis } => {
+                format!("vget {rd}, {ra}, {}", ["x", "y", "z"][*axis as usize])
+            }
+            Instr::Vpack { rd, rx, ry, rz } => format!("vpack {rd}, {rx}, {ry}, {rz}"),
+            Instr::Plen { rd, rp } => format!("plen {rd}, {rp}"),
+            Instr::Pget { rd, rp, ri } => format!("pget {rd}, {rp}, {ri}"),
+            Instr::LdF {
+                rd,
+                topic: t,
+                default,
+            } => {
+                format!("ld.f {rd}, {}, {default}", topic(t))
+            }
+            Instr::LdV { rd, topic: t } => format!("ld.v {rd}, {}", topic(t)),
+            Instr::LdPos { rd, topic: t } => format!("ld.pos {rd}, {}", topic(t)),
+            Instr::LdVel { rd, topic: t } => format!("ld.vel {rd}, {}", topic(t)),
+            Instr::LdPath { rd, topic: t } => format!("ld.path {rd}, {}", topic(t)),
+            Instr::StF { topic: t, rs } => format!("st.f {}, {rs}", topic(t)),
+            Instr::StV { topic: t, rs } => format!("st.v {}, {rs}", topic(t)),
+            Instr::Jmp { target } => format!("jmp {target}"),
+            Instr::Jz { rc, target } => format!("jz {rc}, {target}"),
+            Instr::Jnz { rc, target } => format!("jnz {rc}, {target}"),
+            Instr::Loop { count } => format!("loop {count}"),
+            Instr::EndLoop => "endloop".to_string(),
+            Instr::Halt => "halt".to_string(),
+        }
+    }
+}
+
+/// A runtime VM value.  `Clone` never allocates: scalars, booleans and
+/// vectors are inline, and paths are reference-counted handles whose clone
+/// is a refcount bump — which is what keeps a verified program's steady
+/// state allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmValue {
+    /// A scalar.
+    Scalar(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An inline 3-vector.
+    Vec3([f64; 3]),
+    /// A shared path (sequence of waypoints).
+    Path(Arc<[[f64; 3]]>),
+}
+
+/// The static type of a VM value (the verifier's type lattice, minus the
+/// `undefined`/`conflicting` elements it tracks internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A scalar.
+    Scalar,
+    /// A boolean.
+    Bool,
+    /// A 3-vector.
+    Vec3,
+    /// A path.
+    Path,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Scalar => "scalar",
+            Ty::Bool => "bool",
+            Ty::Vec3 => "vec",
+            Ty::Path => "path",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_display_with_bank_prefix() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(GReg(3).to_string(), "g3");
+    }
+
+    #[test]
+    fn render_reconstructs_mnemonics() {
+        let p = Program {
+            name: "t".into(),
+            period: Duration::from_millis(10),
+            budget: 8,
+            subs: vec![TopicName::new("in")],
+            outs: vec![TopicName::new("out")],
+            topics: vec![TopicName::new("in"), TopicName::new("out")],
+            instrs: vec![
+                Instr::LdF {
+                    rd: Reg(0),
+                    topic: 0,
+                    default: 1.5,
+                },
+                Instr::Fbin {
+                    op: FOp::Div,
+                    rd: Reg(1),
+                    ra: Reg(0),
+                    rb: Reg(0),
+                },
+                Instr::StF {
+                    topic: 1,
+                    rs: Reg(1),
+                },
+                Instr::Vget {
+                    rd: Reg(2),
+                    ra: Reg(1),
+                    axis: 2,
+                },
+            ],
+        };
+        assert_eq!(p.render_instr(0), "ld.f r0, in, 1.5");
+        assert_eq!(p.render_instr(1), "fdiv r1, r0, r0");
+        assert_eq!(p.render_instr(2), "st.f out, r1");
+        assert_eq!(p.render_instr(3), "vget r2, r1, z");
+    }
+}

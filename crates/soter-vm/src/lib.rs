@@ -1,0 +1,69 @@
+//! A statically verified bytecode sandbox for untrusted SOTER controllers.
+//!
+//! SOTER's premise (Sec. III of the paper) is that the advanced controller
+//! of an RTA module is **unverified** — yet in this reproduction every AC
+//! used to be a trusted [`Node`](soter_core::node::Node) implementation
+//! compiled into the binary.  This crate makes the "untrusted controller"
+//! story literal, following the eBPF verify-then-run discipline: controller
+//! logic is expressed in a tiny register-based bytecode (assembled from a
+//! text format by [`asm`]), and a **static verifier** ([`mod@verify`]) must
+//! accept a program before it can run.  The verifier proves, by abstract
+//! interpretation over the program alone:
+//!
+//! * **bounded execution** — loops are structured (`loop N` / `endloop`)
+//!   with static trip counts and all jumps are forward, so the worst-case
+//!   instruction count is computable and must fit the program's declared
+//!   fuel budget;
+//! * **topic-access discipline** — every topic read/write resolves to the
+//!   program's declared subscription/output lists, which the hosting
+//!   [`VmNode`] surfaces as its
+//!   [`NodeInfo`](soter_core::node::NodeInfo), so the P1a wellformedness
+//!   machinery and the Theorem 4.1 composition checks apply unchanged;
+//! * **no runtime panics** — register use-before-def, type confusion
+//!   between scalar/boolean/vector/path values, division or modulo by a
+//!   possibly-zero operand and out-of-range jumps are all rejected with a
+//!   structured [`VerifyError`] naming the offending
+//!   instruction;
+//! * **allocation discipline** — accepted programs execute with zero heap
+//!   allocation in the steady state (register values are scalars, inline
+//!   vectors or reference-counted path handles), so the executor's
+//!   zero-allocation hot path is preserved with a VM node in the stack.
+//!
+//! The type system enforces the gate: only [`verify::verify`] can mint a
+//! [`VerifiedProgram`], and only a
+//! `VerifiedProgram` can construct a [`VmNode`].
+//!
+//! ```
+//! use soter_vm::interp::VmNode;
+//!
+//! let asm = r#"
+//!     node doubler
+//!     period 100ms
+//!     budget 16
+//!     sub sensor
+//!     pub command
+//!     ld.f   r0, sensor, 0.0
+//!     fconst r1, 2.0
+//!     fmul   r2, r0, r1
+//!     st.f   command, r2
+//!     halt
+//! "#;
+//! let node = VmNode::load(asm).expect("the doubler passes verification");
+//! assert_eq!(soter_core::node::Node::name(&node), "doubler");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod asm;
+pub mod error;
+pub mod interp;
+pub mod isa;
+pub mod programs;
+pub mod verify;
+
+pub use asm::parse;
+pub use error::{AsmError, VerifyError, VmError};
+pub use interp::VmNode;
+pub use isa::{Instr, Program};
+pub use verify::{verify, VerifiedProgram};

@@ -1,0 +1,127 @@
+//! Exemplar bytecode programs shipped with the crate.
+//!
+//! These are reference controllers written in the VM assembly, both as a
+//! cookbook for the text format and as the programs the drone stack loads
+//! when a scenario selects a VM-hosted advanced controller.
+
+/// A saturated PD motion-primitive controller for the `mpr_ac` slot of the
+/// drone stack (`localPosition`, `targetWaypoint` → `controlAction`).
+///
+/// The law is `a = clamp(kp·(target − pos) − kd·vel, ‖a‖ ≤ amax)` with
+/// `kp = 3`, `kd = 2`, `amax = 6 m/s²`.  A missing target waypoint arrives
+/// as the zero vector, which the program detects and replaces with the
+/// current position (hover in place) — the same hold behaviour as the
+/// native `ControllerNode` wrapper in soter-drone.  Note the `fmax` guard before the
+/// division: without it the verifier rejects the program because the norm
+/// interval `[0, ∞)` contains zero.
+pub const SURVEILLANCE_AC: &str = r#"
+node mpr_ac
+period 20ms
+budget 128
+sub localPosition
+sub targetWaypoint
+pub controlAction
+
+ld.pos  r0, localPosition
+ld.vel  r1, localPosition
+ld.v    r2, targetWaypoint
+; a missing target loads as the zero vector: hold position instead
+vnorm   r3, r2
+fconst  r4, 0.000001
+flt     r5, r3, r4
+sel     r6, r5, r0, r2
+; PD law: a = kp (target - pos) - kd vel
+vsub    r7, r6, r0
+fconst  r8, 3.0
+vscale  r7, r7, r8
+fconst  r9, 2.0
+vscale  r10, r1, r9
+vsub    r7, r7, r10
+; saturate the norm at amax (guard the divisor away from zero)
+vnorm   r11, r7
+fconst  r12, 0.000001
+fmax    r11, r11, r12
+fconst  r13, 6.0
+fdiv    r14, r13, r11
+fconst  r15, 1.0
+fmin    r14, r14, r15
+vscale  r7, r7, r14
+st.v    controlAction, r7
+halt
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::VmNode;
+    use soter_core::node::Node;
+    use soter_core::time::Time;
+    use soter_core::topic::{TopicMap, Value};
+
+    #[test]
+    fn surveillance_ac_verifies_and_hosts() {
+        let node = VmNode::load(SURVEILLANCE_AC).expect("exemplar verifies");
+        assert_eq!(node.name(), "mpr_ac");
+        assert!(node.verified().worst_case_cost() <= 128);
+    }
+
+    #[test]
+    fn surveillance_ac_commands_toward_the_target() {
+        let mut node = VmNode::load(SURVEILLANCE_AC).unwrap();
+        let mut inputs = TopicMap::new();
+        inputs.insert(
+            "localPosition",
+            Value::State {
+                position: [0.0, 0.0, 2.0],
+                velocity: [0.0, 0.0, 0.0],
+            },
+        );
+        inputs.insert("targetWaypoint", Value::Vector([1.0, 0.0, 2.0]));
+        let out = node.step_to_map(Time::ZERO, &inputs);
+        let Some(&Value::Vector(a)) = out.get("controlAction") else {
+            panic!("expected a vector control action");
+        };
+        assert!(a[0] > 0.0, "accelerates toward +x, got {a:?}");
+        assert!(a[1].abs() < 1e-9 && a[2].abs() < 1e-9, "{a:?}");
+        let norm = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+        assert!(norm <= 6.0 + 1e-9, "saturated at amax, got {norm}");
+    }
+
+    #[test]
+    fn surveillance_ac_holds_position_without_a_target() {
+        let mut node = VmNode::load(SURVEILLANCE_AC).unwrap();
+        let mut inputs = TopicMap::new();
+        inputs.insert(
+            "localPosition",
+            Value::State {
+                position: [3.0, -1.0, 2.5],
+                velocity: [0.0, 0.0, 0.0],
+            },
+        );
+        let out = node.step_to_map(Time::ZERO, &inputs);
+        let Some(&Value::Vector(a)) = out.get("controlAction") else {
+            panic!("expected a vector control action");
+        };
+        // Target = position and zero velocity ⇒ zero commanded acceleration.
+        assert_eq!(a, [0.0; 3]);
+    }
+
+    #[test]
+    fn a_distant_target_saturates_the_command() {
+        let mut node = VmNode::load(SURVEILLANCE_AC).unwrap();
+        let mut inputs = TopicMap::new();
+        inputs.insert(
+            "localPosition",
+            Value::State {
+                position: [0.0, 0.0, 2.0],
+                velocity: [0.0, 0.0, 0.0],
+            },
+        );
+        inputs.insert("targetWaypoint", Value::Vector([100.0, 0.0, 2.0]));
+        let out = node.step_to_map(Time::ZERO, &inputs);
+        let Some(&Value::Vector(a)) = out.get("controlAction") else {
+            panic!("expected a vector control action");
+        };
+        assert!((a[0] - 6.0).abs() < 1e-9, "{a:?}");
+    }
+}

@@ -1,0 +1,343 @@
+//! Property tests over the verify-then-run contract.
+//!
+//! Two directions:
+//!
+//! * **Soundness in practice** — randomly generated *valid-by-construction*
+//!   programs must pass the verifier, and every accepted program must then
+//!   run [`Node::step`] to completion on randomized (including adversarial:
+//!   NaN, infinities, wrong-typed, missing) topic valuations without
+//!   panicking, spending no more fuel than the statically computed
+//!   worst-case cost.
+//! * **Total verifier** — the verifier takes arbitrary [`Program`] values,
+//!   not just assembler output; random instruction soup with out-of-range
+//!   registers, globals, topics, jump targets and loop counts must always
+//!   produce a clean `Ok`/`Err` verdict (with a renderable, kinded error),
+//!   never a panic.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soter_core::prelude::*;
+use soter_vm::isa::{BOp, Cmp, FOp, FUn, GReg, Instr, Reg};
+use soter_vm::{parse, verify, Program, VmNode};
+
+// ---------------------------------------------------------------------------
+// Valid-by-construction generator
+// ---------------------------------------------------------------------------
+
+/// Emits a random program in assembly text that is valid by construction:
+/// registers are defined before use, every division is guarded by an
+/// `fmax` against a positive constant, loops have small static counts and
+/// all topic accesses are declared.  r13/r14 are reserved as guard scratch.
+fn random_valid_source(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::from("node prop\nperiod 20ms\nbudget 4096\nsub in\npub out\n");
+    src.push_str("ld.f r0, in, 1.0\n");
+    let mut defined: Vec<u8> = vec![0];
+    let pick = |rng: &mut SmallRng, defined: &[u8]| defined[rng.random_range(0..defined.len())];
+    for _ in 0..rng.random_range(1..=24usize) {
+        match rng.random_range(0..6u32) {
+            0 => {
+                let rd = rng.random_range(0..12u8);
+                let imm = f64::from(rng.random_range(-1000..=1000i32)) / 10.0;
+                src.push_str(&format!("fconst r{rd}, {imm}\n"));
+                if !defined.contains(&rd) {
+                    defined.push(rd);
+                }
+            }
+            1 | 2 => {
+                let op = ["fadd", "fsub", "fmul", "fmin", "fmax"][rng.random_range(0..5usize)];
+                let (ra, rb) = (pick(&mut rng, &defined), pick(&mut rng, &defined));
+                let rd = rng.random_range(0..12u8);
+                src.push_str(&format!("{op} r{rd}, r{ra}, r{rb}\n"));
+                if !defined.contains(&rd) {
+                    defined.push(rd);
+                }
+            }
+            3 => {
+                // Guarded division: the divisor is clamped to at least 0.5,
+                // which the verifier's interval analysis must recognise.
+                let (ra, rb) = (pick(&mut rng, &defined), pick(&mut rng, &defined));
+                let rd = rng.random_range(0..12u8);
+                src.push_str(&format!(
+                    "fconst r13, 0.5\nfmax r14, r{rb}, r13\nfdiv r{rd}, r{ra}, r14\n"
+                ));
+                if !defined.contains(&rd) {
+                    defined.push(rd);
+                }
+            }
+            4 => {
+                let count = rng.random_range(1..=8u32);
+                let (rd, ra) = (pick(&mut rng, &defined), pick(&mut rng, &defined));
+                src.push_str(&format!(
+                    "loop {count}\nfadd r{rd}, r{rd}, r{ra}\nendloop\n"
+                ));
+            }
+            _ => {
+                let op = ["fneg", "fabs", "fsqrt"][rng.random_range(0..3usize)];
+                let ra = pick(&mut rng, &defined);
+                let rd = rng.random_range(0..12u8);
+                src.push_str(&format!("{op} r{rd}, r{ra}\n"));
+                if !defined.contains(&rd) {
+                    defined.push(rd);
+                }
+            }
+        }
+    }
+    let rs = pick(&mut rng, &defined);
+    src.push_str(&format!("st.f out, r{rs}\nhalt\n"));
+    src
+}
+
+/// A randomized topic valuation for the `in` topic, biased toward the
+/// adversarial corner: missing, wrong-typed, NaN and infinite values are as
+/// likely as ordinary floats.
+fn random_valuation(rng: &mut SmallRng) -> TopicMap {
+    let mut inputs = TopicMap::new();
+    let _ = match rng.random_range(0..6u32) {
+        0 => None, // missing entirely
+        1 => inputs.insert("in", Value::Float(f64::NAN)),
+        2 => inputs.insert(
+            "in",
+            Value::Float(if rng.random_bool(0.5) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }),
+        ),
+        3 => inputs.insert("in", Value::Text("junk".into())),
+        4 => inputs.insert("in", Value::Bool(rng.random_bool(0.5))),
+        _ => inputs.insert(
+            "in",
+            Value::Float(f64::from(rng.random_range(-10_000..=10_000i32)) / 100.0),
+        ),
+    };
+    inputs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accepted programs run to completion, publish only declared outputs,
+    /// and never exceed their statically proven worst-case fuel cost — on
+    /// any valuation, including NaN/∞/mistyped/missing inputs.
+    #[test]
+    fn accepted_programs_step_within_budget(seed in 0u64..1_000_000) {
+        let src = random_valid_source(seed);
+        let program = parse(&src).unwrap_or_else(|e| panic!("generated source must parse: {e}\n{src}"));
+        let budget = program.budget;
+        let verified = verify(program)
+            .unwrap_or_else(|e| panic!("valid-by-construction program rejected: {e}\n{src}"));
+        prop_assert!(verified.worst_case_cost() <= u64::from(budget));
+        let mut node = VmNode::new(verified);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        for _ in 0..8 {
+            let inputs = random_valuation(&mut rng);
+            let out = node.step_to_map(Time::ZERO, &inputs);
+            // Topic discipline: the only publish target is the declared one.
+            prop_assert!(out.get("out").is_some());
+            prop_assert!(matches!(out.get("out"), Some(Value::Float(_))));
+            let cost = u64::from(node.last_step_cost());
+            prop_assert!(
+                cost <= node.verified().worst_case_cost(),
+                "step cost {cost} exceeded the proven worst case {}\n{src}",
+                node.verified().worst_case_cost()
+            );
+        }
+    }
+
+    /// The verifier is total: arbitrary `Program` values — including ones
+    /// the assembler could never emit — always get a clean verdict.
+    #[test]
+    fn verifier_never_panics_on_instruction_soup(seed in 0u64..1_000_000) {
+        let program = random_soup(seed);
+        if let Err(e) = verify(program) {
+            // Every rejection renders and carries a stable kind slug.
+            prop_assert!(!e.kind().is_empty());
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-soup generator
+// ---------------------------------------------------------------------------
+
+fn soup_reg(rng: &mut SmallRng) -> Reg {
+    // Mostly in range, sometimes wildly out.
+    if rng.random_bool(0.8) {
+        Reg(rng.random_range(0..16u8))
+    } else {
+        Reg(rng.random_range(0..=255u8))
+    }
+}
+
+fn soup_instr(rng: &mut SmallRng, n_topics: usize) -> Instr {
+    let topic = |rng: &mut SmallRng| rng.random_range(0..(n_topics as u16 + 4));
+    let fop = |rng: &mut SmallRng| {
+        [
+            FOp::Add,
+            FOp::Sub,
+            FOp::Mul,
+            FOp::Div,
+            FOp::Mod,
+            FOp::Min,
+            FOp::Max,
+        ][rng.random_range(0..7usize)]
+    };
+    match rng.random_range(0..24u32) {
+        0 => Instr::Fconst {
+            rd: soup_reg(rng),
+            imm: f64::from_bits(rng.random::<u64>()),
+        },
+        1 => Instr::Vconst {
+            rd: soup_reg(rng),
+            imm: [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ],
+        },
+        2 => Instr::Mov {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+        },
+        3 => Instr::Gld {
+            rd: soup_reg(rng),
+            g: GReg(rng.random_range(0..=32u8)),
+        },
+        4 => Instr::Gst {
+            g: GReg(rng.random_range(0..=32u8)),
+            rs: soup_reg(rng),
+        },
+        5 => Instr::Fbin {
+            op: fop(rng),
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        6 => Instr::Fun {
+            op: [FUn::Neg, FUn::Abs, FUn::Sqrt][rng.random_range(0..3usize)],
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+        },
+        7 => Instr::Fcmp {
+            op: if rng.random_bool(0.5) {
+                Cmp::Lt
+            } else {
+                Cmp::Le
+            },
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        8 => Instr::Bbin {
+            op: if rng.random_bool(0.5) {
+                BOp::And
+            } else {
+                BOp::Or
+            },
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        9 => Instr::Bnot {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+        },
+        10 => Instr::Select {
+            rd: soup_reg(rng),
+            rc: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        11 => Instr::Vadd {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        12 => Instr::Vscale {
+            rd: soup_reg(rng),
+            rv: soup_reg(rng),
+            rs: soup_reg(rng),
+        },
+        13 => Instr::Vdot {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            rb: soup_reg(rng),
+        },
+        14 => Instr::Vnorm {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+        },
+        15 => Instr::Vget {
+            rd: soup_reg(rng),
+            ra: soup_reg(rng),
+            axis: rng.random_range(0..=7u8),
+        },
+        16 => Instr::Plen {
+            rd: soup_reg(rng),
+            rp: soup_reg(rng),
+        },
+        17 => Instr::Pget {
+            rd: soup_reg(rng),
+            rp: soup_reg(rng),
+            ri: soup_reg(rng),
+        },
+        18 => Instr::LdF {
+            rd: soup_reg(rng),
+            topic: topic(rng),
+            default: rng.random::<f64>(),
+        },
+        19 => Instr::StF {
+            topic: topic(rng),
+            rs: soup_reg(rng),
+        },
+        20 => Instr::Jmp {
+            target: rng.random_range(0..64u32),
+        },
+        21 => Instr::Jz {
+            rc: soup_reg(rng),
+            target: rng.random_range(0..64u32),
+        },
+        22 => Instr::Loop {
+            count: rng.random::<u32>() >> rng.random_range(0..32u32),
+        },
+        _ => {
+            if rng.random_bool(0.5) {
+                Instr::EndLoop
+            } else {
+                Instr::Halt
+            }
+        }
+    }
+}
+
+/// Arbitrary `Program` values: random instruction mix, random (possibly
+/// empty, possibly undersized) topic table, random declared interface,
+/// random budget (sometimes above `MAX_BUDGET`).
+fn random_soup(seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_topics = rng.random_range(0..3usize);
+    let topics: Vec<TopicName> = (0..n_topics)
+        .map(|i| TopicName::from(format!("t{i}")))
+        .collect();
+    let (subs, outs) = if rng.random_bool(0.5) {
+        (topics.clone(), topics.clone())
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let n_instrs = rng.random_range(0..32usize);
+    let instrs = (0..n_instrs)
+        .map(|_| soup_instr(&mut rng, n_topics))
+        .collect();
+    Program {
+        name: "soup".into(),
+        period: Duration::from_millis(20),
+        budget: rng.random_range(0..200_000u32),
+        subs,
+        outs,
+        topics,
+        instrs,
+    }
+}

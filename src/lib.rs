@@ -71,7 +71,7 @@
 //! the runnable examples in `examples/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use soter_core as core;
 pub use soter_ctrl as ctrl;
@@ -81,6 +81,7 @@ pub use soter_reach as reach;
 pub use soter_runtime as runtime;
 pub use soter_scenarios as scenarios;
 pub use soter_sim as sim;
+pub use soter_vm as vm;
 
 #[cfg(test)]
 mod tests {
@@ -96,5 +97,6 @@ mod tests {
         let _ = crate::runtime::JitterModel::none();
         let _ = crate::drone::DroneStackConfig::default();
         let _ = crate::scenarios::Scenario::new("wired");
+        let _ = crate::vm::parse("node t\nperiod 1ms\nbudget 4\nhalt\n");
     }
 }

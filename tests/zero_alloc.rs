@@ -18,6 +18,7 @@
 use soter::core::prelude::*;
 use soter::runtime::executor::{Executor, ExecutorConfig};
 use soter::runtime::schedule::JitterSchedule;
+use soter::vm::VmNode;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,8 +87,37 @@ impl SafetyOracle for LineOracle {
     }
 }
 
+/// The advanced controller of the measured module, hosted in the bytecode
+/// sandbox: the VM interpreter (register reset, a bounded loop, a guarded
+/// division, a topic load and a publish) is part of the measured hot path,
+/// so the verifier's allocation-discipline claim is proven here, not just
+/// asserted.  With `state = 7` this publishes `min(state / 4, 1) = 1.0`,
+/// the same command the old closure AC produced.
+const VM_AC: &str = "
+node ac
+period 100ms
+budget 64
+sub state
+pub command
+
+ld.f   r0, state, 0.0
+fconst r1, 0.0
+fconst r2, 1.0
+loop 4
+fadd   r1, r1, r2
+endloop
+fconst r3, 0.001
+fmax   r4, r1, r3
+fdiv   r5, r0, r4
+fconst r6, 1.0
+fmin   r5, r5, r6
+st.f   command, r5
+halt
+";
+
 /// An RTA module plus a fast free node: every firing kind (DM with monitor
-/// check, gated AC, enabled SC, free node) runs inside the measured window.
+/// check, gated VM-hosted AC, enabled SC, free node) runs inside the
+/// measured window.
 fn system() -> RtaSystem {
     let controller = |name: &str, v: f64| {
         FnNode::builder(name)
@@ -100,7 +130,7 @@ fn system() -> RtaSystem {
             .build()
     };
     let module = RtaModule::builder("line")
-        .advanced(controller("ac", 1.0))
+        .advanced(VmNode::load(VM_AC).expect("the bytecode AC passes verification"))
         .safe(controller("sc", -1.0))
         .delta(Duration::from_millis(100))
         .oracle(LineOracle)
