@@ -1,0 +1,80 @@
+//! Bench + table for process-level campaign sharding: the same fixed
+//! matrix run in-process and through the `soter-serve` shard coordinator
+//! at 1, 2 and 4 worker subprocesses.  The delta against the in-process
+//! row is the cost of crash isolation — process spawn, stdio framing and
+//! the merge — which amortises as horizons grow.
+//!
+//! The coordinator needs the `soter-worker` binary; when it has not been
+//! built (`cargo build -p soter-serve --bin soter-worker`, or any
+//! workspace `cargo test` run) the sharded rows are skipped gracefully so
+//! `cargo bench` never fails on a fresh checkout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soter_serve::{worker_binary, CampaignRequest, ShardCoordinator};
+use std::hint::black_box;
+
+/// Two catalog scenario families × four seeds — small enough that the
+/// per-process overhead is visible against the runtime.
+fn request(shards: usize) -> CampaignRequest {
+    CampaignRequest::new(["serve-smoke", "planner-rta"])
+        .with_seeds([1, 2, 3, 4])
+        .with_shards(shards)
+}
+
+fn print_table() {
+    println!("\n=== Sharded campaign: 2 scenarios x 4 seeds ===");
+    println!(
+        "{:<14} {:>8} {:>14} {:>12}",
+        "mode", "runs", "wall clock", "runs/s"
+    );
+    let in_process = request(1).in_process_campaign().unwrap().run();
+    println!(
+        "{:<14} {:>8} {:>12.2} s {:>12.1}",
+        "in-process",
+        in_process.runs(),
+        in_process.wall_clock,
+        in_process.runs_per_second()
+    );
+    for shards in [1usize, 2, 4] {
+        match ShardCoordinator::new(request(shards)).run() {
+            Ok(report) => println!(
+                "{:<14} {:>8} {:>12.2} s {:>12.1}",
+                format!("{shards} shard(s)"),
+                report.runs(),
+                report.wall_clock,
+                report.runs_per_second()
+            ),
+            Err(e) => println!("{:<14} skipped: {e}", format!("{shards} shard(s)")),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("shard_campaign");
+    group.sample_size(10);
+    group.bench_function("in_process_8_runs", |b| {
+        b.iter(|| {
+            let report = request(1).in_process_campaign().unwrap().run();
+            black_box(report.records.len())
+        })
+    });
+    if worker_binary().is_ok() {
+        for shards in [1usize, 2, 4] {
+            group.bench_function(format!("sharded_8_runs_{shards}_shards"), |b| {
+                b.iter(|| {
+                    let report = ShardCoordinator::new(request(shards))
+                        .run()
+                        .expect("sharded campaign");
+                    black_box(report.records.len())
+                })
+            });
+        }
+    } else {
+        println!("soter-worker binary not found; sharded benches skipped");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

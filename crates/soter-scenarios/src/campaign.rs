@@ -104,17 +104,38 @@ impl Campaign {
 
     /// Runs every job and aggregates a [`CampaignReport`] with records in
     /// matrix order (independent of the worker count and schedule).
+    ///
+    /// # Panics
+    ///
+    /// If a job panicked, the original panic is re-raised here as
+    /// `campaign worker panicked at job #i (\`name\`): message` — always
+    /// from the recorded panic message, never masked by the missing-slot
+    /// unwrap below.
     pub fn run(&self) -> CampaignReport {
         let started = Instant::now();
-        let stream = self.stream();
+        let mut stream = self.stream();
         let total = stream.progress().total();
         let mut slots: Vec<Option<RunRecord>> = (0..total).map(|_| None).collect();
-        for item in stream {
+        for item in stream.by_ref() {
             slots[item.index] = Some(item.record);
         }
+        // Deterministic re-raise: if any worker recorded a panic, surface
+        // it *before* touching the slots.  A panicking job cancels the
+        // campaign, so other slots are legitimately empty — unwrapping one
+        // of those first would die with "every job was claimed and
+        // completed" and mask the root cause.
+        stream.reraise_worker_panic();
         let records = slots
             .into_iter()
-            .map(|slot| slot.expect("every job was claimed and completed"))
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    panic!(
+                        "campaign job #{index} never completed \
+                         (a worker thread died without recording a panic)"
+                    )
+                })
+            })
             .collect();
         CampaignReport {
             records,
@@ -248,7 +269,11 @@ fn worker_loop(
             .peak_buffered
             .fetch_max(buffered, Ordering::Relaxed);
         if tx.send(CampaignRecord { index, record }).is_err() {
-            // The consumer dropped the stream: cancel everyone.
+            // The consumer dropped the stream: the record was never
+            // buffered, so roll the accounting back before cancelling
+            // everyone — otherwise `buffered` leaks one count per worker
+            // on every cancellation.
+            progress.buffered.fetch_sub(1, Ordering::Relaxed);
             cancel.store(true, Ordering::Relaxed);
             break;
         }
@@ -278,6 +303,17 @@ impl CampaignProgress {
     /// Jobs fully executed so far (whether or not consumed yet).
     pub fn executed(&self) -> usize {
         self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Records currently buffered between the workers and the consumer.
+    ///
+    /// Every buffered record is eventually accounted back out — consumed
+    /// through the stream, discarded by the stream's `Drop`, or rolled back
+    /// when a send fails — so this returns to 0 once the stream is drained
+    /// *or* dropped mid-campaign (pinned by
+    /// `buffered_accounting_returns_to_zero_after_a_dropped_stream`).
+    pub fn buffered(&self) -> usize {
+        self.buffered.load(Ordering::Relaxed)
     }
 
     /// The highest number of records ever buffered between the workers and
@@ -311,6 +347,18 @@ impl CampaignStream {
     pub fn progress(&self) -> CampaignProgress {
         self.progress.clone()
     }
+
+    /// Re-raises a worker panic recorded while the campaign ran, naming
+    /// the offending job (`job #i (\`name\`): message`).  A no-op when no
+    /// worker panicked.  The iterator re-raises automatically when the
+    /// stream drains; callers that reassemble records afterwards (like
+    /// [`Campaign::run`]) call this again before unwrapping, so a
+    /// cancelled campaign's missing records can never mask the panic.
+    pub fn reraise_worker_panic(&self) {
+        if let Some(message) = self.panic_slot.lock().expect("panic slot lock").take() {
+            panic!("campaign worker panicked at {message}");
+        }
+    }
 }
 
 impl Iterator for CampaignStream {
@@ -327,9 +375,7 @@ impl Iterator for CampaignStream {
                 Some(item)
             }
             Err(_) => {
-                if let Some(message) = self.panic_slot.lock().expect("panic slot lock").take() {
-                    panic!("campaign worker panicked at {message}");
-                }
+                self.reraise_worker_panic();
                 None
             }
         }
@@ -339,9 +385,17 @@ impl Iterator for CampaignStream {
 impl Drop for CampaignStream {
     fn drop(&mut self) {
         self.cancel.store(true, Ordering::Relaxed);
-        // Closing the channel unblocks any worker waiting on a full buffer;
-        // its send fails and it exits.
-        drop(self.rx.take());
+        // Drain (rather than just close) the channel: unblocks any worker
+        // waiting on a full buffer, and accounts every already-buffered
+        // record back out of `buffered`, which must return to 0 on
+        // cancellation instead of leaking the in-flight records.  Workers
+        // see the cancel flag before claiming another job, so this
+        // terminates as soon as in-flight jobs finish.
+        if let Some(rx) = self.rx.take() {
+            for _ in rx.iter() {
+                self.progress.buffered.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -733,6 +787,82 @@ mod tests {
         let _ = Campaign::new(vec![instant_scenario("fine"), poisoned])
             .with_workers(2)
             .run();
+    }
+
+    /// Regression test for the buffered-counter leak: incrementing
+    /// `buffered` before `tx.send` meant a failed send (consumer dropped
+    /// the stream) left the counter permanently raised — `buffered` and
+    /// `peak_buffered` over-reported on every cancellation.  After the
+    /// fix, every buffered record is accounted back out (consumed,
+    /// discarded by Drop, or rolled back on send failure), so the counter
+    /// returns to exactly 0 once the stream is dropped.
+    #[test]
+    fn buffered_accounting_returns_to_zero_after_a_dropped_stream() {
+        let workers = 4;
+        let capacity = 2;
+        let campaign = Campaign::new(vec![instant_scenario("acct")])
+            .with_seeds((0..200).collect::<Vec<u64>>())
+            .with_workers(workers)
+            .with_channel_capacity(capacity);
+        let mut stream = campaign.stream();
+        let progress = stream.progress();
+        // Consume a few records, then drop mid-campaign with workers
+        // blocked on the full channel.
+        let taken: Vec<_> = stream.by_ref().take(3).collect();
+        assert_eq!(taken.len(), 3);
+        drop(stream); // cancels, drains, joins
+        assert_eq!(
+            progress.buffered(),
+            0,
+            "cancellation must not leak buffered-record accounting"
+        );
+        assert!(
+            progress.peak_buffered() <= workers + capacity + 1,
+            "peak {} exceeds workers + capacity + 1",
+            progress.peak_buffered()
+        );
+        // A fully drained stream also lands on 0.
+        let drained = campaign.stream();
+        let drained_progress = drained.progress();
+        assert_eq!(drained.count(), 200);
+        assert_eq!(drained_progress.buffered(), 0);
+    }
+
+    /// Regression test for the panic-masking path: a job panic cancels the
+    /// campaign, which legitimately leaves other matrix slots empty; the
+    /// drain in `run` must re-raise the *original* `job #i (\`name\`)`
+    /// message from the panic slot rather than dying on a missing-slot
+    /// unwrap.  Four workers, one poisoned job in the middle of the
+    /// matrix.
+    #[test]
+    fn panic_reraise_names_the_poisoned_job_under_four_workers() {
+        // A fleet spec on a non-circuit mission panics inside run_scenario.
+        let poisoned = instant_scenario("poisoned-job").with_fleet(crate::spec::FleetSpec::new(
+            2,
+            crate::spec::FleetLayout::Crossing,
+        ));
+        let mut scenarios: Vec<Scenario> = (0..8)
+            .map(|i| instant_scenario(&format!("ok{i}")))
+            .collect();
+        scenarios.insert(5, poisoned);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Campaign::new(scenarios).with_workers(4).run()
+        }));
+        let Err(payload) = result else {
+            panic!("the poisoned campaign must panic");
+        };
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into());
+        assert!(
+            message.contains("campaign worker panicked"),
+            "unexpected panic: {message}"
+        );
+        assert!(
+            message.contains("job #5") && message.contains("poisoned-job"),
+            "the re-raised panic must name the poisoned job: {message}"
+        );
     }
 
     #[test]

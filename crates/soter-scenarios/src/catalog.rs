@@ -380,6 +380,37 @@ pub fn golden_suite() -> Vec<Scenario> {
     suite
 }
 
+/// A near-instant catalog scenario (two clean planner queries) for smoke
+/// tests of the campaign *machinery* itself — the sharded-campaign tests
+/// and benches fan this out by name when the workload must stay trivial.
+pub fn serve_smoke() -> Scenario {
+    Scenario::new("serve-smoke").with_mission(MissionSpec::PlannerQueries {
+        queries: 2,
+        bug_probability: 0.0,
+    })
+}
+
+/// Every scenario resolvable *by name*: the golden suite plus the named
+/// utility scenarios ([`serve_smoke`]).  This is the namespace the
+/// `soter-serve` wire protocol runs in — a shard worker receives
+/// `(scenario name, seed)` pairs and resolves them through [`find`], so
+/// only scenarios listed here can be sharded across processes.
+pub fn registry() -> Vec<Scenario> {
+    let mut scenarios = golden_suite();
+    scenarios.push(serve_smoke());
+    scenarios
+}
+
+/// Resolves a catalog scenario by its unique name (see [`registry`]).
+///
+/// The returned scenario carries the catalog's pinned seed; re-seed it
+/// with [`Scenario::with_seed`] for campaign fan-out — that is exactly
+/// what a `soter-serve` shard worker does with each `(name, seed)` wire
+/// job, so coordinator-side and worker-side job expansion agree.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +442,28 @@ mod tests {
                 "name {name:?} is not filesystem-friendly"
             );
         }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let registry = registry();
+        let names: BTreeSet<&str> = registry.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), registry.len(), "duplicate registry names");
+        for scenario in &registry {
+            assert_eq!(
+                find(&scenario.name).as_ref(),
+                Some(scenario),
+                "{} must resolve to itself",
+                scenario.name
+            );
+        }
+        assert!(find("no-such-scenario").is_none());
+        // Re-seeding a resolved scenario matches direct construction — the
+        // invariant the shard wire protocol relies on.
+        assert_eq!(
+            find("fig12a-rta").unwrap().with_seed(9),
+            fig12a(Protection::Rta, 3, 120.0).with_seed(9)
+        );
     }
 
     #[test]

@@ -757,7 +757,22 @@ pub fn counterexample_to_text(ce: &Counterexample) -> String {
 
 /// Parses the format produced by [`counterexample_to_text`].
 pub fn counterexample_from_text(text: &str) -> Result<Counterexample, GoldenError> {
-    let record = record_from_text(text)?;
+    // `record_from_text` is strict (unknown keys are rejected — it doubles
+    // as wire validation for the shard protocol), so slice the record
+    // section out of the document before handing it over; the schedule and
+    // search-statistics lines are parsed separately below.
+    let record_lines: String = text
+        .lines()
+        .filter(|line| {
+            line.split_once('=')
+                .is_some_and(|(k, _)| crate::golden::RECORD_KEYS.contains(&k.trim()))
+        })
+        .fold(String::new(), |mut out, line| {
+            out.push_str(line);
+            out.push('\n');
+            out
+        });
+    let record = record_from_text(&record_lines)?;
     let schedule = schedule_from_text(text)?;
     let field = |key: &str| -> Result<usize, GoldenError> {
         text.lines()

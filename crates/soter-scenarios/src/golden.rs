@@ -12,6 +12,7 @@
 use crate::campaign::RunRecord;
 use crate::runner::run_scenario;
 use crate::spec::Scenario;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -38,14 +39,62 @@ pub fn record_to_text(record: &RunRecord) -> String {
     )
 }
 
+/// The complete set of keys a serialised [`RunRecord`] may carry, in the
+/// order [`record_to_text`] writes them.  [`record_from_text`] accepts
+/// exactly these keys, each at most once; embedding formats (the
+/// falsifier's counterexample files) use this list to slice the record
+/// section out of a larger document before parsing.
+pub const RECORD_KEYS: [&str; 9] = [
+    "scenario",
+    "seed",
+    "digest",
+    "safety_violations",
+    "separation_violations",
+    "invariant_violations",
+    "mode_switches",
+    "targets_reached",
+    "completed",
+];
+
 /// Parses the text format produced by [`record_to_text`].
+///
+/// Parsing is strict: every non-blank line must be a `key = value` pair
+/// with a key from the record schema, and no key may appear twice.
+/// Duplicate, unknown and un-parseable lines are rejected with a
+/// [`GoldenError::Parse`] naming the offending line — a corrupted or
+/// hand-edited golden fails loudly instead of silently parsing to a wrong
+/// record.  The shard wire protocol of `soter-serve` reuses this parser,
+/// so the same strictness doubles as wire validation.
 pub fn record_from_text(text: &str) -> Result<RunRecord, GoldenError> {
+    let mut values: HashMap<&str, String> = HashMap::new();
+    for (number, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(GoldenError::Parse(format!(
+                "line {} is not a `key = value` pair: `{line}`",
+                number + 1
+            )));
+        };
+        let Some(&key) = RECORD_KEYS.iter().find(|&&known| known == k.trim()) else {
+            return Err(GoldenError::Parse(format!(
+                "line {} has an unknown field `{}`: `{line}`",
+                number + 1,
+                k.trim()
+            )));
+        };
+        if values.insert(key, v.trim().to_string()).is_some() {
+            return Err(GoldenError::Parse(format!(
+                "line {} duplicates field `{key}`: `{line}`",
+                number + 1
+            )));
+        }
+    }
     let field = |key: &str| -> Result<String, GoldenError> {
-        text.lines()
-            .find_map(|line| {
-                let (k, v) = line.split_once('=')?;
-                (k.trim() == key).then(|| v.trim().to_string())
-            })
+        values
+            .get(key)
+            .cloned()
             .ok_or_else(|| GoldenError::Parse(format!("missing field `{key}`")))
     };
     let parse_usize = |key: &str, v: String| {
@@ -199,6 +248,55 @@ mod tests {
             record_from_text(&bad_digest),
             Err(GoldenError::Parse(_))
         ));
+    }
+
+    /// A duplicated key parses to *something* only by picking one of the
+    /// two values — a corrupted golden must be rejected instead, naming
+    /// the duplicate line.
+    #[test]
+    fn parse_rejects_duplicate_fields_naming_the_line() {
+        let duplicated = format!("{}seed = 99\n", record_to_text(&sample_record()));
+        let err = record_from_text(&duplicated).unwrap_err();
+        let GoldenError::Parse(message) = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(
+            message.contains("duplicates field `seed`"),
+            "unhelpful duplicate-key error: {message}"
+        );
+        assert!(
+            message.contains("line 10"),
+            "the error must name the offending line: {message}"
+        );
+    }
+
+    /// Unknown keys and non-`key = value` junk previously parsed silently
+    /// (the extra line was ignored); both must now fail loudly, because a
+    /// typo'd key otherwise falls back to the *old* value semantics — and
+    /// on the shard wire this is the only validation a frame gets.
+    #[test]
+    fn parse_rejects_unknown_fields_and_junk_lines() {
+        let unknown = format!(
+            "{}saftey_violations = 3\n",
+            record_to_text(&sample_record())
+        );
+        let err = record_from_text(&unknown).unwrap_err();
+        let GoldenError::Parse(message) = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(
+            message.contains("unknown field `saftey_violations`"),
+            "unhelpful unknown-key error: {message}"
+        );
+        let junk = format!("{}!!corrupt!!\n", record_to_text(&sample_record()));
+        let err = record_from_text(&junk).unwrap_err();
+        assert!(
+            err.to_string().contains("not a `key = value` pair"),
+            "unhelpful junk-line error: {err}"
+        );
+        // Blank lines remain harmless.
+        let spaced = record_to_text(&sample_record()).replace('\n', "\n\n");
+        assert_eq!(record_from_text(&spaced).unwrap(), sample_record());
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! The `soter-serve` daemon binary.
+//!
+//! ```text
+//! soter-serve                      # serve requests on stdin/stdout
+//! soter-serve --socket <path>      # serve on a unix socket
+//! soter-serve --shards N --pool N  # tuning
+//! ```
+//!
+//! See `docs/SCENARIOS.md` ("The soter-serve daemon") for the request
+//! grammar and a worked example.
+
+use soter_serve::daemon::{Daemon, ServeConfig};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soter-serve [--socket <path>] [--shards <n>] [--pool <n>] \
+         [--heartbeat-timeout-ms <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_missing(name));
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--shards" => {
+                config.default_shards = value("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--pool" => config.pool_capacity = value("--pool").parse().unwrap_or_else(|_| usage()),
+            "--heartbeat-timeout-ms" => {
+                let ms: u64 = value("--heartbeat-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                config.shard.heartbeat_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let daemon = Daemon::new(config);
+    match socket {
+        Some(path) => {
+            // The stop flag only flips on delivery failure paths today;
+            // external lifecycle management (or SIGKILL) ends the daemon.
+            let stop = Arc::new(AtomicBool::new(false));
+            if let Err(e) = daemon.serve_unix_until(&path, stop) {
+                eprintln!("soter-serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => daemon.serve(std::io::stdin().lock(), std::io::stdout()),
+    }
+}
+
+fn usage_missing(name: &str) -> String {
+    eprintln!("soter-serve: missing value for {name}");
+    usage()
+}

@@ -1,0 +1,6 @@
+//! Shard worker binary: speaks the worker protocol over stdio.  Spawned
+//! by the shard coordinator; not intended for interactive use.
+
+fn main() {
+    std::process::exit(soter_serve::worker::worker_main());
+}

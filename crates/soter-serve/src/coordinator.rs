@@ -1,0 +1,537 @@
+//! The shard coordinator: fans a campaign's job matrix out to worker
+//! subprocesses and merges their streamed records back into deterministic
+//! matrix order.
+//!
+//! One supervisor thread per shard owns that shard's worker process: a
+//! feeder thread writes `RUN` lines into the worker's stdin, a reader
+//! thread parses [`WorkerMsg`]s off its stdout into a channel, and the
+//! supervisor consumes that channel with a heartbeat deadline
+//! ([`std::sync::mpsc::Receiver::recv_timeout`]).  Three failure signals
+//! move a shard through its state machine:
+//!
+//! 1. **EOF / corrupt frame** — the worker died (crash, kill, truncated
+//!    write): reap it and re-issue the shard's remaining jobs to a fresh
+//!    worker.
+//! 2. **Heartbeat timeout** — no message (not even `HB`) within the
+//!    deadline: the worker is wedged; kill, reap, re-issue.
+//! 3. **`ERR`** — a deterministic worker-side failure (unknown scenario,
+//!    panicking job): re-running cannot help, so the campaign fails with
+//!    [`ServeError::Worker`].
+//!
+//! Re-issue is idempotent: each supervisor tracks the shard's un-merged
+//! matrix indices in a [`BTreeSet`] and forwards a record to the merger
+//! only when its index is still outstanding, so a record that raced the
+//! kill (delivered twice across attempts) is deduplicated and the merged
+//! report never contains duplicates or holes.  Because runs are
+//! seed-deterministic, a re-run record is byte-identical to the one the
+//! dead worker would have produced.
+
+use crate::error::ServeError;
+use crate::protocol::{CoordMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::shard::{plan_shards, CampaignRequest};
+use crate::worker::ENV_HEARTBEAT_MS;
+use soter_scenarios::campaign::{CampaignReport, RunRecord};
+use soter_scenarios::spec::Scenario;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Overrides where the coordinator looks for the worker binary.
+pub const ENV_WORKER_BIN: &str = "SOTER_WORKER_BIN";
+
+/// Locates the `soter-worker` binary: the [`ENV_WORKER_BIN`] environment
+/// variable if set, otherwise a sibling of the current executable (which
+/// is where cargo places workspace binaries relative to test
+/// executables — test binaries live one directory down in `deps/`).
+pub fn worker_binary() -> Result<PathBuf, ServeError> {
+    if let Ok(path) = std::env::var(ENV_WORKER_BIN) {
+        let path = PathBuf::from(path);
+        return if path.is_file() {
+            Ok(path)
+        } else {
+            Err(ServeError::WorkerBinary(path))
+        };
+    }
+    let mut dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(PathBuf::from))
+        .unwrap_or_default();
+    if dir.file_name().is_some_and(|name| name == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join(format!("soter-worker{}", std::env::consts::EXE_SUFFIX));
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(ServeError::WorkerBinary(candidate))
+    }
+}
+
+/// A counting semaphore bounding how many worker processes run at once;
+/// shared across every campaign a daemon multiplexes.
+#[derive(Debug)]
+pub struct WorkerPool {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl WorkerPool {
+    /// A pool admitting up to `capacity` concurrent workers (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        WorkerPool {
+            permits: Mutex::new(capacity.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a worker slot is free and claims it; the permit
+    /// returns to the pool when the guard drops.
+    pub fn acquire(&self) -> WorkerPermit<'_> {
+        let mut permits = self.permits.lock().expect("worker pool lock");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("worker pool lock");
+        }
+        *permits -= 1;
+        WorkerPermit { pool: self }
+    }
+}
+
+/// A claimed worker slot (see [`WorkerPool::acquire`]).
+#[derive(Debug)]
+pub struct WorkerPermit<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Drop for WorkerPermit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.pool.permits.lock().expect("worker pool lock");
+        *permits += 1;
+        self.pool.available.notify_one();
+    }
+}
+
+/// Fault injection for the crash-safety tests: the coordinator kills its
+/// `worker`-th spawned process (0-based spawn ordinal, across all shards
+/// and re-issues) once that process has delivered `after_records` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Spawn ordinal of the process to kill.
+    pub worker: usize,
+    /// Records the victim must deliver before the kill fires.
+    pub after_records: usize,
+}
+
+/// Coordinator tuning knobs.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Worker binary path; `None` resolves via [`worker_binary`].
+    pub worker_bin: Option<PathBuf>,
+    /// Heartbeat interval handed to workers (via [`ENV_HEARTBEAT_MS`]).
+    pub heartbeat_interval: Duration,
+    /// How long a shard supervisor waits without hearing *anything* from
+    /// its worker before declaring it wedged and killing it.
+    pub heartbeat_timeout: Duration,
+    /// Worker processes spawned per shard before giving up
+    /// ([`ServeError::ShardFailed`]).
+    pub max_attempts: usize,
+    /// Bounds concurrent worker processes; shards past the bound queue.
+    pub pool: Option<Arc<WorkerPool>>,
+    /// Extra environment for spawned workers (fault injection in tests).
+    pub worker_env: Vec<(String, String)>,
+    /// Coordinator-side fault injection (see [`KillPlan`]).
+    pub kill_plan: Option<KillPlan>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            worker_bin: None,
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_secs(10),
+            max_attempts: 5,
+            pool: None,
+            worker_env: Vec::new(),
+            kill_plan: None,
+        }
+    }
+}
+
+/// Splits a [`CampaignRequest`]'s job matrix into shards, runs each shard
+/// in a worker subprocess, and merges the streamed records into a
+/// [`CampaignReport`] identical (record-for-record) to the in-process
+/// [`Campaign::run`](soter_scenarios::campaign::Campaign::run).
+pub struct ShardCoordinator {
+    request: CampaignRequest,
+    config: ShardConfig,
+}
+
+impl ShardCoordinator {
+    /// A coordinator over `request` with default tuning.
+    pub fn new(request: CampaignRequest) -> Self {
+        ShardCoordinator {
+            request,
+            config: ShardConfig::default(),
+        }
+    }
+
+    /// Replaces the tuning knobs.
+    pub fn with_config(mut self, config: ShardConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the sharded campaign to completion, surviving killed and
+    /// wedged workers by re-issuing their shard's remaining jobs.
+    pub fn run(&self) -> Result<CampaignReport, ServeError> {
+        let started = Instant::now();
+        let jobs = Arc::new(self.request.resolve_jobs()?);
+        let plan = plan_shards(jobs.len(), self.request.shards);
+        if plan.shards.is_empty() {
+            return Ok(CampaignReport {
+                records: Vec::new(),
+                workers: 0,
+                wall_clock: started.elapsed().as_secs_f64(),
+            });
+        }
+        let worker_bin = match &self.config.worker_bin {
+            Some(path) => path.clone(),
+            None => worker_binary()?,
+        };
+        let spawn_ordinal = Arc::new(AtomicUsize::new(0));
+        let (rec_tx, rec_rx) = mpsc::channel::<(usize, RunRecord)>();
+        let supervisors: Vec<_> = plan
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard_id, indices)| {
+                let shard = ShardSupervisor {
+                    shard_id,
+                    indices: indices.clone(),
+                    jobs: Arc::clone(&jobs),
+                    config: self.config.clone(),
+                    worker_bin: worker_bin.clone(),
+                    spawn_ordinal: Arc::clone(&spawn_ordinal),
+                };
+                let rec_tx = rec_tx.clone();
+                std::thread::spawn(move || shard.run(&rec_tx))
+            })
+            .collect();
+        drop(rec_tx);
+        // Merge as records stream in.  `slots` is keyed by matrix index;
+        // the `is_none` guard makes the merge idempotent end-to-end even
+        // if a supervisor-level dedup ever let a duplicate through.
+        let mut slots: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+        for (index, record) in rec_rx {
+            if index < slots.len() && slots[index].is_none() {
+                slots[index] = Some(record);
+            }
+        }
+        let mut first_error = None;
+        for handle in supervisors {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_error
+                        .get_or_insert_with(|| ServeError::Worker("supervisor panicked".into()));
+                }
+            }
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        let missing = slots.iter().filter(|slot| slot.is_none()).count();
+        if missing > 0 {
+            return Err(ServeError::Incomplete { missing });
+        }
+        Ok(CampaignReport {
+            records: slots.into_iter().map(Option::unwrap).collect(),
+            workers: plan.shards.len(),
+            wall_clock: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Events a reader thread forwards from a worker's stdout.
+enum Event {
+    Msg(WorkerMsg),
+    Eof,
+    Corrupt(String),
+}
+
+/// How one worker attempt ended, as seen by its supervisor.
+enum Attempt {
+    /// Every outstanding job was merged and the worker said `BYE`.
+    Complete,
+    /// The worker died or was killed mid-shard; re-issue what remains.
+    Retry(String),
+    /// A deterministic failure; re-running cannot help.
+    Fatal(ServeError),
+}
+
+struct ShardSupervisor {
+    shard_id: usize,
+    indices: Vec<usize>,
+    jobs: Arc<Vec<Scenario>>,
+    config: ShardConfig,
+    worker_bin: PathBuf,
+    spawn_ordinal: Arc<AtomicUsize>,
+}
+
+impl ShardSupervisor {
+    fn run(&self, rec_tx: &Sender<(usize, RunRecord)>) -> Result<(), ServeError> {
+        let mut remaining: BTreeSet<usize> = self.indices.iter().copied().collect();
+        let mut attempts = 0;
+        let mut last_failure = String::from("never attempted");
+        while !remaining.is_empty() {
+            if attempts >= self.config.max_attempts {
+                return Err(ServeError::ShardFailed {
+                    shard: self.shard_id,
+                    attempts,
+                    last: last_failure,
+                });
+            }
+            attempts += 1;
+            // Hold a pool permit for the whole life of this worker
+            // process so a daemon never runs more workers than its pool
+            // allows, however many campaigns are in flight.
+            let _permit = self.config.pool.as_ref().map(|pool| pool.acquire());
+            match self.attempt(&mut remaining, rec_tx)? {
+                Attempt::Complete => {}
+                Attempt::Retry(reason) => last_failure = reason,
+                Attempt::Fatal(error) => return Err(error),
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawns one worker, feeds it the shard's outstanding jobs, and
+    /// consumes its event stream until completion or failure.  The worker
+    /// process is always reaped before returning.
+    fn attempt(
+        &self,
+        remaining: &mut BTreeSet<usize>,
+        rec_tx: &Sender<(usize, RunRecord)>,
+    ) -> Result<Attempt, ServeError> {
+        let ordinal = self.spawn_ordinal.fetch_add(1, Ordering::Relaxed);
+        let mut command = Command::new(&self.worker_bin);
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .env(
+                ENV_HEARTBEAT_MS,
+                self.config.heartbeat_interval.as_millis().to_string(),
+            );
+        for (key, value) in &self.config.worker_env {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().map_err(ServeError::Spawn)?;
+
+        let stdin = child.stdin.take().expect("worker stdin was piped");
+        let feeder = {
+            let lines: Vec<String> = remaining
+                .iter()
+                .map(|&index| {
+                    CoordMsg::Run {
+                        index,
+                        seed: self.jobs[index].seed,
+                        scenario: self.jobs[index].name.clone(),
+                    }
+                    .to_line()
+                })
+                .chain([CoordMsg::Done.to_line()])
+                .collect();
+            std::thread::spawn(move || {
+                let mut stdin = stdin;
+                for line in lines {
+                    // A dead worker breaks the pipe; the event loop will
+                    // see the EOF, so write errors are not reported here.
+                    if writeln!(stdin, "{line}").is_err() {
+                        return;
+                    }
+                }
+                let _ = stdin.flush();
+            })
+        };
+
+        let stdout = child.stdout.take().expect("worker stdout was piped");
+        let (ev_tx, ev_rx) = mpsc::channel::<Event>();
+        let reader = std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            read_events(&mut reader, &ev_tx);
+        });
+
+        let mut delivered = 0usize;
+        let outcome = loop {
+            match ev_rx.recv_timeout(self.config.heartbeat_timeout) {
+                Ok(Event::Msg(WorkerMsg::Hello { version })) => {
+                    if version != PROTOCOL_VERSION {
+                        break Attempt::Fatal(ServeError::Worker(format!(
+                            "worker speaks protocol v{version}, coordinator v{PROTOCOL_VERSION}"
+                        )));
+                    }
+                }
+                Ok(Event::Msg(WorkerMsg::Heartbeat)) => {}
+                Ok(Event::Msg(WorkerMsg::Record { index, record })) => {
+                    delivered += 1;
+                    if remaining.remove(&index) {
+                        let _ = rec_tx.send((index, record));
+                    }
+                    if let Some(plan) = self.config.kill_plan {
+                        if plan.worker == ordinal && delivered >= plan.after_records {
+                            break Attempt::Retry(format!(
+                                "killed by plan after {delivered} records"
+                            ));
+                        }
+                    }
+                }
+                Ok(Event::Msg(WorkerMsg::Error { message })) => {
+                    break Attempt::Fatal(ServeError::Worker(message));
+                }
+                Ok(Event::Msg(WorkerMsg::Bye)) => {
+                    if remaining.is_empty() {
+                        break Attempt::Complete;
+                    }
+                    break Attempt::Retry(format!(
+                        "worker said BYE with {} jobs outstanding",
+                        remaining.len()
+                    ));
+                }
+                Ok(Event::Eof) => {
+                    if remaining.is_empty() {
+                        // Records all arrived but the worker died before
+                        // BYE; the shard is done regardless.
+                        break Attempt::Complete;
+                    }
+                    break Attempt::Retry(format!(
+                        "worker EOF with {} jobs outstanding",
+                        remaining.len()
+                    ));
+                }
+                Ok(Event::Corrupt(message)) => {
+                    break Attempt::Retry(format!("corrupt worker stream: {message}"));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    break Attempt::Retry(format!(
+                        "no heartbeat within {:?}",
+                        self.config.heartbeat_timeout
+                    ));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The reader exited without an Eof event — treat as
+                    // one (it only happens if the reader thread died).
+                    break Attempt::Retry("worker stream disconnected".into());
+                }
+            }
+        };
+        // Reap: kill is a no-op on an exited child, and wait is mandatory
+        // either way (no zombie processes).
+        let _ = child.kill();
+        let _ = child.wait();
+        // The kill races the pipe: frames parsed before the worker died
+        // may still sit in the event queue.  Harvest any records (the
+        // dedup set keeps this idempotent) so a re-issue does not redo —
+        // or worse, double-merge — work that already finished.
+        for event in ev_rx.iter() {
+            match event {
+                Event::Eof | Event::Corrupt(_) => break,
+                Event::Msg(WorkerMsg::Record { index, record }) => {
+                    if remaining.remove(&index) {
+                        let _ = rec_tx.send((index, record));
+                    }
+                }
+                Event::Msg(_) => {}
+            }
+        }
+        let _ = reader.join();
+        let _ = feeder.join();
+        if matches!(outcome, Attempt::Retry(_)) && remaining.is_empty() {
+            return Ok(Attempt::Complete);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Reader-thread body: parse messages until EOF or a corrupt frame, then
+/// terminate the event stream.
+fn read_events(reader: &mut dyn BufRead, ev_tx: &Sender<Event>) {
+    loop {
+        match WorkerMsg::read_from(reader) {
+            Ok(Some(msg)) => {
+                if ev_tx.send(Event::Msg(msg)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = ev_tx.send(Event::Eof);
+                return;
+            }
+            Err(e) => {
+                let _ = ev_tx.send(Event::Corrupt(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pool_bounds_concurrent_permits() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let a = pool.acquire();
+        let _b = pool.acquire();
+        let third_got_in = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            let flag = Arc::clone(&third_got_in);
+            std::thread::spawn(move || {
+                let _c = pool.acquire();
+                flag.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!third_got_in.load(Ordering::SeqCst), "pool must block at 2");
+        drop(a);
+        waiter.join().unwrap();
+        assert!(third_got_in.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_clean_error() {
+        let config = ShardConfig {
+            worker_bin: Some(PathBuf::from("/nonexistent/soter-worker")),
+            ..ShardConfig::default()
+        };
+        let coordinator =
+            ShardCoordinator::new(CampaignRequest::new(["serve-smoke"])).with_config(config);
+        // Spawning /nonexistent fails; the supervisor surfaces it rather
+        // than hanging or panicking.
+        assert!(matches!(
+            coordinator.run(),
+            Err(ServeError::Spawn(_) | ServeError::WorkerBinary(_))
+        ));
+    }
+
+    #[test]
+    fn empty_requests_merge_to_an_empty_report() {
+        let request = CampaignRequest {
+            scenarios: Vec::new(),
+            seeds: Vec::new(),
+            shards: 4,
+        };
+        let report = ShardCoordinator::new(request).run().unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(report.workers, 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The `soter-serve` daemon: a long-running service accepting campaign
+//! requests over stdin or a unix socket and answering with merged,
+//! matrix-ordered reports.
+//!
+//! ## Request / response grammar
+//!
+//! One request per line:
+//!
+//! ```text
+//! CAMPAIGN <id> scenarios=<name>[,<name>…] [seeds=<n>[,<n>…]] [shards=<n>]
+//! ```
+//!
+//! `<id>` is an opaque client-chosen token echoed back in the response, so
+//! a client multiplexing several campaigns over one connection can match
+//! answers to questions.  The response is a single atomic block:
+//!
+//! ```text
+//! REPORT <id> runs=<n> shards=<n>
+//! REC <index>
+//! <record text, one `key = value` per line>
+//! END
+//! …one frame per record, ascending index…
+//! ENDREPORT <id>
+//! ```
+//!
+//! or, on failure, the single line `ERRREPORT <id> <message>`.  Record
+//! frames reuse the worker protocol's framing, so the same strict parser
+//! validates both hops.
+//!
+//! Every accepted campaign runs on its own thread, but all campaigns —
+//! across all clients and both transports — share one [`WorkerPool`], so
+//! the daemon never exceeds its configured number of concurrent worker
+//! processes no matter how many clients connect.
+
+use crate::coordinator::{ShardConfig, ShardCoordinator, WorkerPool};
+use crate::error::ServeError;
+use crate::shard::CampaignRequest;
+use soter_scenarios::campaign::{CampaignReport, RunRecord};
+use soter_scenarios::golden::{record_from_text, record_to_text};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Coordinator tuning applied to every campaign (its `pool` field is
+    /// replaced by the daemon's shared pool).
+    pub shard: ShardConfig,
+    /// Shard count used when a request omits `shards=`.
+    pub default_shards: usize,
+    /// Concurrent worker processes across all in-flight campaigns.
+    pub pool_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shard: ShardConfig::default(),
+            default_shards: 2,
+            pool_capacity: 4,
+        }
+    }
+}
+
+/// The campaign service: parses requests, runs sharded campaigns through
+/// a shared worker pool, renders responses.  Cloning shares the pool.
+#[derive(Clone)]
+pub struct Daemon {
+    config: ServeConfig,
+    pool: Arc<WorkerPool>,
+}
+
+impl Daemon {
+    /// A daemon with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.pool_capacity));
+        Daemon { config, pool }
+    }
+
+    /// Handles one request line end-to-end and returns the full response
+    /// block (always newline-terminated, ready to write atomically).
+    pub fn handle_request_line(&self, line: &str) -> String {
+        let (id, request) = match parse_request(line, self.config.default_shards) {
+            Ok(parsed) => parsed,
+            Err(e) => return format!("ERRREPORT ? {e}\n"),
+        };
+        let mut shard_config = self.config.shard.clone();
+        shard_config.pool = Some(Arc::clone(&self.pool));
+        match ShardCoordinator::new(request.clone())
+            .with_config(shard_config)
+            .run()
+        {
+            Ok(report) => render_report(&id, &request, &report),
+            Err(e) => format!("ERRREPORT {id} {e}\n"),
+        }
+    }
+
+    /// Serves requests from `input`, writing responses to `output`, until
+    /// end-of-stream.  Each campaign runs on its own thread; response
+    /// blocks are written under a lock so concurrent campaigns never
+    /// interleave their frames.
+    pub fn serve<R, W>(&self, input: R, output: W)
+    where
+        R: BufRead,
+        W: Write + Send + 'static,
+    {
+        let output = Arc::new(Mutex::new(output));
+        let mut in_flight = Vec::new();
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let daemon = self.clone();
+            let output = Arc::clone(&output);
+            in_flight.push(std::thread::spawn(move || {
+                let response = daemon.handle_request_line(&line);
+                let mut out = output.lock().expect("daemon output lock");
+                let _ = out.write_all(response.as_bytes());
+                let _ = out.flush();
+            }));
+        }
+        for handle in in_flight {
+            let _ = handle.join();
+        }
+    }
+
+    /// Serves requests on a unix socket at `path` until `stop` is set
+    /// (checked between accepted connections).  Each connection gets its
+    /// own thread; campaigns still share the daemon's worker pool.
+    #[cfg(unix)]
+    pub fn serve_unix_until(&self, path: &Path, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+        use std::os::unix::net::UnixListener;
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        // A polling accept loop: without it, a stop request would block
+        // behind accept() forever.
+        listener.set_nonblocking(true)?;
+        let mut clients = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let daemon = self.clone();
+                    clients.push(std::thread::spawn(move || {
+                        let Ok(writer) = stream.try_clone() else {
+                            return;
+                        };
+                        daemon.serve(BufReader::new(stream), writer);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in clients {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+/// Parses a `CAMPAIGN` request line into its client id and request.
+pub fn parse_request(
+    line: &str,
+    default_shards: usize,
+) -> Result<(String, CampaignRequest), ServeError> {
+    let line = line.trim();
+    let rest = line
+        .strip_prefix("CAMPAIGN ")
+        .ok_or_else(|| ServeError::Request(format!("expected `CAMPAIGN …`, got `{line}`")))?;
+    let mut parts = rest.split_whitespace();
+    let id = parts
+        .next()
+        .ok_or_else(|| ServeError::Request("missing campaign id".into()))?
+        .to_string();
+    let mut scenarios: Option<Vec<String>> = None;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut shards = default_shards;
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| ServeError::Request(format!("expected `key=value`, got `{part}`")))?;
+        match key {
+            "scenarios" => {
+                scenarios = Some(
+                    value
+                        .split(',')
+                        .filter(|name| !name.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "seeds" => {
+                seeds = value
+                    .split(',')
+                    .filter(|seed| !seed.is_empty())
+                    .map(|seed| {
+                        seed.parse::<u64>()
+                            .map_err(|_| ServeError::Request(format!("bad seed `{seed}`")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "shards" => {
+                shards = value
+                    .parse::<usize>()
+                    .map_err(|_| ServeError::Request(format!("bad shard count `{value}`")))?;
+            }
+            other => {
+                return Err(ServeError::Request(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    let scenarios =
+        scenarios.ok_or_else(|| ServeError::Request("missing `scenarios=` field".into()))?;
+    if scenarios.is_empty() {
+        return Err(ServeError::Request("empty `scenarios=` field".into()));
+    }
+    Ok((
+        id,
+        CampaignRequest {
+            scenarios,
+            seeds,
+            shards,
+        },
+    ))
+}
+
+/// Renders a merged report as one atomic response block.
+fn render_report(id: &str, request: &CampaignRequest, report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "REPORT {id} runs={} shards={}\n",
+        report.records.len(),
+        request.shards
+    ));
+    for (index, record) in report.records.iter().enumerate() {
+        out.push_str(&format!("REC {index}\n"));
+        out.push_str(&record_to_text(record));
+        out.push_str("END\n");
+    }
+    out.push_str(&format!("ENDREPORT {id}\n"));
+    out
+}
+
+/// Reads one full response block from `input` (through `ENDREPORT` or
+/// `ERRREPORT`).  A client-side helper; returns the raw block text.
+pub fn read_response(input: &mut dyn BufRead) -> std::io::Result<String> {
+    let mut block = String::new();
+    loop {
+        let mut line = String::new();
+        if input.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        let terminal = line.starts_with("ENDREPORT ") || line.starts_with("ERRREPORT ");
+        block.push_str(&line);
+        if terminal {
+            return Ok(block);
+        }
+    }
+}
+
+/// Parses a response block back into `(id, records)`; `ERRREPORT` blocks
+/// come back as [`ServeError::Worker`] carrying the message.
+pub fn parse_response(block: &str) -> Result<(String, Vec<RunRecord>), ServeError> {
+    let mut lines = block.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ServeError::Request("empty response".into()))?;
+    if let Some(rest) = header.strip_prefix("ERRREPORT ") {
+        let message = rest.split_once(' ').map(|(_, m)| m).unwrap_or(rest);
+        return Err(ServeError::Worker(message.to_string()));
+    }
+    let rest = header
+        .strip_prefix("REPORT ")
+        .ok_or_else(|| ServeError::Request(format!("expected `REPORT …`, got `{header}`")))?;
+    let id = rest
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| ServeError::Request("missing response id".into()))?
+        .to_string();
+    let mut records = Vec::new();
+    while let Some(line) = lines.next() {
+        if line.starts_with("ENDREPORT ") {
+            return Ok((id, records));
+        }
+        let Some(index) = line.strip_prefix("REC ") else {
+            return Err(ServeError::Request(format!("unexpected line `{line}`")));
+        };
+        let expected: usize = index
+            .parse()
+            .map_err(|_| ServeError::Request(format!("bad REC index `{line}`")))?;
+        if expected != records.len() {
+            return Err(ServeError::Request(format!(
+                "out-of-order REC index {expected} (expected {})",
+                records.len()
+            )));
+        }
+        let mut payload = String::new();
+        for frame_line in lines.by_ref() {
+            if frame_line == "END" {
+                break;
+            }
+            payload.push_str(frame_line);
+            payload.push('\n');
+        }
+        let record = record_from_text(&payload)
+            .map_err(|e| ServeError::Request(format!("invalid record frame: {e}")))?;
+        records.push(record);
+    }
+    Err(ServeError::Request(
+        "response block missing ENDREPORT".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults_and_reject_junk() {
+        let (id, request) = parse_request(
+            "CAMPAIGN job-1 scenarios=serve-smoke,planner-rta seeds=1,2,3 shards=4",
+            2,
+        )
+        .unwrap();
+        assert_eq!(id, "job-1");
+        assert_eq!(request.scenarios, vec!["serve-smoke", "planner-rta"]);
+        assert_eq!(request.seeds, vec![1, 2, 3]);
+        assert_eq!(request.shards, 4);
+
+        let (_, request) = parse_request("CAMPAIGN j scenarios=serve-smoke", 3).unwrap();
+        assert_eq!(request.shards, 3, "default shard count applies");
+        assert!(request.seeds.is_empty());
+
+        for bad in [
+            "HELLO",
+            "CAMPAIGN",
+            "CAMPAIGN j",
+            "CAMPAIGN j scenarios=",
+            "CAMPAIGN j scenarios=a seeds=x",
+            "CAMPAIGN j scenarios=a shards=q",
+            "CAMPAIGN j scenarios=a frobnicate=1",
+        ] {
+            assert!(parse_request(bad, 2).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn reports_render_and_parse_round_trip() {
+        let request = CampaignRequest::new(["serve-smoke"]).with_seeds([7, 8]);
+        let report = CampaignReport {
+            records: vec![
+                RunRecord {
+                    scenario: "serve-smoke".into(),
+                    seed: 7,
+                    digest: 1,
+                    safety_violations: 0,
+                    separation_violations: 0,
+                    invariant_violations: 0,
+                    mode_switches: 1,
+                    targets_reached: 2,
+                    completed: true,
+                },
+                RunRecord {
+                    scenario: "serve-smoke".into(),
+                    seed: 8,
+                    digest: 2,
+                    safety_violations: 0,
+                    separation_violations: 0,
+                    invariant_violations: 0,
+                    mode_switches: 1,
+                    targets_reached: 2,
+                    completed: true,
+                },
+            ],
+            workers: 1,
+            wall_clock: 0.0,
+        };
+        let block = render_report("abc", &request, &report);
+        let mut reader = std::io::BufReader::new(block.as_bytes());
+        let read_back = read_response(&mut reader).unwrap();
+        assert_eq!(read_back, block, "read_response captures the whole block");
+        let (id, records) = parse_response(&block).unwrap();
+        assert_eq!(id, "abc");
+        assert_eq!(records, report.records);
+    }
+
+    #[test]
+    fn error_responses_surface_the_message() {
+        let err = parse_response("ERRREPORT job-9 unknown catalog scenario `zzz`\n").unwrap_err();
+        assert!(err.to_string().contains("unknown catalog scenario"));
+    }
+
+    #[test]
+    fn malformed_requests_get_an_errreport_without_running_anything() {
+        let daemon = Daemon::new(ServeConfig::default());
+        let response = daemon.handle_request_line("CAMPAIGN j scenarios=not-a-scenario");
+        assert!(response.starts_with("ERRREPORT j "), "{response}");
+        assert!(response.contains("unknown catalog scenario"));
+        let response = daemon.handle_request_line("NONSENSE");
+        assert!(response.starts_with("ERRREPORT ? "), "{response}");
+    }
+}

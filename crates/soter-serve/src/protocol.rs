@@ -1,0 +1,296 @@
+//! The line-delimited text protocol spoken between the shard coordinator
+//! and its worker subprocesses, over the workers' stdio.
+//!
+//! Everything on the wire is UTF-8 text, one message per line, except the
+//! record frame: a [`WorkerMsg::Record`] spans a `REC <index>` line, the
+//! record serialised with
+//! [`record_to_text`] (one
+//! `key = value` pair per line), and a closing `END` line.  Record payloads
+//! are parsed with the *strict*
+//! [`record_from_text`] —
+//! duplicate or unknown keys reject the frame — so the golden-trace parser
+//! doubles as wire validation.
+//!
+//! | direction | message | meaning |
+//! |---|---|---|
+//! | coordinator → worker | `RUN <index> <seed> <scenario>` | run catalog scenario `<scenario>` with `<seed>`; report as matrix index `<index>` |
+//! | coordinator → worker | `DONE` | no more jobs: finish and exit |
+//! | worker → coordinator | `HELLO <version>` | greeting + protocol version, first line on stdout |
+//! | worker → coordinator | `HB` | heartbeat (liveness; sent on an interval from a ticker thread) |
+//! | worker → coordinator | `REC <index>` … `END` | one completed run record (frame described above) |
+//! | worker → coordinator | `ERR <message>` | fatal worker-side error (unknown scenario, panicked job) |
+//! | worker → coordinator | `BYE` | clean exit after the last job |
+
+use soter_scenarios::campaign::RunRecord;
+use soter_scenarios::golden::{record_from_text, record_to_text};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Version tag carried by the `HELLO` greeting.  The coordinator refuses
+/// to talk to a worker announcing a different version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A protocol violation: a line (or record frame) that does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Coordinator → worker messages (one line each on the worker's stdin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordMsg {
+    /// Run the named catalog scenario with the given seed and report the
+    /// result under matrix index `index`.
+    Run {
+        /// Position of this job in the campaign's deterministic matrix
+        /// order (what the merger reassembles on).
+        index: usize,
+        /// Seed to apply to the resolved scenario.
+        seed: u64,
+        /// Catalog name resolved through `soter_scenarios::catalog::find`.
+        scenario: String,
+    },
+    /// No more jobs will follow: drain outstanding work and exit.
+    Done,
+}
+
+impl CoordMsg {
+    /// Renders the message as its single wire line (no newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            CoordMsg::Run {
+                index,
+                seed,
+                scenario,
+            } => format!("RUN {index} {seed} {scenario}"),
+            CoordMsg::Done => "DONE".to_string(),
+        }
+    }
+
+    /// Parses one wire line.
+    pub fn parse(line: &str) -> Result<CoordMsg, ProtocolError> {
+        let line = line.trim_end();
+        if line == "DONE" {
+            return Ok(CoordMsg::Done);
+        }
+        if let Some(rest) = line.strip_prefix("RUN ") {
+            let mut parts = rest.splitn(3, ' ');
+            let index = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| ProtocolError(format!("bad RUN index in `{line}`")))?;
+            let seed = parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| ProtocolError(format!("bad RUN seed in `{line}`")))?;
+            let scenario = parts
+                .next()
+                .filter(|name| !name.is_empty())
+                .ok_or_else(|| ProtocolError(format!("missing RUN scenario in `{line}`")))?
+                .to_string();
+            return Ok(CoordMsg::Run {
+                index,
+                seed,
+                scenario,
+            });
+        }
+        Err(ProtocolError(format!("unknown coordinator line `{line}`")))
+    }
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMsg {
+    /// Greeting: first line a worker writes.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Liveness heartbeat.
+    Heartbeat,
+    /// One completed run.
+    Record {
+        /// Matrix index echoed from the corresponding [`CoordMsg::Run`].
+        index: usize,
+        /// The run's record.
+        record: RunRecord,
+    },
+    /// Fatal worker-side error; the worker exits after sending it.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Clean exit after the last job.
+    Bye,
+}
+
+impl WorkerMsg {
+    /// Writes the message (all of its lines) to `out` and flushes, so a
+    /// frame hits the pipe atomically with respect to this writer.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        match self {
+            WorkerMsg::Hello { version } => writeln!(out, "HELLO {version}")?,
+            WorkerMsg::Heartbeat => writeln!(out, "HB")?,
+            WorkerMsg::Record { index, record } => {
+                writeln!(out, "REC {index}")?;
+                out.write_all(record_to_text(record).as_bytes())?;
+                writeln!(out, "END")?;
+            }
+            WorkerMsg::Error { message } => writeln!(out, "ERR {}", message.replace('\n', " "))?,
+            WorkerMsg::Bye => writeln!(out, "BYE")?,
+        }
+        out.flush()
+    }
+
+    /// Reads the next complete message from `input`, blocking as needed.
+    /// Returns `Ok(None)` on clean end-of-stream (the worker's stdout
+    /// closed *between* messages; EOF inside a record frame is an error).
+    pub fn read_from(input: &mut dyn BufRead) -> Result<Option<WorkerMsg>, ProtocolError> {
+        let mut line = String::new();
+        match input.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(ProtocolError(format!("read error: {e}"))),
+        }
+        let line = line.trim_end();
+        if line == "HB" {
+            return Ok(Some(WorkerMsg::Heartbeat));
+        }
+        if line == "BYE" {
+            return Ok(Some(WorkerMsg::Bye));
+        }
+        if let Some(version) = line.strip_prefix("HELLO ") {
+            let version = version
+                .parse::<u32>()
+                .map_err(|_| ProtocolError(format!("bad HELLO version `{line}`")))?;
+            return Ok(Some(WorkerMsg::Hello { version }));
+        }
+        if let Some(message) = line.strip_prefix("ERR ") {
+            return Ok(Some(WorkerMsg::Error {
+                message: message.to_string(),
+            }));
+        }
+        if let Some(index) = line.strip_prefix("REC ") {
+            let index = index
+                .parse::<usize>()
+                .map_err(|_| ProtocolError(format!("bad REC index `{line}`")))?;
+            let mut payload = String::new();
+            loop {
+                let mut frame_line = String::new();
+                match input.read_line(&mut frame_line) {
+                    Ok(0) => {
+                        return Err(ProtocolError(format!("EOF inside record frame #{index}")))
+                    }
+                    Ok(_) => {}
+                    Err(e) => return Err(ProtocolError(format!("read error: {e}"))),
+                }
+                if frame_line.trim_end() == "END" {
+                    break;
+                }
+                payload.push_str(&frame_line);
+            }
+            let record = record_from_text(&payload)
+                .map_err(|e| ProtocolError(format!("invalid record frame #{index}: {e}")))?;
+            return Ok(Some(WorkerMsg::Record { index, record }));
+        }
+        Err(ProtocolError(format!("unknown worker line `{line}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_record(index: usize) -> RunRecord {
+        RunRecord {
+            scenario: "serve-smoke".into(),
+            seed: index as u64,
+            digest: 0xdead_beef ^ index as u64,
+            safety_violations: 0,
+            separation_violations: 0,
+            invariant_violations: 0,
+            mode_switches: 1,
+            targets_reached: 2,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn coord_messages_round_trip() {
+        for msg in [
+            CoordMsg::Run {
+                index: 17,
+                seed: 42,
+                scenario: "fig12a-rta".into(),
+            },
+            CoordMsg::Done,
+        ] {
+            assert_eq!(CoordMsg::parse(&msg.to_line()).unwrap(), msg);
+        }
+        assert!(CoordMsg::parse("RUN x 1 a").is_err());
+        assert!(CoordMsg::parse("RUN 1 1").is_err());
+        assert!(CoordMsg::parse("FLY 1 1 a").is_err());
+    }
+
+    #[test]
+    fn worker_messages_round_trip_through_a_byte_stream() {
+        let messages = vec![
+            WorkerMsg::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            WorkerMsg::Heartbeat,
+            WorkerMsg::Record {
+                index: 3,
+                record: sample_record(3),
+            },
+            WorkerMsg::Record {
+                index: 0,
+                record: sample_record(0),
+            },
+            WorkerMsg::Error {
+                message: "unknown scenario `zzz`".into(),
+            },
+            WorkerMsg::Bye,
+        ];
+        let mut wire = Vec::new();
+        for msg in &messages {
+            msg.write_to(&mut wire).unwrap();
+        }
+        let mut reader = BufReader::new(wire.as_slice());
+        let mut parsed = Vec::new();
+        while let Some(msg) = WorkerMsg::read_from(&mut reader).unwrap() {
+            parsed.push(msg);
+        }
+        assert_eq!(parsed, messages);
+    }
+
+    #[test]
+    fn corrupt_record_frames_are_rejected_by_the_strict_parser() {
+        // A frame with a duplicated key: the golden parser (wire
+        // validation) must refuse it rather than pick a value.
+        let mut wire = Vec::new();
+        WorkerMsg::Record {
+            index: 1,
+            record: sample_record(1),
+        }
+        .write_to(&mut wire)
+        .unwrap();
+        let corrupted = String::from_utf8(wire).unwrap().replace(
+            "mode_switches = 1\n",
+            "mode_switches = 1\nmode_switches = 2\n",
+        );
+        let err = WorkerMsg::read_from(&mut BufReader::new(corrupted.as_bytes())).unwrap_err();
+        assert!(err.0.contains("duplicates field"), "{err}");
+        // EOF inside a frame is an error, not a clean end-of-stream.
+        let truncated = "REC 4\nscenario = x\n";
+        let err = WorkerMsg::read_from(&mut BufReader::new(truncated.as_bytes())).unwrap_err();
+        assert!(err.0.contains("EOF inside record frame"), "{err}");
+    }
+}

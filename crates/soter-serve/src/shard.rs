@@ -1,0 +1,158 @@
+//! Shard planning: splitting a scenario × seed matrix into per-process
+//! shards, and the [`CampaignRequest`] that names such a matrix.
+//!
+//! A request carries catalog scenario *names* (not scenario values): both
+//! the coordinator and every worker resolve names through
+//! [`soter_scenarios::catalog::find`], so job expansion is identical on
+//! both sides of the process boundary and a record can be merged purely by
+//! its matrix index.
+
+use crate::error::ServeError;
+use soter_scenarios::campaign::Campaign;
+use soter_scenarios::catalog;
+use soter_scenarios::spec::Scenario;
+
+/// A sharded-campaign request: catalog scenario names fanned out across a
+/// seed list, split into `shards` worker processes.
+///
+/// Job expansion follows [`Campaign::jobs`] exactly: scenario-major, then
+/// seed, with an empty seed list restoring each scenario's built-in seed —
+/// so the merged report of a sharded run is comparable index-for-index
+/// with the in-process campaign over the same request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRequest {
+    /// Catalog scenario names (see `soter_scenarios::catalog::registry`).
+    pub scenarios: Vec<String>,
+    /// Seeds fanned out over every scenario (empty = built-in seeds).
+    pub seeds: Vec<u64>,
+    /// Number of worker processes to split the matrix across (clamped to
+    /// `1..=jobs` at planning time).
+    pub shards: usize,
+}
+
+impl CampaignRequest {
+    /// A request over the given catalog names with one shard.
+    pub fn new(scenarios: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        CampaignRequest {
+            scenarios: scenarios.into_iter().map(Into::into).collect(),
+            seeds: Vec::new(),
+            shards: 1,
+        }
+    }
+
+    /// Fans every scenario out across the given seeds.
+    pub fn with_seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = seeds.into();
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Resolves every scenario name through the catalog and expands the
+    /// full job list in deterministic matrix order.
+    pub fn resolve_jobs(&self) -> Result<Vec<Scenario>, ServeError> {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|name| {
+                catalog::find(name).ok_or_else(|| ServeError::UnknownScenario(name.clone()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Campaign::new(scenarios)
+            .with_seeds(self.seeds.clone())
+            .jobs())
+    }
+
+    /// The equivalent in-process campaign (what
+    /// [`ShardCoordinator::run`](crate::coordinator::ShardCoordinator) must
+    /// reproduce byte-for-byte).
+    pub fn in_process_campaign(&self) -> Result<Campaign, ServeError> {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|name| {
+                catalog::find(name).ok_or_else(|| ServeError::UnknownScenario(name.clone()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Campaign::new(scenarios).with_seeds(self.seeds.clone()))
+    }
+}
+
+/// The shard plan: matrix indices dealt into balanced contiguous chunks,
+/// one chunk per worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Ascending matrix indices per shard; no shard is empty, and every
+    /// index `0..jobs` appears in exactly one shard.
+    pub shards: Vec<Vec<usize>>,
+}
+
+/// Splits `jobs` matrix indices into at most `shards` balanced contiguous
+/// chunks (sizes differ by at most one; empty chunks are dropped, so the
+/// plan never spawns an idle worker).
+pub fn plan_shards(jobs: usize, shards: usize) -> ShardPlan {
+    if jobs == 0 {
+        return ShardPlan { shards: Vec::new() };
+    }
+    let shards = shards.clamp(1, jobs);
+    let base = jobs / shards;
+    let extra = jobs % shards;
+    let mut plan = Vec::with_capacity(shards);
+    let mut next = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        plan.push((next..next + len).collect());
+        next += len;
+    }
+    ShardPlan { shards: plan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_cover_every_index_exactly_once_and_stay_balanced() {
+        for jobs in [1usize, 2, 7, 24, 100] {
+            for shards in [1usize, 2, 3, 4, 8, 200] {
+                let plan = plan_shards(jobs, shards);
+                let mut seen: Vec<usize> = plan.shards.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..jobs).collect::<Vec<_>>(), "{jobs}/{shards}");
+                assert!(plan.shards.iter().all(|s| !s.is_empty()));
+                let min = plan.shards.iter().map(Vec::len).min().unwrap();
+                let max = plan.shards.iter().map(Vec::len).max().unwrap();
+                assert!(max - min <= 1, "unbalanced plan for {jobs}/{shards}");
+                assert!(plan.shards.len() <= shards.max(1));
+            }
+        }
+        assert!(plan_shards(0, 4).shards.is_empty());
+    }
+
+    #[test]
+    fn request_job_expansion_matches_the_in_process_campaign() {
+        let request = CampaignRequest::new(["serve-smoke", "planner-rta"])
+            .with_seeds([5, 6, 7])
+            .with_shards(2);
+        let jobs = request.resolve_jobs().unwrap();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs, request.in_process_campaign().unwrap().jobs());
+        assert_eq!(jobs[0].name, "serve-smoke");
+        assert_eq!(jobs[0].seed, 5);
+        assert_eq!(jobs[3].name, "planner-rta");
+        assert_eq!(jobs[3].seed, 5);
+    }
+
+    #[test]
+    fn unknown_scenarios_are_rejected_by_name() {
+        let request = CampaignRequest::new(["no-such-scenario"]);
+        assert!(matches!(
+            request.resolve_jobs(),
+            Err(ServeError::UnknownScenario(name)) if name == "no-such-scenario"
+        ));
+    }
+}

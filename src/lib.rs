@@ -14,6 +14,7 @@
 //! | [`plan`] (`soter-plan`) | RRT*, buggy RRT*, grid A*, plan validation, surveillance protocol |
 //! | [`drone`] (`soter-drone`) | the paper's drone surveillance case study: stacks, nodes, oracles, reports |
 //! | [`scenarios`] (`soter-scenarios`) | declarative mission scenarios, campaign fan-out, golden-trace regression, experiment drivers |
+//! | [`serve`] (`soter-serve`) | crash-safe sharded campaigns: worker subprocesses, shard coordinator, `soter-serve` daemon |
 //!
 //! ## Quickstart
 //!
@@ -80,6 +81,7 @@ pub use soter_plan as plan;
 pub use soter_reach as reach;
 pub use soter_runtime as runtime;
 pub use soter_scenarios as scenarios;
+pub use soter_serve as serve;
 pub use soter_sim as sim;
 pub use soter_vm as vm;
 
@@ -97,6 +99,7 @@ mod tests {
         let _ = crate::runtime::JitterModel::none();
         let _ = crate::drone::DroneStackConfig::default();
         let _ = crate::scenarios::Scenario::new("wired");
+        let _ = crate::serve::CampaignRequest::new(["wired"]);
         let _ = crate::vm::parse("node t\nperiod 1ms\nbudget 4\nhalt\n");
     }
 }
