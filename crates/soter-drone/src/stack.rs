@@ -32,6 +32,7 @@ use soter_ctrl::shielded::{ShieldedSafeConfig, ShieldedSafeController};
 use soter_ctrl::traits::MotionController;
 use soter_plan::astar::GridAstar;
 use soter_plan::buggy::{BuggyRrtStar, BuggyRrtStarConfig};
+use soter_plan::cache::{identity_key, workspace_fingerprint, CachedPlanner, PlanCache};
 use soter_plan::rrt_star::{RrtStar, RrtStarConfig};
 use soter_plan::surveillance::{SurveillanceApp, TargetPolicy};
 use soter_plan::traits::MotionPlanner;
@@ -135,6 +136,13 @@ pub struct DroneStackConfig {
     pub wind: WindModel,
     /// Simulation seed (sensor noise, planners, faults).
     pub seed: u64,
+    /// Optional shared planner-query cache.  When set, both planner-module
+    /// planners are wrapped in [`CachedPlanner`]s keyed by planner kind,
+    /// seed and workspace fingerprint — byte-identical to uncached planning
+    /// (the cache replays exact query histories, see `soter_plan::cache`),
+    /// so batched evaluations sharing a scenario stop paying per-instance
+    /// replanning.
+    pub plan_cache: Option<std::sync::Arc<PlanCache>>,
 }
 
 impl Default for DroneStackConfig {
@@ -157,6 +165,7 @@ impl Default for DroneStackConfig {
             sc_speed_cap: 2.0,
             wind: WindModel::Calm,
             seed: 0,
+            plan_cache: None,
         }
     }
 }
@@ -298,20 +307,45 @@ impl DroneStackConfig {
 
     /// Builds the RTA-protected motion-planner module.
     pub fn planner_module(&self) -> RtaModule {
+        let wf = workspace_fingerprint(&self.workspace);
         let advanced: Box<dyn MotionPlanner> = if self.buggy_planner {
-            Box::new(BuggyRrtStar::new(BuggyRrtStarConfig {
+            let planner = BuggyRrtStar::new(BuggyRrtStarConfig {
                 inner: RrtStarConfig {
                     seed: self.seed,
                     ..RrtStarConfig::default()
                 },
                 bug_probability: 0.3,
                 bug_seed: self.seed.wrapping_add(17),
-            }))
+            });
+            match &self.plan_cache {
+                Some(cache) => Box::new(CachedPlanner::new(
+                    Box::new(planner),
+                    identity_key("buggy-rrt*", &[self.seed, wf]),
+                    std::sync::Arc::clone(cache),
+                )),
+                None => Box::new(planner),
+            }
         } else {
-            Box::new(RrtStar::new(RrtStarConfig {
+            let planner = RrtStar::new(RrtStarConfig {
                 seed: self.seed,
                 ..RrtStarConfig::default()
-            }))
+            });
+            match &self.plan_cache {
+                Some(cache) => Box::new(CachedPlanner::new(
+                    Box::new(planner),
+                    identity_key("rrt*", &[self.seed, wf]),
+                    std::sync::Arc::clone(cache),
+                )),
+                None => Box::new(planner),
+            }
+        };
+        let safe: Box<dyn MotionPlanner> = match &self.plan_cache {
+            Some(cache) => Box::new(CachedPlanner::new(
+                Box::new(GridAstar::default()),
+                identity_key("grid-astar", &[wf]),
+                std::sync::Arc::clone(cache),
+            )),
+            None => Box::new(GridAstar::default()),
         };
         let ac = PlannerNode::new(
             "planner_ac",
@@ -319,12 +353,7 @@ impl DroneStackConfig {
             self.workspace.clone(),
             self.delta_plan,
         );
-        let sc = PlannerNode::new(
-            "planner_sc",
-            GridAstar::default(),
-            self.workspace.clone(),
-            self.delta_plan,
-        );
+        let sc = PlannerNode::new("planner_sc", safe, self.workspace.clone(), self.delta_plan);
         RtaModule::builder("safe_motion_planner")
             .advanced(ac)
             .safe(sc)

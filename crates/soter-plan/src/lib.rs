@@ -14,6 +14,8 @@
 //!   certified safe planner,
 //! * [`validate`] — plan validation against the workspace (`φ_plan`
 //!   membership), used by the planner RTA module's decision logic,
+//! * [`cache`] — a shared snapshot-chain planner-query cache for batched
+//!   lockstep execution, byte-identical to uncached planning,
 //! * [`surveillance`] — the surveillance application protocol generating
 //!   patrol targets (round-robin or randomised).
 
@@ -22,6 +24,7 @@
 
 pub mod astar;
 pub mod buggy;
+pub mod cache;
 pub mod rrt_star;
 pub mod surveillance;
 pub mod traits;
@@ -29,6 +32,7 @@ pub mod validate;
 
 pub use astar::GridAstar;
 pub use buggy::BuggyRrtStar;
+pub use cache::{identity_key, workspace_fingerprint, CachedPlanner, PlanCache, SnapshotPlanner};
 pub use rrt_star::{RrtStar, RrtStarConfig};
 pub use surveillance::SurveillanceApp;
 pub use traits::MotionPlanner;

@@ -1,0 +1,600 @@
+//! Batched lockstep execution: N instances of one compiled system.
+//!
+//! The falsifier and campaign engines evaluate many near-identical runs of
+//! the *same* system shape — different seeds, different jitter schedules,
+//! identical declarations.  A [`BatchExecutor`] amortises everything that
+//! does not depend on per-instance state:
+//!
+//! * the topic interner, `CompiledNode` tables, canonical firing order and
+//!   calendar layout are compiled **once** into a shared
+//!   [`CompiledSystem`] (an `Arc`, so campaign workers can share it too),
+//! * per-instance hot state lives in structure-of-arrays stores strided by
+//!   instance: one `Vec<Value>` slot store of `n_instances × n_topics`
+//!   slots, one `published` bitset of the same shape, one `next_due`
+//!   calendar and one OE bitset of `n_instances × n_nodes` entries,
+//! * cold per-instance state (the node trait objects, traces, monitors,
+//!   samplers, environments) stays in parallel `Vec`s indexed by instance.
+//!
+//! Stepping is *lockstep* in the sweep sense: [`BatchExecutor::step_all`]
+//! advances every live instance by one discrete instant per sweep, touching
+//! each instance's stride of the shared stores in turn.  Instances share no
+//! mutable state whatsoever, so every instance's execution — trace digest
+//! included — is **byte-identical** to a standalone
+//! [`Executor`](crate::executor::Executor) run of the
+//! same `(system, config)` (pinned by `tests/batch_equivalence.rs`).  If a
+//! batched instance ever diverges from its sequential twin, that is a bug
+//! in the executor port, never an accepted approximation.
+//!
+//! Planner-query caching (the other shared-state win named in ROADMAP.md)
+//! deliberately does **not** live here: planners are node state, so sharing
+//! happens one level up by building every instance's stack against one
+//! `soter_plan::PlanCache` handle.
+
+use crate::executor::{CompiledSystem, EnvironmentModel, ExecutorConfig, NodeRef};
+use crate::schedule::{NodeId, ScheduleSampler};
+use crate::trace::{Trace, TraceEvent};
+use soter_core::composition::RtaSystem;
+use soter_core::invariant::InvariantMonitor;
+use soter_core::node::Node;
+use soter_core::rta::Mode;
+use soter_core::time::Time;
+use soter_core::topic::{SlotView, TopicMap, TopicName, TopicRead, TopicWriter, Value};
+use std::sync::Arc;
+
+/// Per-instance cold state: everything an instance owns that is not in the
+/// strided hot stores.
+struct Instance {
+    system: RtaSystem,
+    monitor_invariants: bool,
+    trace: Trace,
+    monitors: Vec<InvariantMonitor>,
+    sampler: Box<dyn ScheduleSampler>,
+    environment: Option<Box<dyn EnvironmentModel>>,
+    /// Values published on topics no node declares; invisible to nodes.
+    extra: TopicMap,
+    now: Time,
+    fired_steps: u64,
+}
+
+/// Steps N instances of one compiled system in lockstep sweeps (see the
+/// module docs).
+pub struct BatchExecutor {
+    compiled: Arc<CompiledSystem>,
+    instances: Vec<Instance>,
+    /// Global valuations, strided: instance `i`'s slot for topic `t` is
+    /// `slots[i * n_topics + t]`.
+    slots: Vec<Value>,
+    published: Vec<bool>,
+    /// Calendars, strided: instance `i`'s entry for node `n` is
+    /// `next_due[i * n_nodes + n]`.
+    next_due: Vec<Time>,
+    oe: Vec<bool>,
+    /// Scratch: indices of the nodes firing at the current instant.
+    fireable_scratch: Vec<u32>,
+    /// Scratch: output entries of the node currently firing.
+    out_scratch: Vec<(u32, Value)>,
+}
+
+impl BatchExecutor {
+    /// Compiles the first system's shape and builds one instance per
+    /// `(system, config)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty, or if any system's structural
+    /// fingerprint differs from the first's — lockstep requires one shape.
+    pub fn new(instances: Vec<(RtaSystem, ExecutorConfig)>) -> Self {
+        assert!(!instances.is_empty(), "batch must contain an instance");
+        let compiled = Arc::new(CompiledSystem::compile(&instances[0].0));
+        BatchExecutor::with_compiled(instances, compiled)
+    }
+
+    /// Like [`BatchExecutor::new`] over an existing shared compilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or any system's shape diverges from
+    /// `compiled`.
+    pub fn with_compiled(
+        instances: Vec<(RtaSystem, ExecutorConfig)>,
+        compiled: Arc<CompiledSystem>,
+    ) -> Self {
+        assert!(!instances.is_empty(), "batch must contain an instance");
+        let n_topics = compiled.interner.len();
+        let n_nodes = compiled.nodes.len();
+        let n = instances.len();
+        let slots = vec![Value::Unit; n * n_topics];
+        let published = vec![false; n * n_topics];
+        let mut next_due = Vec::with_capacity(n * n_nodes);
+        let mut oe = Vec::with_capacity(n * n_nodes);
+        let instances: Vec<Instance> = instances
+            .into_iter()
+            .map(|(system, config)| {
+                assert_eq!(
+                    CompiledSystem::compile(&system).fingerprint(),
+                    compiled.fingerprint(),
+                    "every batched system must share the compiled shape \
+                     (lockstep divergence is a bug)"
+                );
+                next_due.extend(compiled.nodes.iter().map(|nd| Time::ZERO + nd.period));
+                oe.extend_from_slice(&compiled.initial_oe);
+                let monitors = CompiledSystem::monitors_for(&system);
+                Instance {
+                    monitors,
+                    trace: if config.record_trace {
+                        Trace::new()
+                    } else {
+                        Trace::disabled()
+                    },
+                    sampler: config.schedule.sampler(),
+                    monitor_invariants: config.monitor_invariants,
+                    system,
+                    environment: None,
+                    extra: TopicMap::new(),
+                    now: Time::ZERO,
+                    fired_steps: 0,
+                }
+            })
+            .collect();
+        BatchExecutor {
+            compiled,
+            instances,
+            slots,
+            published,
+            next_due,
+            oe,
+            fireable_scratch: Vec::new(),
+            out_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when the batch holds no instances (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// The shared compiled shape.
+    pub fn compiled(&self) -> &Arc<CompiledSystem> {
+        &self.compiled
+    }
+
+    /// Instance `inst`'s current time.
+    pub fn now(&self, inst: usize) -> Time {
+        self.instances[inst].now
+    }
+
+    /// Instance `inst`'s recorded trace.
+    pub fn trace(&self, inst: usize) -> &Trace {
+        &self.instances[inst].trace
+    }
+
+    /// Instance `inst`'s Theorem 3.1 monitors, in module order.
+    pub fn monitors(&self, inst: usize) -> &[InvariantMonitor] {
+        &self.instances[inst].monitors
+    }
+
+    /// Instance `inst`'s system.
+    pub fn system(&self, inst: usize) -> &RtaSystem {
+        &self.instances[inst].system
+    }
+
+    /// Mutable access to instance `inst`'s system.
+    pub fn system_mut(&mut self, inst: usize) -> &mut RtaSystem {
+        &mut self.instances[inst].system
+    }
+
+    /// Consumes the batch, returning every instance's system in order.
+    pub fn into_systems(self) -> Vec<RtaSystem> {
+        self.instances.into_iter().map(|i| i.system).collect()
+    }
+
+    /// Total node firings executed so far by instance `inst`.
+    pub fn fired_steps(&self, inst: usize) -> u64 {
+        self.instances[inst].fired_steps
+    }
+
+    /// Installs an environment model on instance `inst`.
+    pub fn set_environment(&mut self, inst: usize, env: impl EnvironmentModel + 'static) {
+        self.instances[inst].environment = Some(Box::new(env));
+    }
+
+    /// The mode of instance `inst`'s module `name`, if it exists.
+    pub fn module_mode(&self, inst: usize, name: &str) -> Option<Mode> {
+        self.compiled
+            .module_lookup
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.instances[inst].system.modules()[self.compiled.module_lookup[i].1].mode())
+    }
+
+    /// Reads one topic of instance `inst`'s valuation (`None` if nothing
+    /// was ever published on it).
+    pub fn topic(&self, inst: usize, name: &str) -> Option<&Value> {
+        let base = inst * self.compiled.interner.len();
+        match self.compiled.interner.id(name) {
+            Some(id) => self.published[base + id.index()].then(|| &self.slots[base + id.index()]),
+            None => self.instances[inst].extra.get(name),
+        }
+    }
+
+    /// Instance `inst`'s valuation, materialised as an owned map (published
+    /// topics only) — mirrors [`Executor::topics`].
+    ///
+    /// [`Executor::topics`]: crate::executor::Executor::topics
+    pub fn topics(&self, inst: usize) -> TopicMap {
+        let base = inst * self.compiled.interner.len();
+        let mut map = self.instances[inst].extra.clone();
+        for (id, name) in self.compiled.interner.iter() {
+            if self.published[base + id.index()] {
+                map.insert(name.clone(), self.slots[base + id.index()].clone());
+            }
+        }
+        map
+    }
+
+    /// Directly publishes a value on a topic of instance `inst` (a one-off
+    /// ENVIRONMENT-INPUT transition).
+    pub fn publish(&mut self, inst: usize, topic: impl Into<TopicName>, value: Value) {
+        let topic = topic.into();
+        let now = self.instances[inst].now;
+        self.instances[inst]
+            .trace
+            .record(TraceEvent::EnvironmentInput {
+                time: now,
+                topic: topic.clone(),
+            });
+        self.set_topic(inst, topic, value);
+    }
+
+    fn set_topic(&mut self, inst: usize, topic: TopicName, value: Value) {
+        let base = inst * self.compiled.interner.len();
+        match self.compiled.interner.id(topic.as_str()) {
+            Some(id) => {
+                self.slots[base + id.index()] = value;
+                self.published[base + id.index()] = true;
+            }
+            None => {
+                self.instances[inst].extra.insert(topic, value);
+            }
+        }
+    }
+
+    /// Executes one discrete instant of instance `inst` — a direct port of
+    /// [`Executor::step_instant`] over the instance's stride of the shared
+    /// stores.  Returns the new time, or `None` if the calendar is empty.
+    ///
+    /// [`Executor::step_instant`]: crate::executor::Executor::step_instant
+    pub fn step_instant(&mut self, inst: usize) -> Option<Time> {
+        let n_nodes = self.compiled.nodes.len();
+        let cal = inst * n_nodes;
+        // DISCRETE-TIME-PROGRESS-STEP: advance to the earliest entry of
+        // this instance's calendar stride.
+        let next_time = self.next_due[cal..cal + n_nodes].iter().copied().min()?;
+        self.instances[inst].now = next_time;
+        // ENVIRONMENT-INPUT.
+        if self.instances[inst].environment.is_some() {
+            let mut env = self.instances[inst].environment.take();
+            for (topic, value) in env.as_mut().unwrap().inputs_at(next_time) {
+                self.instances[inst]
+                    .trace
+                    .record(TraceEvent::EnvironmentInput {
+                        time: next_time,
+                        topic: topic.clone(),
+                    });
+                self.set_topic(inst, topic, value);
+            }
+            self.instances[inst].environment = env;
+        }
+        // FN: the canonical node order makes an index scan canonical.
+        let mut fireable = std::mem::take(&mut self.fireable_scratch);
+        fireable.clear();
+        for (i, due) in self.next_due[cal..cal + n_nodes].iter().enumerate() {
+            if *due == next_time {
+                fireable.push(i as u32);
+            }
+        }
+        for &idx in &fireable {
+            self.fire(inst, idx as usize);
+            self.reschedule(inst, idx as usize);
+        }
+        fireable.clear();
+        self.fireable_scratch = fireable;
+        Some(next_time)
+    }
+
+    /// One lockstep sweep: steps every instance whose calendar is non-empty
+    /// and whose time has not reached `deadline` by one instant.  Returns
+    /// the number of instances that stepped (0 = the batch is quiescent).
+    pub fn step_all(&mut self, deadline: Time) -> usize {
+        let mut stepped = 0;
+        for inst in 0..self.instances.len() {
+            if self.instances[inst].now < deadline && self.step_instant(inst).is_some() {
+                stepped += 1;
+            }
+        }
+        stepped
+    }
+
+    /// Runs every instance until its time reaches `deadline` (or its
+    /// calendar empties), in lockstep sweeps.
+    pub fn run_all_until(&mut self, deadline: Time) {
+        while self.step_all(deadline) > 0 {}
+    }
+
+    fn reschedule(&mut self, inst: usize, idx: usize) {
+        let now = self.instances[inst].now;
+        let node = &self.compiled.nodes[idx];
+        let delay = self.instances[inst]
+            .sampler
+            .delay(NodeId(idx as u32), node.name.as_str(), now);
+        self.next_due[inst * self.compiled.nodes.len() + idx] = now + node.period + delay;
+    }
+
+    fn fire(&mut self, inst: usize, idx: usize) {
+        self.instances[inst].fired_steps += 1;
+        if let NodeRef::Dm(i) = self.compiled.nodes[idx].kind {
+            self.fire_dm(inst, idx, i);
+            return;
+        }
+        // AC-OR-SC-STEP (and free-node firing) over this instance's stride.
+        let now = self.instances[inst].now;
+        let base = inst * self.compiled.interner.len();
+        let n_topics = self.compiled.interner.len();
+        let mut entries = std::mem::take(&mut self.out_scratch);
+        entries.clear();
+        {
+            let node = &self.compiled.nodes[idx];
+            let view = SlotView::new(
+                &node.sub_names,
+                &node.sub_ids,
+                &self.slots[base..base + n_topics],
+            );
+            let mut writer =
+                TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
+            let system = &mut self.instances[inst].system;
+            match node.kind {
+                NodeRef::Ac(i) => system.modules_mut()[i]
+                    .ac_mut()
+                    .step(now, &view, &mut writer),
+                NodeRef::Sc(i) => system.modules_mut()[i]
+                    .sc_mut()
+                    .step(now, &view, &mut writer),
+                NodeRef::Free(i) => system.free_nodes_mut()[i].step(now, &view, &mut writer),
+                NodeRef::Dm(_) => unreachable!("DM firings take the fire_dm path"),
+            }
+        }
+        let enabled = self.oe[inst * self.compiled.nodes.len() + idx];
+        if enabled {
+            let node = &self.compiled.nodes[idx];
+            for (local, value) in entries.drain(..) {
+                let slot = base + node.out_ids[local as usize].index();
+                self.slots[slot] = value;
+                self.published[slot] = true;
+            }
+        } else {
+            entries.clear();
+        }
+        self.out_scratch = entries;
+        self.instances[inst].trace.record(TraceEvent::NodeFired {
+            time: now,
+            node: self.compiled.nodes[idx].name.clone(),
+            output_enabled: enabled,
+        });
+    }
+
+    fn fire_dm(&mut self, inst: usize, idx: usize, i: usize) {
+        let now = self.instances[inst].now;
+        let base = inst * self.compiled.interner.len();
+        let n_topics = self.compiled.interner.len();
+        let modules = self.instances[inst].system.modules().len();
+        let before = self.instances[inst].system.modules()[i].mode();
+        let mut entries = std::mem::take(&mut self.out_scratch);
+        entries.clear();
+        {
+            let node = &self.compiled.nodes[idx];
+            let view = SlotView::new(
+                &node.sub_names,
+                &node.sub_ids,
+                &self.slots[base..base + n_topics],
+            );
+            let mut writer =
+                TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
+            self.instances[inst].system.modules_mut()[i]
+                .dm_mut()
+                .step(now, &view, &mut writer);
+        }
+        self.out_scratch = entries;
+        let after = self.instances[inst].system.modules()[i].mode();
+        // DM-STEP: rewrite this instance's OE entries of the module's
+        // controllers (AC block at `modules`, SC block at `2 * modules`).
+        let cal = inst * self.compiled.nodes.len();
+        self.oe[cal + modules + i] = after == Mode::Ac;
+        self.oe[cal + 2 * modules + i] = after == Mode::Sc;
+        self.instances[inst].trace.record(TraceEvent::NodeFired {
+            time: now,
+            node: self.compiled.nodes[idx].name.clone(),
+            output_enabled: true,
+        });
+        if before != after {
+            self.instances[inst].trace.record(TraceEvent::ModeSwitch {
+                time: now,
+                module: self.compiled.module_names[i].clone(),
+                from: before,
+                to: after,
+            });
+        }
+        if self.instances[inst].monitor_invariants {
+            let node = &self.compiled.nodes[idx];
+            let view = SlotView::new(
+                &node.sub_names,
+                &node.sub_ids,
+                &self.slots[base..base + n_topics],
+            );
+            let instance = &mut self.instances[inst];
+            let status = instance.monitors[i].check(now, after, &view);
+            if !status.holds() {
+                instance.trace.record(TraceEvent::InvariantViolation {
+                    time: now,
+                    module: self.compiled.module_names[i].clone(),
+                    mode: after,
+                });
+            }
+        }
+    }
+}
+
+/// A borrowed [`TopicRead`] over one instance's full valuation.
+pub struct InstanceView<'a> {
+    batch: &'a BatchExecutor,
+    inst: usize,
+}
+
+impl BatchExecutor {
+    /// A borrowed reader over instance `inst`'s valuation — mirrors
+    /// [`Executor::reader`].
+    ///
+    /// [`Executor::reader`]: crate::executor::Executor::reader
+    pub fn reader(&self, inst: usize) -> InstanceView<'_> {
+        InstanceView { batch: self, inst }
+    }
+}
+
+impl TopicRead for InstanceView<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        self.batch.topic(self.inst, topic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::jitter::JitterModel;
+    use crate::schedule::JitterSchedule;
+    use soter_core::node::FnNode;
+    use soter_core::prelude::*;
+
+    fn ticker_system(gain: f64) -> RtaSystem {
+        let mut acc = 0.0f64;
+        let mut sys = RtaSystem::new("ticker");
+        sys.add_node(
+            FnNode::builder("ticker")
+                .publishes(["tick"])
+                .period(Duration::from_millis(10))
+                .step(move |_, _, out| {
+                    acc += gain;
+                    out.insert("tick", Value::Float(acc));
+                })
+                .build(),
+        )
+        .unwrap();
+        sys
+    }
+
+    #[test]
+    fn batch_of_one_matches_sequential_executor() {
+        let config = ExecutorConfig::default();
+        let mut exec = Executor::with_config(ticker_system(1.0), config.clone());
+        exec.run_until(Time::from_millis(500));
+        let mut batch = BatchExecutor::new(vec![(ticker_system(1.0), config)]);
+        batch.run_all_until(Time::from_millis(500));
+        assert_eq!(batch.trace(0).digest(), exec.trace().digest());
+        assert_eq!(batch.fired_steps(0), exec.fired_steps());
+        assert_eq!(batch.topic(0, "tick"), exec.topic("tick"));
+    }
+
+    #[test]
+    fn instances_with_different_schedules_stay_partitioned() {
+        let ideal = ExecutorConfig::default();
+        let jitter = ExecutorConfig {
+            schedule: JitterModel::new(0.8, Duration::from_millis(25), 7).into(),
+            ..ExecutorConfig::default()
+        };
+        let sequential: Vec<u64> = [ideal.clone(), jitter.clone()]
+            .into_iter()
+            .map(|cfg| {
+                let mut exec = Executor::with_config(ticker_system(1.0), cfg);
+                exec.run_until(Time::from_secs_f64(2.0));
+                exec.trace().digest()
+            })
+            .collect();
+        let mut batch = BatchExecutor::new(vec![
+            (ticker_system(1.0), ideal),
+            (ticker_system(1.0), jitter),
+        ]);
+        batch.run_all_until(Time::from_secs_f64(2.0));
+        assert_eq!(batch.trace(0).digest(), sequential[0]);
+        assert_eq!(batch.trace(1).digest(), sequential[1]);
+        assert_ne!(sequential[0], sequential[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep divergence is a bug")]
+    fn divergent_shapes_are_rejected() {
+        let mut other = RtaSystem::new("other");
+        other
+            .add_node(
+                FnNode::builder("other")
+                    .publishes(["boom"])
+                    .period(Duration::from_millis(10))
+                    .step(|_, _, out| out.insert("boom", Value::Unit))
+                    .build(),
+            )
+            .unwrap();
+        BatchExecutor::new(vec![
+            (ticker_system(1.0), ExecutorConfig::default()),
+            (other, ExecutorConfig::default()),
+        ]);
+    }
+
+    #[test]
+    fn per_instance_publish_and_environment_are_isolated() {
+        let sys = |name: &str| {
+            let mut s = RtaSystem::new(name);
+            s.add_node(
+                FnNode::builder("echo")
+                    .subscribes(["input"])
+                    .publishes(["output"])
+                    .period(Duration::from_millis(20))
+                    .step(|_, inputs, out| out.insert("output", inputs.get_or_unit("input")))
+                    .build(),
+            )
+            .unwrap();
+            s
+        };
+        let mut batch = BatchExecutor::new(vec![
+            (sys("a"), ExecutorConfig::default()),
+            (sys("b"), ExecutorConfig::default()),
+        ]);
+        batch.publish(0, "input", Value::Int(1));
+        batch.publish(1, "input", Value::Int(2));
+        batch.run_all_until(Time::from_millis(100));
+        assert_eq!(batch.topic(0, "output"), Some(&Value::Int(1)));
+        assert_eq!(batch.topic(1, "output"), Some(&Value::Int(2)));
+        assert_eq!(batch.reader(1).get("output"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn schedule_enum_variants_match_sequential_digests() {
+        let schedules = [
+            JitterSchedule::Ideal,
+            JitterSchedule::Iid(JitterModel::new(0.5, Duration::from_millis(15), 3)),
+        ];
+        for schedule in schedules {
+            let cfg = ExecutorConfig {
+                schedule,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::with_config(ticker_system(0.5), cfg.clone());
+            exec.run_until(Time::from_secs_f64(1.0));
+            let mut batch = BatchExecutor::new(vec![(ticker_system(0.5), cfg)]);
+            batch.run_all_until(Time::from_secs_f64(1.0));
+            assert_eq!(batch.trace(0).digest(), exec.trace().digest());
+        }
+    }
+}

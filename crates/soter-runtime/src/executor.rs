@@ -46,7 +46,7 @@
 //!   interned [`TopicName`]s, so recording is a refcount bump.
 
 use crate::schedule::{JitterSchedule, NodeId, ScheduleSampler};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEvent, TraceHasher};
 use soter_core::composition::RtaSystem;
 use soter_core::invariant::InvariantMonitor;
 use soter_core::node::Node;
@@ -55,6 +55,7 @@ use soter_core::time::{Duration, Time};
 use soter_core::topic::{
     SlotView, TopicId, TopicInterner, TopicMap, TopicName, TopicRead, TopicWriter, Value,
 };
+use std::sync::Arc;
 
 /// A source of ENVIRONMENT-INPUT transitions: values published onto the
 /// system's environment topics from outside the node system.
@@ -103,7 +104,7 @@ impl Default for ExecutorConfig {
 
 /// Identifies a node within the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NodeRef {
+pub(crate) enum NodeRef {
     /// Decision module of module `i`.
     Dm(usize),
     /// Advanced controller of module `i`.
@@ -117,83 +118,47 @@ enum NodeRef {
 /// One node's construction-time compilation: everything `fire` needs,
 /// resolved once so the firing itself touches no maps and no strings
 /// (except borrowed `&str` comparisons inside the view).
-struct CompiledNode {
-    kind: NodeRef,
-    name: TopicName,
-    period: Duration,
+pub(crate) struct CompiledNode {
+    pub(crate) kind: NodeRef,
+    pub(crate) name: TopicName,
+    pub(crate) period: Duration,
     /// Subscriptions in declaration order; parallel to `sub_ids`.
-    sub_names: Vec<TopicName>,
-    sub_ids: Vec<TopicId>,
+    pub(crate) sub_names: Vec<TopicName>,
+    pub(crate) sub_ids: Vec<TopicId>,
     /// Declared outputs in declaration order; parallel to `out_ids`.
-    out_names: Vec<TopicName>,
-    out_ids: Vec<TopicId>,
+    pub(crate) out_names: Vec<TopicName>,
+    pub(crate) out_ids: Vec<TopicId>,
 }
 
-/// Borrowed read access to the executor's entire topic valuation (every
-/// published slot plus undeclared extras) — see [`Executor::reader`].
-pub struct GlobalView<'a> {
-    exec: &'a Executor,
-}
-
-impl TopicRead for GlobalView<'_> {
-    fn get(&self, topic: &str) -> Option<&Value> {
-        self.exec.topic(topic)
-    }
-}
-
-/// A snapshot of one RTA module's mode, passed to observers.
-pub type ModeSnapshot = Vec<(String, Mode)>;
-
-type Observer = Box<dyn FnMut(Time, &TopicMap, &ModeSnapshot) + Send>;
-
-/// The discrete-event executor.
-pub struct Executor {
-    system: RtaSystem,
-    config: ExecutorConfig,
-    interner: TopicInterner,
-    /// The global valuation: one slot per interned topic, `Unit` until
-    /// first published.
-    slots: Vec<Value>,
-    /// Whether each slot has ever been published (so [`Executor::topics`]
-    /// reports exactly the topics a `TopicMap`-based valuation would hold).
-    published: Vec<bool>,
-    /// Values published on topics no node declares (one-off test inputs);
-    /// invisible to nodes, visible through [`Executor::topics`].
-    extra: TopicMap,
+/// The shareable construction-time compilation of an [`RtaSystem`]'s static
+/// shape: the topic interner, the per-node tables (interned names, resolved
+/// subscription/output ids, periods), the canonical firing order and the
+/// module-name index.
+///
+/// Compilation depends only on the system's *declarations*, never on node
+/// state, so one `CompiledSystem` behind an [`Arc`] can back any number of
+/// executors over structurally identical systems — this is what
+/// [`crate::batch::BatchExecutor`] shares across its instances instead of
+/// re-interning per instance.
+pub struct CompiledSystem {
+    pub(crate) interner: TopicInterner,
     /// All nodes in canonical firing order: DMs, then ACs, then SCs (module
     /// order within each block), then free nodes.
-    nodes: Vec<CompiledNode>,
-    /// The calendar: the next due instant of each node.
-    next_due: Vec<Time>,
-    /// The OE map, indexed like `nodes` (`true` for DMs and free nodes).
-    oe: Vec<bool>,
+    pub(crate) nodes: Vec<CompiledNode>,
+    /// Initial OE map in node order (`true` for DMs, SCs and free nodes).
+    pub(crate) initial_oe: Vec<bool>,
     /// Interned module names, in module order.
-    module_names: Vec<TopicName>,
-    /// `(module name, module index)` sorted by name, for O(log n)
-    /// [`Executor::module_mode`].
-    module_lookup: Vec<(TopicName, usize)>,
-    now: Time,
-    trace: Trace,
-    monitors: Vec<InvariantMonitor>,
-    environment: Option<Box<dyn EnvironmentModel>>,
-    sampler: Box<dyn ScheduleSampler>,
-    observers: Vec<Observer>,
-    fired_steps: u64,
-    /// Scratch: indices of the nodes firing at the current instant.
-    fireable_scratch: Vec<u32>,
-    /// Scratch: output entries of the node currently firing.
-    out_scratch: Vec<(u32, Value)>,
+    pub(crate) module_names: Vec<TopicName>,
+    /// `(module name, module index)` sorted by name, for O(log n) mode
+    /// lookups by name.
+    pub(crate) module_lookup: Vec<(TopicName, usize)>,
+    fingerprint: u64,
 }
 
-impl Executor {
-    /// Creates an executor with the default configuration.
-    pub fn new(system: RtaSystem) -> Self {
-        Executor::with_config(system, ExecutorConfig::default())
-    }
-
-    /// Creates an executor with an explicit configuration.  All interning
-    /// and per-node compilation happens here, once.
-    pub fn with_config(system: RtaSystem, config: ExecutorConfig) -> Self {
+impl CompiledSystem {
+    /// Compiles a system's static shape.  All interning and id resolution
+    /// happens here, once.
+    pub fn compile(system: &RtaSystem) -> Self {
         let infos = system.all_node_infos();
         let interner = TopicInterner::new(
             infos
@@ -218,38 +183,190 @@ impl Executor {
             }
         };
         let mut nodes = Vec::new();
-        let mut oe = Vec::new();
-        let mut monitors = Vec::new();
+        let mut initial_oe = Vec::new();
         let mut module_names = Vec::new();
         // Canonical order: all DMs, then all ACs, then all SCs, then the
         // free nodes — the firing order of simultaneously scheduled nodes.
         for (i, m) in system.modules().iter().enumerate() {
             nodes.push(compile(NodeRef::Dm(i), &m.dm().info()));
-            oe.push(true);
-            monitors.push(InvariantMonitor::new(m.name(), m.oracle(), m.delta()));
+            initial_oe.push(true);
             module_names.push(TopicName::new(m.name()));
         }
         for (i, m) in system.modules().iter().enumerate() {
             nodes.push(compile(NodeRef::Ac(i), &m.ac().info()));
             // Initial configuration: every module starts in SC mode, so the
             // SC output is enabled and the AC output disabled.
-            oe.push(false);
+            initial_oe.push(false);
         }
         for (i, m) in system.modules().iter().enumerate() {
             nodes.push(compile(NodeRef::Sc(i), &m.sc().info()));
-            oe.push(true);
+            initial_oe.push(true);
         }
         for (i, n) in system.free_nodes().iter().enumerate() {
             nodes.push(compile(NodeRef::Free(i), &n.info()));
-            oe.push(true);
+            initial_oe.push(true);
         }
-        let next_due: Vec<Time> = nodes.iter().map(|n| Time::ZERO + n.period).collect();
         let mut module_lookup: Vec<(TopicName, usize)> = module_names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.clone(), i))
             .collect();
         module_lookup.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hasher = TraceHasher::new();
+        hasher.write_u64(module_names.len() as u64);
+        for n in &module_names {
+            hasher.write_str(n.as_str());
+        }
+        hasher.write_u64(nodes.len() as u64);
+        for node in &nodes {
+            let (tag, i) = match node.kind {
+                NodeRef::Dm(i) => (0u8, i),
+                NodeRef::Ac(i) => (1, i),
+                NodeRef::Sc(i) => (2, i),
+                NodeRef::Free(i) => (3, i),
+            };
+            hasher
+                .write_u8(tag)
+                .write_u64(i as u64)
+                .write_str(node.name.as_str())
+                .write_u64(node.period.as_micros());
+            hasher.write_u64(node.sub_names.len() as u64);
+            for s in &node.sub_names {
+                hasher.write_str(s.as_str());
+            }
+            hasher.write_u64(node.out_names.len() as u64);
+            for o in &node.out_names {
+                hasher.write_str(o.as_str());
+            }
+        }
+        let fingerprint = hasher.finish();
+        CompiledSystem {
+            interner,
+            nodes,
+            initial_oe,
+            module_names,
+            module_lookup,
+            fingerprint,
+        }
+    }
+
+    /// A structural fingerprint of the compiled shape (node order, names,
+    /// periods, topic wiring).  Two systems may share a compilation **iff**
+    /// their fingerprints agree; [`crate::batch::BatchExecutor`] asserts
+    /// this for every instance — lockstep divergence is a bug, never a
+    /// tolerated drift.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of compiled nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of interned topics.
+    pub fn topic_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The initial calendar: every node first due one period after zero.
+    pub(crate) fn initial_next_due(&self) -> Vec<Time> {
+        self.nodes.iter().map(|n| Time::ZERO + n.period).collect()
+    }
+
+    /// The Theorem 3.1 monitors for a concrete instance of this shape
+    /// (monitors are stateful, hence per-instance rather than compiled).
+    pub(crate) fn monitors_for(system: &RtaSystem) -> Vec<InvariantMonitor> {
+        system
+            .modules()
+            .iter()
+            .map(|m| InvariantMonitor::new(m.name(), m.oracle(), m.delta()))
+            .collect()
+    }
+}
+
+/// Borrowed read access to the executor's entire topic valuation (every
+/// published slot plus undeclared extras) — see [`Executor::reader`].
+pub struct GlobalView<'a> {
+    exec: &'a Executor,
+}
+
+impl TopicRead for GlobalView<'_> {
+    fn get(&self, topic: &str) -> Option<&Value> {
+        self.exec.topic(topic)
+    }
+}
+
+/// A snapshot of one RTA module's mode, passed to observers.
+pub type ModeSnapshot = Vec<(String, Mode)>;
+
+type Observer = Box<dyn FnMut(Time, &TopicMap, &ModeSnapshot) + Send>;
+
+/// The discrete-event executor.
+pub struct Executor {
+    system: RtaSystem,
+    config: ExecutorConfig,
+    /// The shared static shape: interner, node tables, firing order.
+    compiled: Arc<CompiledSystem>,
+    /// The global valuation: one slot per interned topic, `Unit` until
+    /// first published.
+    slots: Vec<Value>,
+    /// Whether each slot has ever been published (so [`Executor::topics`]
+    /// reports exactly the topics a `TopicMap`-based valuation would hold).
+    published: Vec<bool>,
+    /// Values published on topics no node declares (one-off test inputs);
+    /// invisible to nodes, visible through [`Executor::topics`].
+    extra: TopicMap,
+    /// The calendar: the next due instant of each node.
+    next_due: Vec<Time>,
+    /// The OE map, indexed like the compiled node table.
+    oe: Vec<bool>,
+    now: Time,
+    trace: Trace,
+    monitors: Vec<InvariantMonitor>,
+    environment: Option<Box<dyn EnvironmentModel>>,
+    sampler: Box<dyn ScheduleSampler>,
+    observers: Vec<Observer>,
+    fired_steps: u64,
+    /// Scratch: indices of the nodes firing at the current instant.
+    fireable_scratch: Vec<u32>,
+    /// Scratch: output entries of the node currently firing.
+    out_scratch: Vec<(u32, Value)>,
+}
+
+impl Executor {
+    /// Creates an executor with the default configuration.
+    pub fn new(system: RtaSystem) -> Self {
+        Executor::with_config(system, ExecutorConfig::default())
+    }
+
+    /// Creates an executor with an explicit configuration.  All interning
+    /// and per-node compilation happens here, once.
+    pub fn with_config(system: RtaSystem, config: ExecutorConfig) -> Self {
+        let compiled = Arc::new(CompiledSystem::compile(&system));
+        Executor::with_compiled(system, config, compiled)
+    }
+
+    /// Creates an executor over an already-compiled shape, sharing it with
+    /// other executors instead of re-interning.  The system must have the
+    /// compilation's exact structural [`CompiledSystem::fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, where the recheck costs nothing we care
+    /// about) if `system`'s shape differs from `compiled` — a divergent
+    /// instance in a shared compilation is a bug, never tolerated drift.
+    pub fn with_compiled(
+        system: RtaSystem,
+        config: ExecutorConfig,
+        compiled: Arc<CompiledSystem>,
+    ) -> Self {
+        debug_assert_eq!(
+            CompiledSystem::compile(&system).fingerprint(),
+            compiled.fingerprint(),
+            "system shape must match the shared compilation"
+        );
+        let monitors = CompiledSystem::monitors_for(&system);
         let trace = if config.record_trace {
             Trace::new()
         } else {
@@ -257,17 +374,14 @@ impl Executor {
         };
         let sampler = config.schedule.sampler();
         Executor {
-            slots: vec![Value::Unit; interner.len()],
-            published: vec![false; interner.len()],
+            slots: vec![Value::Unit; compiled.interner.len()],
+            published: vec![false; compiled.interner.len()],
             extra: TopicMap::new(),
-            interner,
             system,
             config,
-            nodes,
-            next_due,
-            oe,
-            module_names,
-            module_lookup,
+            next_due: compiled.initial_next_due(),
+            oe: compiled.initial_oe.clone(),
+            compiled,
             now: Time::ZERO,
             trace,
             monitors,
@@ -278,6 +392,11 @@ impl Executor {
             fireable_scratch: Vec::new(),
             out_scratch: Vec::new(),
         }
+    }
+
+    /// The shared compiled shape backing this executor.
+    pub fn compiled(&self) -> &Arc<CompiledSystem> {
+        &self.compiled
     }
 
     /// Replaces the schedule sampler (e.g. with a custom
@@ -318,7 +437,7 @@ impl Executor {
     }
 
     fn set_topic(&mut self, topic: TopicName, value: Value) {
-        match self.interner.id(topic.as_str()) {
+        match self.compiled.interner.id(topic.as_str()) {
             Some(id) => {
                 self.slots[id.index()] = value;
                 self.published[id.index()] = true;
@@ -341,7 +460,7 @@ impl Executor {
     /// [`Executor::topic`] for cheap single-topic reads in loops.
     pub fn topics(&self) -> TopicMap {
         let mut map = self.extra.clone();
-        for (id, name) in self.interner.iter() {
+        for (id, name) in self.compiled.interner.iter() {
             if self.published[id.index()] {
                 map.insert(name.clone(), self.slots[id.index()].clone());
             }
@@ -352,7 +471,7 @@ impl Executor {
     /// Reads one topic of the global valuation without materialising a map
     /// (`None` if nothing was ever published on it).
     pub fn topic(&self, name: &str) -> Option<&Value> {
-        match self.interner.id(name) {
+        match self.compiled.interner.id(name) {
             Some(id) => self.published[id.index()].then(|| &self.slots[id.index()]),
             None => self.extra.get(name),
         }
@@ -396,10 +515,11 @@ impl Executor {
     /// The mode of a module by name, if it exists (O(log n) via the
     /// construction-time name index).
     pub fn module_mode(&self, name: &str) -> Option<Mode> {
-        self.module_lookup
+        self.compiled
+            .module_lookup
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
-            .map(|i| self.system.modules()[self.module_lookup[i].1].mode())
+            .map(|i| self.system.modules()[self.compiled.module_lookup[i].1].mode())
     }
 
     /// The modes of all modules, in module order.
@@ -414,7 +534,7 @@ impl Executor {
     /// Whether a node's output is currently enabled (controllers only; free
     /// nodes and DMs are not in the OE map).
     pub fn output_enabled(&self, node: &str) -> Option<bool> {
-        self.nodes.iter().enumerate().find_map(|(i, n)| {
+        self.compiled.nodes.iter().enumerate().find_map(|(i, n)| {
             (matches!(n.kind, NodeRef::Ac(_) | NodeRef::Sc(_)) && n.name == node)
                 .then(|| self.oe[i])
         })
@@ -461,7 +581,7 @@ impl Executor {
         while !fireable.is_empty() {
             let names: Vec<&str> = fireable
                 .iter()
-                .map(|&i| self.nodes[i as usize].name.as_str())
+                .map(|&i| self.compiled.nodes[i as usize].name.as_str())
                 .collect();
             let mut idx = chooser(&names);
             if idx >= fireable.len() {
@@ -532,15 +652,17 @@ impl Executor {
     }
 
     fn reschedule(&mut self, idx: usize) {
-        let delay = self
-            .sampler
-            .delay(NodeId(idx as u32), self.nodes[idx].name.as_str(), self.now);
-        self.next_due[idx] = self.now + self.nodes[idx].period + delay;
+        let delay = self.sampler.delay(
+            NodeId(idx as u32),
+            self.compiled.nodes[idx].name.as_str(),
+            self.now,
+        );
+        self.next_due[idx] = self.now + self.compiled.nodes[idx].period + delay;
     }
 
     fn fire(&mut self, idx: usize) {
         self.fired_steps += 1;
-        if let NodeRef::Dm(i) = self.nodes[idx].kind {
+        if let NodeRef::Dm(i) = self.compiled.nodes[idx].kind {
             self.fire_dm(idx, i);
             return;
         }
@@ -551,7 +673,7 @@ impl Executor {
         let mut entries = std::mem::take(&mut self.out_scratch);
         entries.clear();
         {
-            let node = &self.nodes[idx];
+            let node = &self.compiled.nodes[idx];
             let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
             let mut writer =
                 TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
@@ -573,7 +695,7 @@ impl Executor {
         let enabled = self.oe[idx];
         if enabled {
             // `out ∪ Topics[T \ dom(out)]`: later writes win, like a map.
-            let node = &self.nodes[idx];
+            let node = &self.compiled.nodes[idx];
             for (local, value) in entries.drain(..) {
                 let slot = node.out_ids[local as usize].index();
                 self.slots[slot] = value;
@@ -585,7 +707,7 @@ impl Executor {
         self.out_scratch = entries;
         self.trace.record(TraceEvent::NodeFired {
             time: now,
-            node: self.nodes[idx].name.clone(),
+            node: self.compiled.nodes[idx].name.clone(),
             output_enabled: enabled,
         });
     }
@@ -597,7 +719,7 @@ impl Executor {
         let mut entries = std::mem::take(&mut self.out_scratch);
         entries.clear();
         {
-            let node = &self.nodes[idx];
+            let node = &self.compiled.nodes[idx];
             let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
             let mut writer =
                 TopicWriter::new(node.name.as_str(), now, &node.out_names, &mut entries);
@@ -613,25 +735,25 @@ impl Executor {
         self.oe[2 * modules + i] = after == Mode::Sc;
         self.trace.record(TraceEvent::NodeFired {
             time: now,
-            node: self.nodes[idx].name.clone(),
+            node: self.compiled.nodes[idx].name.clone(),
             output_enabled: true,
         });
         if before != after {
             self.trace.record(TraceEvent::ModeSwitch {
                 time: now,
-                module: self.module_names[i].clone(),
+                module: self.compiled.module_names[i].clone(),
                 from: before,
                 to: after,
             });
         }
         if self.config.monitor_invariants {
-            let node = &self.nodes[idx];
+            let node = &self.compiled.nodes[idx];
             let view = SlotView::new(&node.sub_names, &node.sub_ids, &self.slots);
             let status = self.monitors[i].check(now, after, &view);
             if !status.holds() {
                 self.trace.record(TraceEvent::InvariantViolation {
                     time: now,
-                    module: self.module_names[i].clone(),
+                    module: self.compiled.module_names[i].clone(),
                     mode: after,
                 });
             }

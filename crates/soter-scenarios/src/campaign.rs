@@ -19,9 +19,10 @@
 //!   each record carries its matrix index for deterministic reassembly.
 //!   Dropping the stream early cancels all outstanding work.
 
-use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::runner::{run_scenario_batch, run_scenario_cached, ScenarioOutcome};
 use crate::spec::Scenario;
 use serde::{Deserialize, Serialize};
+use soter_plan::cache::PlanCache;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -53,6 +54,8 @@ pub struct Campaign {
     seeds: Vec<u64>,
     workers: usize,
     channel_capacity: Option<usize>,
+    batch: usize,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Campaign {
@@ -64,6 +67,8 @@ impl Campaign {
             seeds: Vec::new(),
             workers: 1,
             channel_capacity: None,
+            batch: 1,
+            plan_cache: None,
         }
     }
 
@@ -86,6 +91,28 @@ impl Campaign {
     /// memory when the consumer is slower than the workers.
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Sets the lockstep batch width (clamped to at least 1).  Each worker
+    /// claims up to `batch` jobs at a time and evaluates them through
+    /// [`run_scenario_batch`], which steps same-shape scenarios in lockstep
+    /// over one shared compilation.  Records are byte-identical to the
+    /// unbatched campaign whatever the width (pinned by
+    /// `tests/batch_equivalence.rs`), so batching is purely a throughput
+    /// knob.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Shares one planner-query cache across every run of the campaign
+    /// (see `soter_plan::cache`).  The cache replays exact query
+    /// histories, so records — digests included — are byte-identical with
+    /// or without it; the win is that seeds repeating the same RRT*/A*
+    /// queries stop paying per-run replanning.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
         self
     }
 
@@ -191,6 +218,7 @@ impl Campaign {
             peak_buffered: Arc::new(AtomicUsize::new(0)),
             total: jobs.len(),
         };
+        let batch = self.batch.max(1);
         let handles = (0..workers)
             .map(|w| {
                 let jobs = Arc::clone(&jobs);
@@ -199,8 +227,19 @@ impl Campaign {
                 let cancel = Arc::clone(&cancel);
                 let panic_slot = Arc::clone(&panic_slot);
                 let progress = progress.clone();
+                let cache = self.plan_cache.clone();
                 std::thread::spawn(move || {
-                    worker_loop(w, &jobs, &queues, &tx, &cancel, &panic_slot, &progress)
+                    worker_loop(
+                        w,
+                        &jobs,
+                        &queues,
+                        &tx,
+                        &cancel,
+                        &panic_slot,
+                        &progress,
+                        batch,
+                        cache.as_ref(),
+                    )
                 })
             })
             .collect();
@@ -216,10 +255,16 @@ impl Campaign {
 }
 
 /// One worker: drain the own deque front-to-back, then steal from peers
-/// back-to-front, stopping as soon as the consumer went away.  A panic in
-/// a job is caught, recorded in `panic_slot` and re-raised on the
-/// consumer's side when the stream drains (workers are detached threads,
-/// so an unobserved panic would otherwise silently truncate the stream).
+/// back-to-front, stopping as soon as the consumer went away.  With a
+/// batch width above 1 a worker claims up to `batch` jobs at a time and
+/// evaluates the whole chunk in lockstep through [`run_scenario_batch`];
+/// the chunk's records are sent one by one, so the buffered-record
+/// accounting is unchanged.  A panic in a job is caught, recorded in
+/// `panic_slot` and re-raised on the consumer's side when the stream
+/// drains (workers are detached threads, so an unobserved panic would
+/// otherwise silently truncate the stream); a panic inside a lockstep
+/// chunk is attributed to the chunk's first job.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     own: usize,
     jobs: &[Scenario],
@@ -228,53 +273,97 @@ fn worker_loop(
     cancel: &AtomicBool,
     panic_slot: &Mutex<Option<String>>,
     progress: &CampaignProgress,
+    batch: usize,
+    cache: Option<&Arc<PlanCache>>,
 ) {
-    let next_job = || -> Option<usize> {
-        if let Some(i) = queues[own].lock().expect("queue lock").pop_front() {
-            return Some(i);
-        }
-        for offset in 1..queues.len() {
-            let victim = (own + offset) % queues.len();
-            if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
-                return Some(i);
+    // Claim up to `batch` jobs: the front of the own deque first, else the
+    // back of the first peer deque that has any.  A chunk never mixes the
+    // two sources — stealing a victim's whole tail would defeat the point
+    // of work-stealing.
+    let next_chunk = || -> Vec<usize> {
+        let mut chunk = Vec::new();
+        {
+            let mut own_queue = queues[own].lock().expect("queue lock");
+            while chunk.len() < batch {
+                match own_queue.pop_front() {
+                    Some(i) => chunk.push(i),
+                    None => break,
+                }
             }
         }
-        None
+        if chunk.is_empty() {
+            for offset in 1..queues.len() {
+                let victim = (own + offset) % queues.len();
+                let mut victim_queue = queues[victim].lock().expect("queue lock");
+                while chunk.len() < batch {
+                    match victim_queue.pop_back() {
+                        Some(i) => chunk.push(i),
+                        None => break,
+                    }
+                }
+                if !chunk.is_empty() {
+                    break;
+                }
+            }
+        }
+        chunk
     };
     loop {
         if cancel.load(Ordering::Relaxed) {
             break;
         }
-        let Some(index) = next_job() else { break };
-        let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            RunRecord::from_outcome(&run_scenario(&jobs[index]))
+        let chunk = next_chunk();
+        if chunk.is_empty() {
+            break;
+        }
+        let records = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if chunk.len() == 1 {
+                vec![RunRecord::from_outcome(&run_scenario_cached(
+                    &jobs[chunk[0]],
+                    cache,
+                ))]
+            } else {
+                let scenarios: Vec<Scenario> = chunk.iter().map(|&i| jobs[i].clone()).collect();
+                run_scenario_batch(&scenarios, cache)
+                    .iter()
+                    .map(RunRecord::from_outcome)
+                    .collect()
+            }
         }));
-        let record = match record {
-            Ok(record) => record,
+        let records = match records {
+            Ok(records) => records,
             Err(payload) => {
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic payload".into());
+                let index = chunk[0];
                 let mut slot = panic_slot.lock().expect("panic slot lock");
                 slot.get_or_insert(format!("job #{index} (`{}`): {message}", jobs[index].name));
                 cancel.store(true, Ordering::Relaxed);
                 break;
             }
         };
-        progress.executed.fetch_add(1, Ordering::Relaxed);
-        let buffered = progress.buffered.fetch_add(1, Ordering::Relaxed) + 1;
-        progress
-            .peak_buffered
-            .fetch_max(buffered, Ordering::Relaxed);
-        if tx.send(CampaignRecord { index, record }).is_err() {
-            // The consumer dropped the stream: the record was never
-            // buffered, so roll the accounting back before cancelling
-            // everyone — otherwise `buffered` leaks one count per worker
-            // on every cancellation.
-            progress.buffered.fetch_sub(1, Ordering::Relaxed);
-            cancel.store(true, Ordering::Relaxed);
+        let mut cancelled = false;
+        for (&index, record) in chunk.iter().zip(records) {
+            progress.executed.fetch_add(1, Ordering::Relaxed);
+            let buffered = progress.buffered.fetch_add(1, Ordering::Relaxed) + 1;
+            progress
+                .peak_buffered
+                .fetch_max(buffered, Ordering::Relaxed);
+            if tx.send(CampaignRecord { index, record }).is_err() {
+                // The consumer dropped the stream: the record was never
+                // buffered, so roll the accounting back before cancelling
+                // everyone — otherwise `buffered` leaks one count per
+                // worker on every cancellation.
+                progress.buffered.fetch_sub(1, Ordering::Relaxed);
+                cancel.store(true, Ordering::Relaxed);
+                cancelled = true;
+                break;
+            }
+        }
+        if cancelled {
             break;
         }
     }
@@ -739,6 +828,32 @@ mod tests {
         assert!(stats.iter().all(|s| s.runs == 2));
         assert_eq!(stats[0].scenario, "s000");
         assert_eq!(stats[511].scenario, "s511");
+    }
+
+    /// Batched lockstep evaluation is purely a throughput knob: records
+    /// (digests included) must be byte-identical to the unbatched
+    /// campaign, with and without a shared planner cache, whatever the
+    /// worker count.
+    #[test]
+    fn batched_campaign_records_match_unbatched_byte_for_byte() {
+        let scenarios = vec![tiny_scenario("batched")];
+        let unbatched = Campaign::new(scenarios.clone())
+            .with_seeds([1, 2, 3, 4])
+            .with_workers(1)
+            .run();
+        let batched = Campaign::new(scenarios.clone())
+            .with_seeds([1, 2, 3, 4])
+            .with_workers(1)
+            .with_batch(4)
+            .run();
+        assert_eq!(unbatched.records, batched.records);
+        let cached = Campaign::new(scenarios)
+            .with_seeds([1, 2, 3, 4])
+            .with_workers(2)
+            .with_batch(2)
+            .with_plan_cache(Arc::new(soter_plan::cache::PlanCache::new()))
+            .run();
+        assert_eq!(unbatched.records, cached.records);
     }
 
     #[test]

@@ -16,7 +16,15 @@
 //!    best candidate so far, scored lexicographically by
 //!    (φ_safe + φ_sep violations, Theorem 3.1 monitor violations, mode
 //!    switches): monitor violations are near-misses of the inductive
-//!    invariant and give the search a gradient long before a crash,
+//!    invariant and give the search a gradient long before a crash.  With
+//!    [`FalsifierConfig::gradient`] set, perturbation rounds instead probe
+//!    the incumbent with *deterministic* finite-difference moves over the
+//!    [`ScheduleSpace`] parameters (window start shifted by ±horizon/16,
+//!    width and delay halved and doubled) and adopt the best improving
+//!    probe; a flat sensitivity signal (every probe scores exactly the
+//!    incumbent) falls back to a fresh random restart.  Probe rounds
+//!    consume no falsifier RNG, so the random-restart stream is identical
+//!    in both modes,
 //! 3. **Shrinking** — a violating schedule is minimised (narrower window,
 //!    smaller delay, burst narrowed to a single node) while it still
 //!    violates, and returned as a [`Counterexample`] that can be persisted
@@ -35,9 +43,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use soter_core::time::{Duration, Time};
+use soter_plan::cache::PlanCache;
 use soter_runtime::schedule::{JitterSchedule, RecordedDelay, RecordedSchedule};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The parameter space candidate schedules are drawn from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +114,18 @@ pub struct FalsifierConfig {
     pub workers: usize,
     /// Falsifier RNG seed (candidate generation is deterministic per seed).
     pub seed: u64,
+    /// Lockstep batch width for candidate evaluation (see
+    /// [`Campaign::with_batch`]).  Purely a throughput knob: candidate
+    /// generation never consults it, and lockstep records are
+    /// byte-identical to sequential ones, so reports are byte-identical
+    /// whatever the width (pinned by `tests/falsify_gradient.rs`).
+    pub batch: usize,
+    /// Replace RNG-driven local-search perturbation with deterministic
+    /// finite-difference probes of the incumbent (see [`SearchMove`]).
+    /// Restart rounds are unchanged and probe rounds consume no RNG, so a
+    /// search that violates during a restart round — like the pinned
+    /// `sc_starvation` counterexample — is byte-identical in both modes.
+    pub gradient: bool,
 }
 
 impl Default for FalsifierConfig {
@@ -114,8 +136,43 @@ impl Default for FalsifierConfig {
             neighbours: 4,
             workers: 4,
             seed: 0,
+            batch: 1,
+            gradient: false,
         }
     }
+}
+
+/// What a search round did, for determinism pinning and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMove {
+    /// Random-restart round: no incumbent, `restarts` fresh candidates.
+    Restart,
+    /// RNG-driven local-search round: `neighbours` perturbations of the
+    /// incumbent plus one fresh random candidate.
+    Neighbourhood,
+    /// Gradient probe round that adopted the best strictly-improving
+    /// probe as the new incumbent.
+    Ascent,
+    /// Gradient probe round where every probe scored *exactly* the
+    /// incumbent — the sensitivity signal is flat, so the incumbent is
+    /// dropped and the next round is a fresh random restart.
+    FlatRestart,
+    /// Gradient probe round where probes moved the score but none
+    /// improved on the incumbent (a local maximum) — also falls back to a
+    /// random restart.
+    LocalMax,
+}
+
+/// One search round's move with the schedule evaluations it spent.  The
+/// per-round evaluation count is what pins the incumbent-caching fix: a
+/// local-search round evaluates exactly its candidates, never the
+/// incumbent again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchRound {
+    /// The move the round took.
+    pub action: SearchMove,
+    /// Schedule evaluations the round spent.
+    pub evaluations: usize,
 }
 
 /// A minimal violating schedule, with the run it provokes.
@@ -148,6 +205,8 @@ pub struct FalsifyReport {
     /// The best (highest-scoring) non-shrunk candidate seen, for
     /// diagnosing searches that stay violation-free.
     pub best: Option<(JitterSchedule, RunRecord)>,
+    /// One entry per search round, in order (shrinking is not a round).
+    pub moves: Vec<SearchRound>,
 }
 
 impl FalsifyReport {
@@ -203,6 +262,11 @@ pub struct Falsifier {
     base: Scenario,
     space: ScheduleSpace,
     config: FalsifierConfig,
+    /// Planner-query cache shared across every evaluation of this
+    /// falsifier: candidate schedules repeat the base scenario's RRT*/A*
+    /// queries, so a warm cache is what makes batched evaluation
+    /// planner-free.  Replay is exact, so records are unaffected.
+    cache: Arc<PlanCache>,
 }
 
 impl Falsifier {
@@ -240,6 +304,7 @@ impl Falsifier {
             base: scenario,
             space,
             config,
+            cache: Arc::new(PlanCache::new()),
         }
     }
 
@@ -260,6 +325,8 @@ impl Falsifier {
         let scenarios: Vec<Scenario> = schedules.iter().map(|s| self.candidate(s)).collect();
         let stream = Campaign::new(scenarios)
             .with_workers(self.config.workers)
+            .with_batch(self.config.batch)
+            .with_plan_cache(Arc::clone(&self.cache))
             .stream();
         let total = stream.progress().total();
         let mut slots: Vec<Option<RunRecord>> = (0..total).map(|_| None).collect();
@@ -383,6 +450,129 @@ impl Falsifier {
         }
     }
 
+    /// Deterministic finite-difference probes of an incumbent, one
+    /// `ScheduleSpace` parameter perturbed per probe: window start (or
+    /// phase offset) shifted by ±horizon/16, width halved and doubled,
+    /// delay halved and doubled, each clamped to the space bounds.  The
+    /// probe list is a pure function of the incumbent — gradient rounds
+    /// consume no falsifier RNG, so the random-restart stream is
+    /// byte-identical whatever mixture of probe and restart rounds
+    /// precedes it.  Families without windowed parameters return no
+    /// probes (the caller falls back to a restart).
+    fn probes(&self, incumbent: &JitterSchedule) -> Vec<JitterSchedule> {
+        let horizon_us = (self.space.horizon * 1e6) as u64;
+        let step = (horizon_us / 16).max(1);
+        let clamp_delay = |us: u64| {
+            Duration::from_micros(us.clamp(
+                self.space.min_delay.as_micros(),
+                self.space.max_delay.as_micros(),
+            ))
+        };
+        let clamp_width =
+            |us: u64| Duration::from_micros(us.clamp(1, self.space.max_width.as_micros().max(1)));
+        let mut out = Vec::new();
+        match incumbent {
+            JitterSchedule::TargetedNode {
+                node,
+                start,
+                width,
+                delay,
+            } => {
+                let s = start.as_micros();
+                for s2 in [s.saturating_sub(step), (s + step).min(horizon_us)] {
+                    out.push(JitterSchedule::TargetedNode {
+                        node: node.clone(),
+                        start: Time::from_micros(s2),
+                        width: *width,
+                        delay: *delay,
+                    });
+                }
+                for w2 in [width.as_micros() / 2, width.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::TargetedNode {
+                        node: node.clone(),
+                        start: *start,
+                        width: clamp_width(w2),
+                        delay: *delay,
+                    });
+                }
+                for d2 in [delay.as_micros() / 2, delay.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::TargetedNode {
+                        node: node.clone(),
+                        start: *start,
+                        width: *width,
+                        delay: clamp_delay(d2),
+                    });
+                }
+            }
+            JitterSchedule::Burst {
+                start,
+                width,
+                delay,
+            } => {
+                let s = start.as_micros();
+                for s2 in [s.saturating_sub(step), (s + step).min(horizon_us)] {
+                    out.push(JitterSchedule::Burst {
+                        start: Time::from_micros(s2),
+                        width: *width,
+                        delay: *delay,
+                    });
+                }
+                for w2 in [width.as_micros() / 2, width.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::Burst {
+                        start: *start,
+                        width: clamp_width(w2),
+                        delay: *delay,
+                    });
+                }
+                for d2 in [delay.as_micros() / 2, delay.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::Burst {
+                        start: *start,
+                        width: *width,
+                        delay: clamp_delay(d2),
+                    });
+                }
+            }
+            JitterSchedule::PhaseLocked {
+                period,
+                offset,
+                width,
+                delay,
+            } => {
+                let phase_step = (period.as_micros() / 8).max(1);
+                let wrap = period.as_micros().max(1);
+                for o2 in [
+                    (offset.as_micros() + wrap - (phase_step % wrap)) % wrap,
+                    (offset.as_micros() + phase_step) % wrap,
+                ] {
+                    out.push(JitterSchedule::PhaseLocked {
+                        period: *period,
+                        offset: Duration::from_micros(o2),
+                        width: *width,
+                        delay: *delay,
+                    });
+                }
+                for w2 in [width.as_micros() / 2, width.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::PhaseLocked {
+                        period: *period,
+                        offset: *offset,
+                        width: clamp_width(w2.min(period.as_micros())),
+                        delay: *delay,
+                    });
+                }
+                for d2 in [delay.as_micros() / 2, delay.as_micros().saturating_mul(2)] {
+                    out.push(JitterSchedule::PhaseLocked {
+                        period: *period,
+                        offset: *offset,
+                        width: *width,
+                        delay: clamp_delay(d2),
+                    });
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
     /// The width/delay shrink ladder shared by every windowed family:
     /// aggressive first (halved) then gentler (3/4 trims), with narrowed
     /// windows re-anchored at the left edge, then the right.  `window`
@@ -501,25 +691,51 @@ impl Falsifier {
     }
 
     /// Runs the search: random restarts, local search while nothing
-    /// violates, shrinking as soon as something does.
+    /// violates, shrinking as soon as something does.  Local-search rounds
+    /// compare candidates against the incumbent's *cached* score — the
+    /// incumbent itself is never re-evaluated (pinned by the per-round
+    /// evaluation counts in [`FalsifyReport::moves`]).
     pub fn run(&self) -> FalsifyReport {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0usize;
         let mut rounds = 0usize;
-        let mut best: Option<(JitterSchedule, RunRecord)> = None;
+        let mut moves: Vec<SearchRound> = Vec::new();
+        // The incumbent drives local search and carries its score; the
+        // best-seen candidate is what the report diagnoses with.  Without
+        // gradient probing the incumbent only ever improves, so the two
+        // stay identical; gradient mode drops a flat or locally maximal
+        // incumbent (falling back to restart) while best-seen persists.
+        let mut incumbent: Option<(JitterSchedule, RunRecord, (usize, usize, usize))> = None;
+        let mut best_seen: Option<(JitterSchedule, RunRecord, (usize, usize, usize))> = None;
         while evaluations < self.config.budget {
             rounds += 1;
             let remaining = self.config.budget - evaluations;
+            let mut action = SearchMove::Restart;
             let mut batch: Vec<JitterSchedule> = Vec::new();
-            match &best {
+            match &incumbent {
                 None => {
                     for _ in 0..self.config.restarts.max(1) {
                         batch.push(self.random_candidate(&mut rng));
                     }
                 }
-                Some((incumbent, _)) => {
+                Some((schedule, _, _)) if self.config.gradient => {
+                    action = SearchMove::Ascent; // refined after scoring
+                    batch = self.probes(schedule);
+                    if batch.is_empty() {
+                        // Unprobeable incumbent family: fall back to a
+                        // restart round without spending evaluations.
+                        moves.push(SearchRound {
+                            action: SearchMove::FlatRestart,
+                            evaluations: 0,
+                        });
+                        incumbent = None;
+                        continue;
+                    }
+                }
+                Some((schedule, _, _)) => {
+                    action = SearchMove::Neighbourhood;
                     for _ in 0..self.config.neighbours.max(1) {
-                        batch.push(self.neighbour(incumbent, &mut rng));
+                        batch.push(self.neighbour(schedule, &mut rng));
                     }
                     // Always keep one fresh restart in the mix.
                     batch.push(self.random_candidate(&mut rng));
@@ -531,6 +747,10 @@ impl Falsifier {
             // First violation in batch order wins (deterministic whatever
             // the worker schedule).
             if let Some(pos) = records.iter().position(violates) {
+                moves.push(SearchRound {
+                    action,
+                    evaluations: records.len(),
+                });
                 let found_after = evaluations;
                 let (schedule, record, shrink_steps) =
                     self.shrink(batch[pos].clone(), records[pos].clone(), &mut evaluations);
@@ -545,16 +765,70 @@ impl Falsifier {
                         evaluations: found_after,
                         shrink_steps,
                     }),
-                    best,
+                    best: best_seen.map(|(s, r, _)| (s, r)),
+                    moves,
                 };
             }
+            if action == SearchMove::Ascent {
+                // Finite-difference step: adopt the first probe with the
+                // best strictly-improving score; otherwise the signal is
+                // flat (every probe scored exactly the incumbent) or the
+                // incumbent is a local maximum — drop it either way, so
+                // the next round restarts.
+                let inc_score = incumbent
+                    .as_ref()
+                    .map(|(_, _, s)| *s)
+                    .expect("probe rounds have an incumbent");
+                let mut adopt: Option<(usize, (usize, usize, usize))> = None;
+                let mut flat = true;
+                for (i, record) in records.iter().enumerate() {
+                    let s = score(record);
+                    if s != inc_score {
+                        flat = false;
+                    }
+                    if s > inc_score && adopt.map(|(_, b)| s > b).unwrap_or(true) {
+                        adopt = Some((i, s));
+                    }
+                }
+                match adopt {
+                    Some((i, s)) => {
+                        incumbent = Some((batch[i].clone(), records[i].clone(), s));
+                        moves.push(SearchRound {
+                            action: SearchMove::Ascent,
+                            evaluations: records.len(),
+                        });
+                    }
+                    None => {
+                        incumbent = None;
+                        moves.push(SearchRound {
+                            action: if flat {
+                                SearchMove::FlatRestart
+                            } else {
+                                SearchMove::LocalMax
+                            },
+                            evaluations: records.len(),
+                        });
+                    }
+                }
+                for (schedule, record) in batch.iter().zip(&records) {
+                    let s = score(record);
+                    if best_seen.as_ref().map(|(_, _, b)| s > *b).unwrap_or(true) {
+                        best_seen = Some((schedule.clone(), record.clone(), s));
+                    }
+                }
+                continue;
+            }
+            moves.push(SearchRound {
+                action,
+                evaluations: records.len(),
+            });
             for (schedule, record) in batch.iter().zip(&records) {
-                let better = match &best {
-                    None => true,
-                    Some((_, b)) => score(record) > score(b),
-                };
-                if better {
-                    best = Some((schedule.clone(), record.clone()));
+                let s = score(record);
+                if incumbent.as_ref().map(|(_, _, b)| s > *b).unwrap_or(true) {
+                    incumbent = Some((schedule.clone(), record.clone(), s));
+                }
+                if best_seen.as_ref().map(|(_, _, b)| s > *b).unwrap_or(true) {
+                    best_seen = Some((schedule.clone(), record.clone(), s));
                 }
             }
         }
@@ -562,7 +836,8 @@ impl Falsifier {
             evaluations,
             rounds,
             counterexample: None,
-            best,
+            best: best_seen.map(|(s, r, _)| (s, r)),
+            moves,
         }
     }
 

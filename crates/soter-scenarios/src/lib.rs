@@ -67,7 +67,10 @@ pub mod runner;
 pub mod spec;
 
 pub use campaign::{Campaign, CampaignReport, CampaignStream, RunRecord};
-pub use falsify::{Counterexample, Falsifier, FalsifierConfig, FalsifyReport, ScheduleSpace};
+pub use falsify::{
+    Counterexample, Falsifier, FalsifierConfig, FalsifyReport, ScheduleSpace, SearchMove,
+    SearchRound,
+};
 pub use fleet::FleetOutcome;
 pub use golden::{bless, verify_against_golden, GoldenError};
 pub use runner::{run_scenario, RunOutcome, ScenarioOutcome};

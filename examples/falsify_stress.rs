@@ -49,6 +49,7 @@ fn main() {
             neighbours: 4,
             workers: 4,
             seed: 7,
+            ..FalsifierConfig::default()
         },
     );
     let report = falsifier.run();

@@ -1,0 +1,173 @@
+//! Differential proof that batched lockstep execution is byte-identical to
+//! sequential execution, per instance — the pinning suite of the
+//! `BatchExecutor` tentpole.
+//!
+//! Three angles:
+//!
+//! * the whole pinned catalog suite runs through the campaign engine at
+//!   batch widths 1, 4 and 16 crossed with 1 and 4 workers, and every
+//!   record — digest, monitor verdicts, mode switches, targets — must
+//!   match the committed golden byte-for-byte (so the lockstep path is
+//!   held to the *same* goldens as the sequential executor, with no
+//!   re-blessing);
+//! * `run_scenario_batch` on a mixed batch (same-shape missions that group
+//!   into one lockstep run, plus a fleet scenario that falls back to the
+//!   sequential path) must reproduce `run_scenario` outcome-for-outcome,
+//!   with and without a shared planner cache;
+//! * a proptest steps random `FnNode` systems through `BatchExecutor` at
+//!   widths 1, 4 and 16 and compares every instance firing-for-firing
+//!   against the sequential executor *and* the naive map-based reference
+//!   interpreter (shared with `executor_equivalence.rs`).
+
+mod common;
+
+use common::{random_system, trace_firings, NaiveExecutor};
+use proptest::prelude::*;
+use soter::core::prelude::*;
+use soter::plan::cache::PlanCache;
+use soter::runtime::batch::BatchExecutor;
+use soter::runtime::executor::{Executor, ExecutorConfig};
+use soter::scenarios::campaign::{Campaign, RunRecord};
+use soter::scenarios::catalog;
+use soter::scenarios::golden::{golden_path, record_from_text};
+use soter::scenarios::runner::{run_scenario, run_scenario_batch};
+use std::path::Path;
+use std::sync::Arc;
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+/// Runs the whole catalog suite (each scenario with its built-in seed) as
+/// one campaign with the given worker count and batch width.
+fn suite_records(workers: usize, batch: usize) -> Vec<RunRecord> {
+    Campaign::new(catalog::golden_suite())
+        .with_workers(workers)
+        .with_batch(batch)
+        .run()
+        .records
+}
+
+/// Every catalog scenario, at batch widths 1/4/16 × 1 and 4 workers, must
+/// reproduce its committed golden byte-for-byte.  Batch width 1 takes the
+/// sequential `run_scenario` path, so this pins lockstep == sequential ==
+/// golden in one sweep, per instance.
+#[test]
+fn catalog_suite_is_golden_identical_at_batch_1_4_16_and_1_and_4_workers() {
+    let suite = catalog::golden_suite();
+    let goldens: Vec<RunRecord> = suite
+        .iter()
+        .map(|scenario| {
+            let text = std::fs::read_to_string(golden_path(golden_dir(), scenario))
+                .unwrap_or_else(|e| panic!("missing golden for `{}`: {e}", scenario.name));
+            record_from_text(&text).expect("golden parses")
+        })
+        .collect();
+    assert_eq!(goldens.len(), 24, "the pinned suite covers all 24 goldens");
+    for workers in [1usize, 4] {
+        for batch in [1usize, 4, 16] {
+            let records = suite_records(workers, batch);
+            assert_eq!(
+                records, goldens,
+                "records diverged from the goldens at workers={workers} batch={batch}"
+            );
+        }
+    }
+}
+
+/// A mixed batch — same-shape missions that share one lockstep compilation
+/// plus a fleet scenario that takes the sequential fallback — reproduces
+/// `run_scenario` outcome-for-outcome, cache or no cache.
+#[test]
+fn mixed_scenario_batch_matches_sequential_outcomes() {
+    let scenarios = vec![
+        catalog::stress(13, 10.0, false),
+        catalog::stress(21, 10.0, false),
+        catalog::airspace_crossing(2, 21, 6.0),
+        catalog::stress(13, 10.0, true),
+    ];
+    let sequential: Vec<_> = scenarios.iter().map(run_scenario).collect();
+    for cache in [None, Some(Arc::new(PlanCache::new()))] {
+        let batched = run_scenario_batch(&scenarios, cache.as_ref());
+        for (seq, bat) in sequential.iter().zip(&batched) {
+            assert_eq!(seq.scenario, bat.scenario);
+            assert_eq!(
+                seq.digest,
+                bat.digest,
+                "digest diverged for `{}` (cache: {})",
+                seq.scenario,
+                cache.is_some()
+            );
+            assert_eq!(seq.safety_violations, bat.safety_violations);
+            assert_eq!(seq.separation_violations, bat.separation_violations);
+            assert_eq!(seq.invariant_violations, bat.invariant_violations);
+            assert_eq!(seq.mode_switches, bat.mode_switches);
+            assert_eq!(seq.completed, bat.completed);
+            assert_eq!(
+                seq.run.as_ref().map(|r| (r.trace_digest, r.trace_events)),
+                bat.run.as_ref().map(|r| (r.trace_digest, r.trace_events)),
+                "trace fingerprint diverged for `{}`",
+                seq.scenario
+            );
+        }
+    }
+}
+
+fn config() -> ExecutorConfig {
+    ExecutorConfig {
+        record_trace: true,
+        ..ExecutorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `BatchExecutor` at widths 1, 4 and 16 fires the same nodes at the
+    /// same instants with the same OE gating as the sequential executor
+    /// and the naive map-based reference, for every instance, and leaves
+    /// every instance's valuation in the same state.
+    #[test]
+    fn batch_matches_sequential_and_naive_reference(
+        seed in 0u64..10_000,
+        nodes in 2usize..6,
+        horizon_ms in 200u64..900,
+    ) {
+        let horizon = Time::from_millis(horizon_ms);
+        let mut sequential = Executor::with_config(random_system(seed, nodes), config());
+        sequential.run_until(horizon);
+        let expected_firings = trace_firings(sequential.trace());
+        let expected_topics = sequential.topics();
+        let mut reference = NaiveExecutor::new(random_system(seed, nodes));
+        while reference.now < horizon {
+            if reference.step_instant().is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(&expected_firings, &reference.firings);
+        prop_assert_eq!(&expected_topics, &reference.topics);
+        for width in [1usize, 4, 16] {
+            let instances = (0..width)
+                .map(|_| (random_system(seed, nodes), config()))
+                .collect();
+            let mut batch = BatchExecutor::new(instances);
+            batch.run_all_until(horizon);
+            for inst in 0..width {
+                prop_assert_eq!(
+                    &trace_firings(batch.trace(inst)),
+                    &expected_firings,
+                    "instance {} of width {} diverged from the sequential executor",
+                    inst,
+                    width
+                );
+                prop_assert_eq!(
+                    &batch.topics(inst),
+                    &expected_topics,
+                    "instance {} of width {} left a different valuation",
+                    inst,
+                    width
+                );
+            }
+        }
+    }
+}

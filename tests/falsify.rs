@@ -30,6 +30,7 @@ fn sc_starvation_search(workers: usize) -> Falsifier {
             neighbours: 4,
             workers,
             seed: 7,
+            ..FalsifierConfig::default()
         },
     )
 }
@@ -111,6 +112,7 @@ fn in_tolerance_search_finds_no_counterexample() {
             neighbours: 4,
             workers: 4,
             seed: 5,
+            ..FalsifierConfig::default()
         },
     );
     let report = falsifier.run();
