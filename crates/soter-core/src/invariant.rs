@@ -14,9 +14,9 @@
 //! guarantee holds (and detect the scheduling-starvation violations the
 //! paper reports in its stress campaign).
 
-use crate::rta::{Mode, SafetyOracle};
+use crate::rta::{FilterKind, Mode, SafetyOracle};
 use crate::time::{Duration, Time};
-use crate::topic::TopicRead;
+use crate::topic::{TopicName, TopicRead};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -56,6 +56,8 @@ pub struct InvariantMonitor {
     module: String,
     oracle: Arc<dyn SafetyOracle>,
     delta: Duration,
+    filter: FilterKind,
+    command_topic: Option<TopicName>,
     checks: u64,
     violations: Vec<Violation>,
 }
@@ -78,9 +80,24 @@ impl InvariantMonitor {
             module: module.into(),
             oracle,
             delta,
+            filter: FilterKind::default(),
+            command_topic: None,
             checks: 0,
             violations: Vec::new(),
         }
+    }
+
+    /// Makes the monitor filter-aware.  The AC-mode conjunct of `φ_Inv`
+    /// must match what the module's filter actually guarantees: the
+    /// worst-case `Reach(s, *, Δ) ⊆ φ_safe` for explicit Simplex, the
+    /// command-conditional reach for implicit Simplex (falling back to the
+    /// worst case when no command is visible), and plain `s ∈ φ_safe` for
+    /// the ASIF filter (whose projection gate, not its reach margin, is
+    /// what keeps the AC admissible).
+    pub fn with_filter(mut self, filter: FilterKind, command_topic: Option<TopicName>) -> Self {
+        self.filter = filter;
+        self.command_topic = command_topic;
+        self
     }
 
     /// The monitored module's name.
@@ -101,7 +118,26 @@ impl InvariantMonitor {
                 }
             }
             Mode::Ac => {
-                if self.oracle.may_leave_safe_within(observed, self.delta) {
+                let may_leave = match self.filter {
+                    FilterKind::ExplicitSimplex => {
+                        self.oracle.may_leave_safe_within(observed, self.delta)
+                    }
+                    FilterKind::ImplicitSimplex => {
+                        let command = self
+                            .command_topic
+                            .as_ref()
+                            .and_then(|t| observed.get(t.as_str()))
+                            .filter(|v| !v.is_unit());
+                        match command {
+                            Some(cmd) => self
+                                .oracle
+                                .command_may_leave_safe(observed, cmd, self.delta),
+                            None => self.oracle.may_leave_safe_within(observed, self.delta),
+                        }
+                    }
+                    FilterKind::Asif => !self.oracle.is_safe(observed),
+                };
+                if may_leave {
                     InvariantStatus::ViolatedInAcMode
                 } else {
                     InvariantStatus::Holds

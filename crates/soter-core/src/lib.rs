@@ -59,14 +59,16 @@ pub mod wellformed;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::composition::{CompositionError, RtaSystem};
-    pub use crate::dm::DecisionModule;
+    pub use crate::dm::{DecisionModule, SwitchEvent, SwitchReason};
     pub use crate::error::SoterError;
     pub use crate::invariant::{InvariantMonitor, InvariantStatus};
     pub use crate::node::{FnNode, Node, NodeInfo};
-    pub use crate::rta::{Mode, RtaModule, RtaModuleBuilder, SafetyOracle};
+    pub use crate::rta::{FilterKind, Mode, RtaModule, RtaModuleBuilder, SafetyOracle};
     pub use crate::time::{Duration, Time};
     pub use crate::topic::{TopicMap, TopicName, TopicRead, TopicWriter, Value};
-    pub use crate::wellformed::{CheckOutcome, PlantAbstraction, SamplingConfig, WellFormedness};
+    pub use crate::wellformed::{
+        check_filter_structure, CheckOutcome, PlantAbstraction, SamplingConfig, WellFormedness,
+    };
 }
 
 pub use prelude::*;

@@ -20,9 +20,58 @@
 //! counterexample; a passed check is evidence up to the sampling density
 //! (recorded in the report).
 
-use crate::rta::RtaModule;
+use crate::rta::{FilterKind, RtaModule, SafetyOracle};
+use crate::topic::TopicName;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Per-[`FilterKind`] structural wellformedness, checked at
+/// [`crate::rta::RtaModuleBuilder::build`] time alongside P1a/P1b:
+///
+/// * **explicit Simplex** — no extra requirement; any state-only
+///   [`SafetyOracle`] suffices.
+/// * **implicit Simplex** — the oracle must implement the command-level
+///   reach check ([`SafetyOracle::supports_command_checks`]) and the module
+///   must publish exactly one command topic, so the DM knows which observed
+///   value is "the AC's proposed command".
+/// * **ASIF** — same two requirements: the projection gate clips the single
+///   command topic through [`SafetyOracle::project_command`].
+///
+/// `outputs` is the module's output topic set (`O(AC) = O(SC)` by P1b).
+pub fn check_filter_structure(
+    filter: FilterKind,
+    oracle: &dyn SafetyOracle,
+    outputs: &[TopicName],
+) -> CheckOutcome {
+    if !filter.needs_command_checks() {
+        return CheckOutcome::Passed {
+            evidence: format!("filter `{filter}` places no requirement beyond P1a/P1b"),
+        };
+    }
+    if !oracle.supports_command_checks() {
+        return CheckOutcome::Failed {
+            reason: format!(
+                "filter `{filter}` requires a command-aware oracle \
+                 (SafetyOracle::supports_command_checks)"
+            ),
+        };
+    }
+    if outputs.len() != 1 {
+        return CheckOutcome::Failed {
+            reason: format!(
+                "filter `{filter}` requires exactly one command topic, \
+                 module publishes {}: {outputs:?}",
+                outputs.len()
+            ),
+        };
+    }
+    CheckOutcome::Passed {
+        evidence: format!(
+            "filter `{filter}`: command-aware oracle over single command topic `{}`",
+            outputs[0]
+        ),
+    }
+}
 
 /// The outcome of one well-formedness check.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -402,6 +402,45 @@ impl SafetyOracle for SeparationOracle {
                 .peers
                 .may_violate_within(&own, &peers, horizon.as_secs_f64())
     }
+
+    fn supports_command_checks(&self) -> bool {
+        self.inner.supports_command_checks()
+    }
+
+    fn command_may_leave_safe(
+        &self,
+        observed: &dyn TopicRead,
+        command: &Value,
+        horizon: soter_core::time::Duration,
+    ) -> bool {
+        let (Some(own), Some(peers)) = (self.own_state(observed), self.peer_states(observed))
+        else {
+            return true;
+        };
+        // The peer conjunct stays worst-case: `may_violate_within` already
+        // ranges over every control either vehicle may apply, so knowing the
+        // own command cannot relax it without also predicting the peers'.
+        self.inner
+            .command_may_leave_safe(&self.translated(observed), command, horizon)
+            || self
+                .peers
+                .may_violate_within(&own, &peers, horizon.as_secs_f64())
+    }
+
+    fn project_command(
+        &self,
+        observed: &dyn TopicRead,
+        proposed: &Value,
+        horizon: soter_core::time::Duration,
+    ) -> Option<Value> {
+        // Only the static-obstacle conjunct is command-conditional, so the
+        // static projection is the only ray worth clipping along; a live
+        // peer conflict is command-independent here and is handled by the
+        // decision module's state check, which disengages to the yielding
+        // safe controller.
+        self.inner
+            .project_command(&self.translated(observed), proposed, horizon)
+    }
 }
 
 /// One drone of an airspace: its spawn point, patrol circuit and the
@@ -523,6 +562,7 @@ pub fn build_airspace_stack(config: &AirspaceStackConfig) -> (RtaSystem, Vec<Pla
                     .safe(sc)
                     .delta(dcfg.delta_mpr)
                     .oracle(oracle)
+                    .filter(dcfg.filter)
                     .build()
                     .expect("the fleet motion-primitive module is structurally well-formed");
                 system
@@ -640,6 +680,18 @@ mod tests {
         // the module's DM subscriptions.
         let dm_subs = system.modules()[0].dm().subscriptions();
         assert!(dm_subs.contains(&TopicName::new("drone1/localPosition")));
+    }
+
+    #[test]
+    fn airspace_modules_thread_the_filter_kind() {
+        for filter in soter_core::rta::FilterKind::ALL {
+            let mut cfg = two_drone_config(Protection::Rta);
+            cfg.base.filter = filter;
+            let (system, _) = build_airspace_stack(&cfg);
+            for module in system.modules() {
+                assert_eq!(module.filter(), filter, "{filter}");
+            }
+        }
     }
 
     #[test]

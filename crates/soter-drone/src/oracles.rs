@@ -91,6 +91,49 @@ impl SafetyOracle for MotionPrimitiveOracle {
             None => true,
         }
     }
+
+    fn supports_command_checks(&self) -> bool {
+        true
+    }
+
+    fn command_may_leave_safe(
+        &self,
+        observed: &dyn TopicRead,
+        command: &Value,
+        horizon: Duration,
+    ) -> bool {
+        let (Some(s), Some(u)) = (
+            Self::observed_state(observed),
+            topics::value_to_control(command),
+        ) else {
+            // Missing state or a malformed command: fall back to the
+            // worst-case check, which is conservative in both cases.
+            return self.may_leave_safe_within(observed, horizon);
+        };
+        self.ttf
+            .command_may_leave_safe_within(&s, u.acceleration, horizon.as_secs_f64())
+    }
+
+    fn project_command(
+        &self,
+        observed: &dyn TopicRead,
+        proposed: &Value,
+        horizon: Duration,
+    ) -> Option<Value> {
+        let s = Self::observed_state(observed)?;
+        let u = topics::value_to_control(proposed)?;
+        // Project against the φ_safer-strengthened horizon (the same
+        // hysteresis factor the switching logic uses), so a command that
+        // passes the gate leaves the successor comfortably recoverable.
+        let h = horizon
+            .as_secs_f64()
+            .max(self.safer_factor * self.delta_hint);
+        self.ttf
+            .project_command_accel(&s, u.acceleration, h)
+            .map(|clipped| {
+                topics::control_to_value(&soter_sim::dynamics::ControlInput::accel(clipped))
+            })
+    }
 }
 
 impl MotionPrimitiveOracle {

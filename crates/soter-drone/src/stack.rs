@@ -21,7 +21,7 @@ use crate::plant::{PlantHandle, PlantNode};
 use crate::topics;
 use soter_core::composition::RtaSystem;
 use soter_core::node::{Node, NodeInfo};
-use soter_core::rta::RtaModule;
+use soter_core::rta::{FilterKind, RtaModule};
 use soter_core::time::Duration;
 use soter_core::topic::TopicName;
 use soter_ctrl::fault::{FaultInjector, FaultSpec};
@@ -143,6 +143,10 @@ pub struct DroneStackConfig {
     /// so batched evaluations sharing a scenario stop paying per-instance
     /// replanning.
     pub plan_cache: Option<std::sync::Arc<PlanCache>>,
+    /// Safety-filter strategy of the motion-primitive module (the battery
+    /// and planner modules always run explicit Simplex: their oracles are
+    /// state-only and have no command-conditional reach check).
+    pub filter: FilterKind,
 }
 
 impl Default for DroneStackConfig {
@@ -166,6 +170,7 @@ impl Default for DroneStackConfig {
             wind: WindModel::Calm,
             seed: 0,
             plan_cache: None,
+            filter: FilterKind::ExplicitSimplex,
         }
     }
 }
@@ -286,6 +291,7 @@ impl DroneStackConfig {
             .safe(sc)
             .delta(self.delta_mpr)
             .oracle(self.mpr_oracle())
+            .filter(self.filter)
             .build()
             .expect("the motion-primitive module is structurally well-formed")
     }
@@ -454,6 +460,19 @@ mod tests {
             planner.node_names(),
             vec!["planner_ac", "planner_sc", "safe_motion_planner_dm"]
         );
+    }
+
+    #[test]
+    fn every_filter_kind_builds_the_motion_primitive_module() {
+        for filter in FilterKind::ALL {
+            let cfg = DroneStackConfig {
+                filter,
+                ..DroneStackConfig::default()
+            };
+            let mpr = cfg.motion_primitive_module();
+            assert_eq!(mpr.filter(), filter, "{filter}");
+            assert_eq!(mpr.command_topic().is_some(), filter.needs_command_checks());
+        }
     }
 
     #[test]

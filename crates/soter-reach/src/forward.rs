@@ -119,6 +119,41 @@ impl ForwardReach {
         )
     }
 
+    /// Axis-aligned over-approximation of the positions occupied when the
+    /// plant executes the *given commanded acceleration*, held constant,
+    /// over `horizon` seconds — the one-step command-reach set the
+    /// implicit-Simplex and ASIF filters evaluate, as opposed to the
+    /// any-control `Reach(s, *, t)` of [`ForwardReach::occupancy_directed`].
+    ///
+    /// The commanded closed loop is simulated at the plant step, the
+    /// trajectory's bounding box taken, and the result inflated by the
+    /// estimation error, a discretisation slack, and the braking footprint
+    /// from the worst-case terminal speed — so that "the command-reach set
+    /// is free" still implies the safe controller can recover *after* the
+    /// horizon, mirroring the `include_braking` contract of the directed
+    /// occupancy.
+    pub fn occupancy_under_command(&self, state: &DroneState, accel: Vec3, horizon: f64) -> Aabb {
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        let u = soter_sim::dynamics::ControlInput::accel(accel);
+        let mut s = *state;
+        let (mut lo, mut hi) = (s.position, s.position);
+        let mut t = 0.0;
+        while t < horizon {
+            let dt = self.plant_step.min(horizon - t);
+            s = self.dynamics.step(&s, &u, Vec3::ZERO, dt);
+            t += dt;
+            lo = lo.min(&s.position);
+            hi = hi.max(&s.position);
+        }
+        // Between samples the trajectory can overshoot the sampled
+        // positions by at most ½·a_eff·dt² plus one step of travel.
+        let a_eff = self.dynamics.max_acceleration + self.dynamics.drag * self.dynamics.max_speed;
+        let slack = self.dynamics.max_speed * self.plant_step.min(horizon)
+            + 0.5 * a_eff * self.plant_step * self.plant_step;
+        let braking = self.dynamics.stopping_distance(s.speed());
+        Aabb::new(lo, hi).inflate(self.estimation_error + slack + braking)
+    }
+
     /// Axis-aligned over-approximation of the positions reachable within
     /// `horizon` when the controller is the *certified safe controller*,
     /// whose closed loop guarantees the speed never exceeds `sc_speed_cap`
@@ -260,6 +295,57 @@ mod tests {
                     occ.contains(&s.position),
                     "trial {trial}: {} escaped directed occupancy {occ} at t={t:.2}",
                     s.position
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn command_occupancy_is_tighter_than_any_control() {
+        let r = reach();
+        let s = DroneState {
+            position: Vec3::new(0.0, 0.0, 10.0),
+            velocity: Vec3::new(5.0, 0.0, 0.0),
+        };
+        // A braking command pins the trajectory near the start; the
+        // any-control directed box must contain far more space.
+        let brake = Vec3::new(-6.0, 0.0, 0.0);
+        let cmd = r.occupancy_under_command(&s, brake, 0.5);
+        let any = r.occupancy_directed(&s, 0.5, true);
+        assert!(cmd.contains(&s.position));
+        assert!(cmd.volume() < any.volume());
+    }
+
+    #[test]
+    fn command_occupancy_contains_the_commanded_rollout() {
+        let r = reach();
+        let dynamics = r.dynamics;
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..50 {
+            let state = DroneState {
+                position: Vec3::new(0.0, 0.0, 50.0),
+                velocity: Vec3::new(
+                    rng.random_range(-6.0..6.0),
+                    rng.random_range(-6.0..6.0),
+                    rng.random_range(-2.0..2.0),
+                ),
+            };
+            let accel = Vec3::new(
+                rng.random_range(-6.0..6.0),
+                rng.random_range(-6.0..6.0),
+                rng.random_range(-6.0..6.0),
+            );
+            let horizon = rng.random_range(0.05..1.0);
+            let occ = r.occupancy_under_command(&state, accel, horizon);
+            let u = ControlInput::accel(accel);
+            let mut s = state;
+            let mut t = 0.0;
+            while t < horizon {
+                s = dynamics.step(&s, &u, Vec3::ZERO, r.plant_step);
+                t += r.plant_step;
+                assert!(
+                    occ.contains(&s.position),
+                    "trial {trial}: commanded rollout escaped {occ} at t={t:.2}"
                 );
             }
         }

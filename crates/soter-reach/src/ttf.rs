@@ -12,6 +12,7 @@
 use crate::forward::ForwardReach;
 use serde::{Deserialize, Serialize};
 use soter_sim::dynamics::DroneState;
+use soter_sim::vec3::Vec3;
 use soter_sim::world::Workspace;
 
 /// Time-to-failure computation against a static obstacle workspace.
@@ -75,6 +76,62 @@ impl ObstacleTtf {
         !self
             .workspace
             .region_is_free_with_margin(&occupancy, self.margin)
+    }
+
+    /// The command-conditional variant of
+    /// [`ObstacleTtf::may_leave_safe_within`]: `true` when the plant may
+    /// leave `φ_safe` within `horizon` seconds while executing the *given
+    /// commanded acceleration* (held constant), including the braking
+    /// footprint needed by the safe controller to recover afterwards.  This
+    /// is the check the implicit-Simplex filter runs on the AC's proposed
+    /// command instead of the worst case over all controls.
+    pub fn command_may_leave_safe_within(
+        &self,
+        state: &DroneState,
+        accel: Vec3,
+        horizon: f64,
+    ) -> bool {
+        let occupancy = self.reach.occupancy_under_command(state, accel, horizon);
+        !self
+            .workspace
+            .region_is_free_with_margin(&occupancy, self.margin)
+    }
+
+    /// ASIF-style minimal intervention: projects a proposed acceleration
+    /// command onto the nearest admissible command along the ray from the
+    /// full-brake command to the proposal, where "admissible" means the
+    /// commanded occupancy over `horizon` stays in free space with margin.
+    /// Deterministic bisection (fixed iteration count, no solver); returns
+    /// `None` when the proposal is already admissible and `Some(clipped)`
+    /// when the filter must intervene.  If even full braking is not
+    /// admissible the brake command itself is returned — the least-bad
+    /// minimal intervention.
+    pub fn project_command_accel(
+        &self,
+        state: &DroneState,
+        proposed: Vec3,
+        horizon: f64,
+    ) -> Option<Vec3> {
+        let admissible = |a: Vec3| !self.command_may_leave_safe_within(state, a, horizon);
+        if admissible(proposed) {
+            return None;
+        }
+        // The anchor of the ray: brake as hard as the plant allows against
+        // the current velocity (zero acceleration when already at rest).
+        let brake = (state.velocity * -1e6).clamp_norm(self.reach.dynamics.max_acceleration);
+        if !admissible(brake) {
+            return Some(brake);
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..16 {
+            let mid = 0.5 * (lo + hi);
+            if admissible(brake.lerp(&proposed, mid)) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(brake.lerp(&proposed, lo))
     }
 
     /// A scalar time-to-failure estimate: the largest horizon `t ≤ max_horizon`
@@ -196,6 +253,46 @@ mod tests {
         if !t.may_leave_safe_within(&s, 1.0) {
             assert!(!t.may_leave_safe_within(&s, 0.3));
         }
+    }
+
+    #[test]
+    fn command_check_is_tighter_than_worst_case() {
+        let t = ttf();
+        // Hovering 2 m from a house face: the any-control check must assume
+        // a full-power dash at the wall, but the hover command itself goes
+        // nowhere.
+        let s = DroneState::at_rest(Vec3::new(7.0, 13.0, 3.0));
+        assert!(t.may_leave_safe_within(&s, 1.0));
+        assert!(!t.command_may_leave_safe_within(&s, Vec3::ZERO, 1.0));
+        // A commanded dash at the wall is caught by the command check too.
+        assert!(t.command_may_leave_safe_within(&s, Vec3::new(6.0, 0.0, 0.0), 1.0));
+    }
+
+    #[test]
+    fn projection_passes_admissible_commands_through() {
+        let t = ttf();
+        // In the middle of a street, far from every obstacle.
+        let s = DroneState::at_rest(Vec3::new(5.0, 5.0, 2.5));
+        assert_eq!(
+            t.project_command_accel(&s, Vec3::new(1.0, 0.0, 0.0), 0.2),
+            None
+        );
+    }
+
+    #[test]
+    fn projection_clips_along_the_command_ray() {
+        let t = ttf();
+        let s = DroneState::at_rest(Vec3::new(7.0, 13.0, 3.0));
+        let proposed = Vec3::new(6.0, 0.0, 0.0);
+        let clipped = t
+            .project_command_accel(&s, proposed, 1.0)
+            .expect("a dash at the wall must be clipped");
+        // The clip lies on the segment [brake, proposed] (brake = hover
+        // here, since the state is at rest), keeps the direction of the
+        // proposal, and is itself admissible.
+        assert!(clipped.x >= 0.0 && clipped.x < proposed.x);
+        assert!(clipped.y.abs() < 1e-9 && clipped.z.abs() < 1e-9);
+        assert!(!t.command_may_leave_safe_within(&s, clipped, 1.0));
     }
 
     #[test]

@@ -421,11 +421,18 @@ impl BatchExecutor {
             output_enabled: true,
         });
         if before != after {
+            let reason = self.instances[inst].system.modules()[i]
+                .dm()
+                .switches()
+                .last()
+                .expect("a mode change records a switch event")
+                .reason;
             self.instances[inst].trace.record(TraceEvent::ModeSwitch {
                 time: now,
                 module: self.compiled.module_names[i].clone(),
                 from: before,
                 to: after,
+                reason,
             });
         }
         if self.instances[inst].monitor_invariants {

@@ -280,7 +280,10 @@ impl CompiledSystem {
         system
             .modules()
             .iter()
-            .map(|m| InvariantMonitor::new(m.name(), m.oracle(), m.delta()))
+            .map(|m| {
+                InvariantMonitor::new(m.name(), m.oracle(), m.delta())
+                    .with_filter(m.filter(), m.command_topic())
+            })
             .collect()
     }
 }
@@ -739,11 +742,18 @@ impl Executor {
             output_enabled: true,
         });
         if before != after {
+            let reason = self.system.modules()[i]
+                .dm()
+                .switches()
+                .last()
+                .expect("a mode change records a switch event")
+                .reason;
             self.trace.record(TraceEvent::ModeSwitch {
                 time: now,
                 module: self.compiled.module_names[i].clone(),
                 from: before,
                 to: after,
+                reason,
             });
         }
         if self.config.monitor_invariants {

@@ -13,6 +13,7 @@
 //! golden-trace regression facility of `soter-scenarios` pins down.
 
 use serde::{Deserialize, Serialize};
+use soter_core::dm::SwitchReason;
 use soter_core::rta::Mode;
 use soter_core::time::Time;
 use soter_core::topic::TopicName;
@@ -111,6 +112,12 @@ pub enum TraceEvent {
         from: Mode,
         /// New mode.
         to: Mode,
+        /// Why the decision module switched (which check fired).  Excluded
+        /// from the streaming digest: the reason is derived metadata over
+        /// the same observation that produced the switch, so including it
+        /// would re-key every historical golden without distinguishing any
+        /// additional behaviour.
+        reason: SwitchReason,
     },
     /// A Theorem 3.1 invariant monitor reported a violation.
     InvariantViolation {
@@ -207,6 +214,7 @@ impl Trace {
                 module,
                 from,
                 to,
+                reason: _,
             } => {
                 h.write_u8(1);
                 h.write_u64(time.as_micros());
@@ -265,7 +273,26 @@ impl Trace {
                     module: m,
                     from,
                     to,
+                    ..
                 } if m == module => Some((*time, *from, *to)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mode switches of the given module with their structured reasons, in
+    /// order.
+    pub fn switch_reasons(&self, module: &str) -> Vec<(Time, Mode, Mode, SwitchReason)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ModeSwitch {
+                    time,
+                    module: m,
+                    from,
+                    to,
+                    reason,
+                } if m == module => Some((*time, *from, *to, *reason)),
                 _ => None,
             })
             .collect()
@@ -313,6 +340,7 @@ mod tests {
             module: "mpr".into(),
             from: Mode::Sc,
             to: Mode::Ac,
+            reason: SwitchReason::StateSafer,
         });
         t.record(TraceEvent::InvariantViolation {
             time: Time::from_millis(30),
@@ -361,12 +389,14 @@ mod tests {
                 module: "mpr".into(),
                 from: Mode::Sc,
                 to: Mode::Ac,
+                reason: SwitchReason::StateSafer,
             },
             TraceEvent::ModeSwitch {
                 time: Time::from_millis(30),
                 module: "mpr".into(),
                 from: Mode::Ac,
                 to: Mode::Sc,
+                reason: SwitchReason::ReachUnsafe,
             },
             TraceEvent::EnvironmentInput {
                 time: Time::from_millis(40),
@@ -450,6 +480,7 @@ mod tests {
             module: "battery".into(),
             from: Mode::Ac,
             to: Mode::Sc,
+            reason: SwitchReason::ReachUnsafe,
         });
         assert_eq!(t.mode_switches("mpr").len(), 2);
         assert_eq!(t.mode_switches("battery").len(), 1);
@@ -459,6 +490,39 @@ mod tests {
         assert!(mpr[0].0 < mpr[1].0);
         assert_eq!(mpr[0].2, Mode::Ac);
         assert_eq!(mpr[1].2, Mode::Sc);
+    }
+
+    #[test]
+    fn switch_reason_is_surfaced_but_not_digested() {
+        let switch_with = |reason: SwitchReason| TraceEvent::ModeSwitch {
+            time: Time::from_millis(20),
+            module: "mpr".into(),
+            from: Mode::Ac,
+            to: Mode::Sc,
+            reason,
+        };
+        let digest_of = |reason: SwitchReason| {
+            let mut t = Trace::new();
+            t.record(switch_with(reason));
+            t.digest()
+        };
+        // Pre-existing goldens digest the same bytes regardless of reason.
+        assert_eq!(
+            digest_of(SwitchReason::ReachUnsafe),
+            digest_of(SwitchReason::CommandUnsafe)
+        );
+        let mut t = Trace::new();
+        t.record(switch_with(SwitchReason::CommandUnsafe));
+        assert_eq!(
+            t.switch_reasons("mpr"),
+            vec![(
+                Time::from_millis(20),
+                Mode::Ac,
+                Mode::Sc,
+                SwitchReason::CommandUnsafe
+            )]
+        );
+        assert!(t.switch_reasons("other").is_empty());
     }
 
     #[test]

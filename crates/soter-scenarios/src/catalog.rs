@@ -10,6 +10,7 @@
 use crate::spec::{
     FleetLayout, FleetSpec, JitterSpec, MissionSpec, Scenario, TargetPolicySpec, WorkspaceSpec,
 };
+use soter_core::rta::FilterKind;
 use soter_core::time::{Duration, Time};
 use soter_drone::stack::{AdvancedKind, Protection};
 use soter_runtime::schedule::{delta_slack, JitterSchedule};
@@ -336,6 +337,32 @@ pub fn battery_degradation_grid(seed: u64, horizon: f64) -> Vec<Scenario> {
     grid
 }
 
+/// The missions of the cross-filter comparison: one surveillance, one
+/// airspace and one stress mission, each in its golden-suite configuration.
+/// Their unsuffixed originals are the explicit-Simplex baselines; the
+/// `-implicit` / `-asif` variants of [`filter_zoo`] rerun them under the
+/// other filters.
+pub fn filter_zoo_bases() -> Vec<Scenario> {
+    vec![
+        fig12b(7, 2, 150.0),
+        airspace_crossing(2, 21, 12.0),
+        stress(13, 60.0, false),
+    ]
+}
+
+/// The filter-zoo variants: every [`filter_zoo_bases`] mission re-run under
+/// the implicit-Simplex and ASIF filters.  Each variant pins its own
+/// golden; the explicit baselines are already in the suite unsuffixed.
+pub fn filter_zoo() -> Vec<Scenario> {
+    let mut suite = Vec::new();
+    for base in filter_zoo_bases() {
+        for filter in [FilterKind::ImplicitSimplex, FilterKind::Asif] {
+            suite.push(base.filter_variant(filter));
+        }
+    }
+    suite
+}
+
 /// The pinned multi-drone airspace suite (crossing, convoy, contested
 /// corridor, and the unprotected crossing baseline), with short horizons
 /// for the golden-trace tests.
@@ -377,6 +404,9 @@ pub fn golden_suite() -> Vec<Scenario> {
     suite.push(sc_starvation());
     // The sandboxed-bytecode advanced controller under the Simplex DM.
     suite.push(vm_surveillance(7, 2, 150.0));
+    // The filter zoo: implicit-Simplex and ASIF variants of one
+    // surveillance, one airspace and one stress mission.
+    suite.extend(filter_zoo());
     suite
 }
 
@@ -499,6 +529,28 @@ mod tests {
         let scenario = sc_starvation();
         assert_eq!(scenario.name, "stress-sc-starvation");
         assert_eq!(scenario.jitter.model(scenario.seed), schedule);
+    }
+
+    #[test]
+    fn filter_zoo_spans_every_non_explicit_filter_per_base() {
+        let zoo = filter_zoo();
+        assert_eq!(zoo.len(), filter_zoo_bases().len() * 2);
+        for base in filter_zoo_bases() {
+            assert_eq!(base.filter, FilterKind::ExplicitSimplex);
+            assert!(
+                find(&base.name).is_some(),
+                "explicit baseline {} must be in the registry",
+                base.name
+            );
+            for filter in [FilterKind::ImplicitSimplex, FilterKind::Asif] {
+                let name = format!("{}-{}", base.name, filter.slug());
+                let variant = find(&name).unwrap_or_else(|| panic!("missing variant {name}"));
+                assert_eq!(variant.filter, filter);
+                assert_eq!(variant.seed, base.seed);
+                assert_eq!(variant.horizon, base.horizon);
+                assert_eq!(variant.mission, base.mission);
+            }
+        }
     }
 
     #[test]

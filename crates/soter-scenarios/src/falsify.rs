@@ -42,6 +42,7 @@ use crate::spec::{JitterSpec, Scenario};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use soter_core::dm::SwitchReason;
 use soter_core::time::{Duration, Time};
 use soter_plan::cache::PlanCache;
 use soter_runtime::schedule::{JitterSchedule, RecordedDelay, RecordedSchedule};
@@ -191,6 +192,11 @@ pub struct Counterexample {
     pub evaluations: usize,
     /// Accepted shrink steps applied to the first violating schedule.
     pub shrink_steps: usize,
+    /// Mode-switch reason breakdown of the violating run's
+    /// motion-primitive module, in first-occurrence order — which oracle
+    /// checks fired around the crash (see
+    /// [`SwitchReason`](soter_core::dm::SwitchReason)).
+    pub switch_reasons: Vec<(SwitchReason, usize)>,
 }
 
 /// The result of a falsification search.
@@ -754,6 +760,11 @@ impl Falsifier {
                 let found_after = evaluations;
                 let (schedule, record, shrink_steps) =
                     self.shrink(batch[pos].clone(), records[pos].clone(), &mut evaluations);
+                // One sequential replay of the shrunk schedule tallies
+                // *why* the DM switched around the crash (not a search
+                // evaluation — it spends no budget and is deterministic
+                // whatever the worker count).
+                let switch_reasons = crate::runner::mpr_switch_reasons(&self.candidate(&schedule));
                 return FalsifyReport {
                     evaluations,
                     rounds,
@@ -764,6 +775,7 @@ impl Falsifier {
                         record,
                         evaluations: found_after,
                         shrink_steps,
+                        switch_reasons,
                     }),
                     best: best_seen.map(|(s, r, _)| (s, r)),
                     moves,
@@ -1021,13 +1033,22 @@ pub fn schedule_from_text(text: &str) -> Result<JitterSchedule, GoldenError> {
 /// violating run's [`RunRecord`] followed by the schedule that provokes it
 /// and the search statistics.
 pub fn counterexample_to_text(ce: &Counterexample) -> String {
-    format!(
+    let mut out = format!(
         "{}{}evaluations = {}\nshrink_steps = {}\n",
         record_to_text(&ce.record),
         schedule_to_text(&ce.schedule),
         ce.evaluations,
         ce.shrink_steps
-    )
+    );
+    if !ce.switch_reasons.is_empty() {
+        let breakdown: Vec<String> = ce
+            .switch_reasons
+            .iter()
+            .map(|(reason, count)| format!("{}:{count}", reason.slug()))
+            .collect();
+        let _ = writeln!(out, "switch_reasons = {}", breakdown.join(" "));
+    }
+    out
 }
 
 /// Parses the format produced by [`counterexample_to_text`].
@@ -1058,6 +1079,28 @@ pub fn counterexample_from_text(text: &str) -> Result<Counterexample, GoldenErro
             .flatten()
             .ok_or_else(|| GoldenError::Parse(format!("missing field `{key}`")))
     };
+    // The reason breakdown is optional: counterexamples saved before
+    // switch reasons existed parse to an empty breakdown.
+    let switch_reasons = match text.lines().find_map(|line| {
+        let (k, v) = line.split_once('=')?;
+        (k.trim() == "switch_reasons").then(|| v.trim().to_string())
+    }) {
+        Some(list) => list
+            .split_whitespace()
+            .map(|pair| {
+                let (slug, count) = pair.split_once(':').ok_or_else(|| {
+                    GoldenError::Parse(format!("malformed switch-reason entry: {pair}"))
+                })?;
+                let reason = SwitchReason::from_slug(slug)
+                    .ok_or_else(|| GoldenError::Parse(format!("unknown switch reason: {slug}")))?;
+                let count = count
+                    .parse::<usize>()
+                    .map_err(|_| GoldenError::Parse(format!("bad switch-reason count: {pair}")))?;
+                Ok((reason, count))
+            })
+            .collect::<Result<Vec<_>, GoldenError>>()?,
+        None => Vec::new(),
+    };
     Ok(Counterexample {
         scenario: record.scenario.clone(),
         seed: record.seed,
@@ -1065,6 +1108,7 @@ pub fn counterexample_from_text(text: &str) -> Result<Counterexample, GoldenErro
         record,
         evaluations: field("evaluations")?,
         shrink_steps: field("shrink_steps")?,
+        switch_reasons,
     })
 }
 
@@ -1099,6 +1143,10 @@ mod tests {
             },
             evaluations: 17,
             shrink_steps: 3,
+            switch_reasons: vec![
+                (SwitchReason::ReachUnsafe, 4),
+                (SwitchReason::StateSafer, 3),
+            ],
         }
     }
 

@@ -6,6 +6,7 @@ use crate::spec::{MissionSpec, Scenario};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use soter_core::composition::RtaSystem;
+use soter_core::dm::SwitchReason;
 use soter_core::rta::{Mode, SafetyOracle};
 use soter_core::topic::Value;
 use soter_drone::plant::PlantHandle;
@@ -43,6 +44,16 @@ pub struct RunOutcome {
     pub mpr_disengagements: usize,
     /// SC→AC switches of the motion-primitive module.
     pub mpr_reengagements: usize,
+    /// Safety-filter interventions of the motion-primitive module: AC→SC
+    /// disengagements plus ASIF command clips (0 for unprotected
+    /// configurations).  The RTAEval-style "how often did the filter act"
+    /// metric of cross-filter comparisons.
+    pub mpr_interventions: usize,
+    /// Cumulative time the motion-primitive module spent in SC mode over
+    /// the run (µs-exact from the decision module's switch history; zero
+    /// for unprotected configurations).  The RTAEval-style conservatism
+    /// metric: a filter that barely hands control to the SC scores low.
+    pub time_in_sc: soter_core::time::Duration,
     /// AC→SC plus SC→AC switches summed across every RTA module in the
     /// stack (planner and battery included).
     pub total_mode_switches: usize,
@@ -151,13 +162,17 @@ fn run_stack_with_config(
         .unwrap_or(0)
         .max(0) as usize;
     let invariant_violations: usize = exec.monitors().iter().map(|m| m.violations().len()).sum();
-    let (mpr_dis, mpr_re) = exec
+    let mpr = exec
         .system()
         .modules()
         .iter()
-        .find(|m| m.name() == "safe_motion_primitive")
+        .find(|m| m.name() == "safe_motion_primitive");
+    let (mpr_dis, mpr_re) = mpr
         .map(|m| (m.dm().disengagement_count(), m.dm().reengagement_count()))
         .unwrap_or((0, 0));
+    let (mpr_interventions, time_in_sc) = mpr
+        .map(|m| (m.interventions(), m.dm().time_in_sc(exec.now())))
+        .unwrap_or((0, soter_core::time::Duration::ZERO));
     let total_mode_switches: usize = exec
         .system()
         .modules()
@@ -174,6 +189,8 @@ fn run_stack_with_config(
         invariant_violations,
         mpr_disengagements: mpr_dis,
         mpr_reengagements: mpr_re,
+        mpr_interventions,
+        time_in_sc,
         total_mode_switches,
         distance_flown: plant.distance_flown(),
         final_charge: plant.battery_charge(),
@@ -183,6 +200,40 @@ fn run_stack_with_config(
         trace_digest,
         trace_events,
     }
+}
+
+/// Re-runs a mission scenario sequentially and tallies the motion-primitive
+/// module's mode-switch reasons, in first-occurrence order.  The falsifier
+/// attaches this breakdown to its counterexamples, so a pinned crash names
+/// the oracle checks that fired around it.  Planner-query and fleet
+/// scenarios have no single motion-primitive module and yield no breakdown.
+pub(crate) fn mpr_switch_reasons(scenario: &Scenario) -> Vec<(SwitchReason, usize)> {
+    if scenario.fleet.is_some() || matches!(scenario.mission, MissionSpec::PlannerQueries { .. }) {
+        return Vec::new();
+    }
+    let prepared = prepare_mission(scenario, &scenario.mission.clone(), None);
+    let mut exec = Executor::with_config(prepared.system, prepared.config);
+    while let Some(now) = exec.step_instant() {
+        if now.as_secs_f64() > scenario.horizon {
+            break;
+        }
+    }
+    let mut counts: Vec<(SwitchReason, usize)> = Vec::new();
+    if let Some(module) = exec
+        .system()
+        .modules()
+        .iter()
+        .find(|m| m.name() == "safe_motion_primitive")
+    {
+        for switch in module.dm().switches() {
+            match counts.iter_mut().find(|(r, _)| *r == switch.reason) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((switch.reason, 1)),
+            }
+        }
+    }
+    drop(prepared.handle);
+    counts
 }
 
 /// Counts collision *episodes* (entering collision), not samples — the
@@ -530,13 +581,17 @@ fn run_mission_group(
                 .iter()
                 .map(|m| m.violations().len())
                 .sum();
-            let (mpr_dis, mpr_re) = batch
+            let mpr = batch
                 .system(inst)
                 .modules()
                 .iter()
-                .find(|m| m.name() == "safe_motion_primitive")
+                .find(|m| m.name() == "safe_motion_primitive");
+            let (mpr_dis, mpr_re) = mpr
                 .map(|m| (m.dm().disengagement_count(), m.dm().reengagement_count()))
                 .unwrap_or((0, 0));
+            let (mpr_interventions, time_in_sc) = mpr
+                .map(|m| (m.interventions(), m.dm().time_in_sc(batch.now(inst))))
+                .unwrap_or((0, soter_core::time::Duration::ZERO));
             let total_mode_switches: usize = batch
                 .system(inst)
                 .modules()
@@ -554,6 +609,8 @@ fn run_mission_group(
                     invariant_violations,
                     mpr_disengagements: mpr_dis,
                     mpr_reengagements: mpr_re,
+                    mpr_interventions,
+                    time_in_sc,
                     total_mode_switches,
                     distance_flown: plant.distance_flown(),
                     final_charge: plant.battery_charge(),
@@ -872,5 +929,58 @@ mod tests {
         assert!(outcome.completed, "{outcome:?}");
         assert_eq!(outcome.safety_violations, 0);
         assert!(outcome.targets_reached() >= 2);
+    }
+
+    /// Fig. 9's decision module cannot ping-pong: a mode switch only fires
+    /// when the DM fires, and consecutive DM firings are at least one
+    /// decision period apart (scheduling jitter only pushes them further).
+    /// So an AC→SC→AC oscillation inside a single decision period is
+    /// impossible — for every safety filter, across the stress catalog
+    /// (ideal, paper-jittered, and the pinned SC-starvation schedule).
+    #[test]
+    fn dm_switches_never_ping_pong_within_one_decision_period() {
+        use crate::catalog;
+        use soter_core::rta::FilterKind;
+        let mut observed_switches = 0usize;
+        for base in [
+            catalog::stress(13, 12.0, false),
+            catalog::stress(13, 12.0, true),
+            catalog::sc_starvation().with_horizon(12.0),
+        ] {
+            for filter in FilterKind::ALL {
+                let scenario = base.clone().with_filter(filter);
+                let prepared = prepare_mission(&scenario, &scenario.mission.clone(), None);
+                let mut exec = Executor::with_config(prepared.system, prepared.config);
+                while let Some(now) = exec.step_instant() {
+                    if now.as_secs_f64() > scenario.horizon {
+                        break;
+                    }
+                }
+                for module in exec.system().modules() {
+                    let delta = module.dm().delta();
+                    let switches = module.dm().switches();
+                    observed_switches += switches.len();
+                    for pair in switches.windows(2) {
+                        let gap = pair[1].time.duration_since(pair[0].time);
+                        assert!(
+                            gap >= delta,
+                            "{} ({filter}): module `{}` switched {:?}→{:?} then \
+                             {:?}→{:?} only {gap} apart (Δ = {delta})",
+                            scenario.name,
+                            module.name(),
+                            pair[0].from,
+                            pair[0].to,
+                            pair[1].from,
+                            pair[1].to,
+                        );
+                    }
+                }
+                drop(prepared.handle);
+            }
+        }
+        assert!(
+            observed_switches > 0,
+            "the stress grid must exercise at least one mode switch"
+        );
     }
 }

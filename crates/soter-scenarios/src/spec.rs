@@ -14,6 +14,7 @@
 //! [`crate::golden`] facility pins their digests as regression tests.
 
 use serde::{Deserialize, Serialize};
+use soter_core::rta::FilterKind;
 use soter_core::time::Duration;
 use soter_drone::stack::{AdvancedKind, DroneStackConfig, Protection};
 use soter_plan::surveillance::TargetPolicy;
@@ -379,6 +380,13 @@ pub struct Scenario {
     pub delta_plan: Duration,
     /// φ_safer hysteresis factor of the motion-primitive oracle.
     pub safer_factor: f64,
+    /// Safety-filter strategy of the motion-primitive module(s): explicit
+    /// Simplex (the paper's decision logic), implicit Simplex (reach-check
+    /// the AC's proposed command) or ASIF (clip the command to the nearest
+    /// admissible one).  Defaults to explicit Simplex, which reproduces the
+    /// pre-filter-zoo behaviour byte for byte.
+    #[serde(default)]
+    pub filter: FilterKind,
     /// Multi-drone fleet, if this is an airspace scenario (`None` = the
     /// paper's single-drone setting).  Fleet scenarios fly circuit missions
     /// ([`MissionSpec::CircuitLoop`] / [`MissionSpec::CircuitLap`]).
@@ -413,6 +421,7 @@ impl Scenario {
             delta_bat: defaults.delta_bat,
             delta_plan: defaults.delta_plan,
             safer_factor: defaults.safer_factor,
+            filter: FilterKind::ExplicitSimplex,
             fleet: None,
             start: None,
             seed: 0,
@@ -499,6 +508,21 @@ impl Scenario {
         self
     }
 
+    /// Selects the safety-filter strategy of the motion-primitive module(s).
+    pub fn with_filter(mut self, filter: FilterKind) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// A cross-filter variant of this scenario: the same mission under a
+    /// different safety filter, named `<name>-<filter-slug>` so each variant
+    /// pins its own golden.
+    pub fn filter_variant(&self, filter: FilterKind) -> Self {
+        self.clone()
+            .with_filter(filter)
+            .with_name(format!("{}-{}", self.name, filter.slug()))
+    }
+
     /// Attaches a multi-drone fleet, turning the scenario into an airspace
     /// (the mission must be a circuit mission; see [`FleetSpec`]).
     pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
@@ -538,6 +562,7 @@ impl Scenario {
             buggy_planner: self.buggy_planner,
             wind: self.wind,
             seed: self.seed,
+            filter: self.filter,
             ..DroneStackConfig::default()
         }
     }
@@ -683,5 +708,19 @@ mod tests {
         let with_start = s.with_start(Vec3::new(1.0, 2.0, 3.0));
         let cfg = with_start.stack_config(&ws);
         assert_eq!(cfg.start, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn filter_variants_rename_and_rekey() {
+        let base = Scenario::new("mission");
+        assert_eq!(base.filter, FilterKind::ExplicitSimplex);
+        let asif = base.filter_variant(FilterKind::Asif);
+        assert_eq!(asif.name, "mission-asif");
+        assert_eq!(asif.filter, FilterKind::Asif);
+        let ws = asif.workspace.build();
+        assert_eq!(asif.stack_config(&ws).filter, FilterKind::Asif);
+        // Everything else is untouched.
+        assert_eq!(asif.seed, base.seed);
+        assert_eq!(asif.horizon, base.horizon);
     }
 }

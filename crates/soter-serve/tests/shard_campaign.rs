@@ -50,7 +50,7 @@ fn assert_reports_identical(sharded: &CampaignReport, in_process: &CampaignRepor
     );
 }
 
-/// The acceptance test: the full 24-scenario golden suite, split across
+/// The acceptance test: the full 30-scenario golden suite, split across
 /// 4 worker processes, with one worker killed mid-campaign — and the
 /// merged report must be byte-identical to the in-process campaign,
 /// golden digests included.
@@ -60,7 +60,7 @@ fn killed_worker_campaign_is_byte_identical_to_in_process_over_the_golden_suite(
         .into_iter()
         .map(|scenario| scenario.name)
         .collect();
-    assert_eq!(names.len(), 24, "the golden suite is the 24-run matrix");
+    assert_eq!(names.len(), 30, "the golden suite is the 30-run matrix");
     let request = CampaignRequest::new(names).with_shards(4);
     let in_process = request.in_process_campaign().unwrap().run();
 

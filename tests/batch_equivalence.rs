@@ -63,7 +63,7 @@ fn catalog_suite_is_golden_identical_at_batch_1_4_16_and_1_and_4_workers() {
             record_from_text(&text).expect("golden parses")
         })
         .collect();
-    assert_eq!(goldens.len(), 24, "the pinned suite covers all 24 goldens");
+    assert_eq!(goldens.len(), 30, "the pinned suite covers all 30 goldens");
     for workers in [1usize, 4] {
         for batch in [1usize, 4, 16] {
             let records = suite_records(workers, batch);

@@ -74,7 +74,7 @@ fn catalog_suite_is_digest_identical_to_goldens_at_1_and_4_workers() {
         );
         checked += 1;
     }
-    assert_eq!(checked, 24, "the pinned suite covers all 24 goldens");
+    assert_eq!(checked, 30, "the pinned suite covers all 30 goldens");
 }
 
 /// Mission scenarios must agree across repeated runs on the full

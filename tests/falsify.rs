@@ -81,6 +81,79 @@ fn falsifier_reproduces_the_pinned_sc_starvation_counterexample() {
     let text = counterexample_to_text(ce);
     assert!(text.contains("schedule = targeted-node"));
     assert!(text.contains("schedule_node = mpr_sc"));
+    // The counterexample names the oracle checks that fired around the
+    // crash — a starved SC means the DM must have disengaged at least once.
+    assert!(
+        text.contains("switch_reasons = "),
+        "counterexample must carry a switch-reason breakdown: {text}"
+    );
+    assert!(
+        !ce.switch_reasons.is_empty(),
+        "the crashing run switches modes, so reasons must be recorded"
+    );
+}
+
+/// The same SC-starvation space turned against the ASIF filter.  ASIF
+/// clips advanced-controller commands instead of handing control to the
+/// safe controller, so starving `mpr_sc` has much less to bite on — the
+/// search's verdict (counterexample or violation-free) is pinned as a
+/// report snapshot either way, like the goldens (re-bless with
+/// `SOTER_BLESS=1`).
+#[test]
+fn falsifier_verdict_against_asif_is_pinned() {
+    use soter::core::rta::FilterKind;
+    let horizon = 15.0;
+    let search = |workers: usize| {
+        Falsifier::new(
+            catalog::stress(13, horizon, false)
+                .with_filter(FilterKind::Asif)
+                .with_name("stress-asif-falsify"),
+            ScheduleSpace {
+                nodes: vec!["mpr_sc".into()],
+                families: vec![ScheduleFamily::Targeted],
+                min_delay: Duration::from_millis(100),
+                max_delay: Duration::from_millis(1500),
+                max_width: Duration::from_secs_f64(horizon),
+                horizon,
+            },
+            FalsifierConfig {
+                budget: 16,
+                restarts: 8,
+                neighbours: 4,
+                workers,
+                seed: 7,
+                ..FalsifierConfig::default()
+            },
+        )
+    };
+    let parallel = search(4).run();
+    let sequential = search(1).run();
+    assert_eq!(
+        parallel, sequential,
+        "ASIF falsification must not depend on the worker count"
+    );
+    // The verdict is meaningful either way, but it must be the pinned one.
+    match &parallel.counterexample {
+        Some(ce) => assert!(ce.record.safety_violations >= 1, "{ce:?}"),
+        None => assert!(parallel.summary().contains("no violation found")),
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/falsify-asif-search.txt"
+    );
+    let blessing = std::env::var(soter::scenarios::golden::BLESS_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if blessing {
+        std::fs::write(path, parallel.summary()).expect("bless the ASIF search report");
+    }
+    let pinned = std::fs::read_to_string(path)
+        .expect("pinned ASIF search report exists (SOTER_BLESS=1 to create it)");
+    assert_eq!(
+        parallel.summary(),
+        pinned,
+        "the ASIF falsification verdict drifted from its pinned report"
+    );
 }
 
 /// The negative control: restricted to schedules inside the Δ-slack
