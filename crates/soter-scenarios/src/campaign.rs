@@ -513,6 +513,14 @@ pub struct RunRecord {
     pub targets_reached: usize,
     /// Whether the mission objective completed within the horizon.
     pub completed: bool,
+    /// Safety-filter interventions (AC→SC disengagements plus ASIF command
+    /// clips) of the motion-primitive modules — RTAEval's intervention
+    /// count (see [`ScenarioOutcome::interventions`]).
+    pub interventions: usize,
+    /// Milliseconds spent under safe control by the motion-primitive
+    /// modules — RTAEval's conservatism metric, in whole milliseconds so
+    /// the golden text format stays integer-only.
+    pub time_in_sc_ms: u64,
 }
 
 impl RunRecord {
@@ -529,6 +537,8 @@ impl RunRecord {
             mode_switches: outcome.mode_switches,
             targets_reached: outcome.targets_reached(),
             completed: outcome.completed,
+            interventions: outcome.interventions,
+            time_in_sc_ms: outcome.time_in_sc.as_micros() / 1_000,
         }
     }
 }
@@ -736,6 +746,8 @@ mod tests {
             mode_switches: 2,
             targets_reached: 4,
             completed,
+            interventions: 3,
+            time_in_sc_ms: 500,
         };
         let report = CampaignReport {
             records: vec![
@@ -787,6 +799,8 @@ mod tests {
             mode_switches: switches,
             targets_reached: 0,
             completed: true,
+            interventions: 0,
+            time_in_sc_ms: 0,
         };
         // First appearances: z, m, a — deliberately not sorted, and
         // revisited out of order.

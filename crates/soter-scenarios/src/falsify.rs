@@ -1140,6 +1140,8 @@ mod tests {
                 mode_switches: 20,
                 targets_reached: 3,
                 completed: true,
+                interventions: 6,
+                time_in_sc_ms: 2_400,
             },
             evaluations: 17,
             shrink_steps: 3,
@@ -1219,6 +1221,8 @@ mod tests {
             mode_switches: switches,
             targets_reached: 0,
             completed: true,
+            interventions: 0,
+            time_in_sc_ms: 0,
         };
         assert!(score(&record(1, 0, 0)) > score(&record(0, 99, 99)));
         assert!(score(&record(0, 2, 0)) > score(&record(0, 1, 99)));

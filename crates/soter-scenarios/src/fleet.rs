@@ -246,6 +246,22 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
         .iter()
         .map(|m| m.dm().disengagement_count() + m.dm().reengagement_count())
         .sum();
+    // RTAEval-style filter metrics, summed over the fleet's per-drone
+    // motion-primitive modules (the fleet's only RTA modules).
+    let end = exec.now();
+    let interventions: usize = exec
+        .system()
+        .modules()
+        .iter()
+        .map(|m| m.interventions())
+        .sum();
+    let time_in_sc = exec
+        .system()
+        .modules()
+        .iter()
+        .fold(soter_core::time::Duration::ZERO, |acc, m| {
+            acc + m.dm().time_in_sc(end)
+        });
     let collision_counts: Vec<usize> = trajectories
         .iter()
         .map(|t| collision_episodes(t, &workspace))
@@ -287,6 +303,8 @@ pub fn run_fleet(scenario: &Scenario, fleet: &FleetSpec) -> ScenarioOutcome {
         completed,
         max_deviation: None,
         fleet: Some(fleet_outcome),
+        interventions,
+        time_in_sc,
     }
 }
 

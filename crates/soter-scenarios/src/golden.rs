@@ -26,7 +26,7 @@ pub fn record_to_text(record: &RunRecord) -> String {
     format!(
         "scenario = {}\nseed = {}\ndigest = {:#018x}\nsafety_violations = {}\n\
          separation_violations = {}\ninvariant_violations = {}\nmode_switches = {}\n\
-         targets_reached = {}\ncompleted = {}\n",
+         targets_reached = {}\ncompleted = {}\ninterventions = {}\ntime_in_sc_ms = {}\n",
         record.scenario,
         record.seed,
         record.digest,
@@ -35,7 +35,9 @@ pub fn record_to_text(record: &RunRecord) -> String {
         record.invariant_violations,
         record.mode_switches,
         record.targets_reached,
-        record.completed
+        record.completed,
+        record.interventions,
+        record.time_in_sc_ms
     )
 }
 
@@ -44,7 +46,7 @@ pub fn record_to_text(record: &RunRecord) -> String {
 /// exactly these keys, each at most once; embedding formats (the
 /// falsifier's counterexample files) use this list to slice the record
 /// section out of a larger document before parsing.
-pub const RECORD_KEYS: [&str; 9] = [
+pub const RECORD_KEYS: [&str; 11] = [
     "scenario",
     "seed",
     "digest",
@@ -54,6 +56,8 @@ pub const RECORD_KEYS: [&str; 9] = [
     "mode_switches",
     "targets_reached",
     "completed",
+    "interventions",
+    "time_in_sc_ms",
 ];
 
 /// Parses the text format produced by [`record_to_text`].
@@ -121,6 +125,10 @@ pub fn record_from_text(text: &str) -> Result<RunRecord, GoldenError> {
         mode_switches: parse_usize("mode_switches", field("mode_switches")?)?,
         targets_reached: parse_usize("targets_reached", field("targets_reached")?)?,
         completed: field("completed")? == "true",
+        interventions: parse_usize("interventions", field("interventions")?)?,
+        time_in_sc_ms: field("time_in_sc_ms")?
+            .parse::<u64>()
+            .map_err(|_| GoldenError::Parse("field `time_in_sc_ms` is not an integer".into()))?,
     })
 }
 
@@ -227,6 +235,8 @@ mod tests {
             mode_switches: 7,
             targets_reached: 4,
             completed: true,
+            interventions: 5,
+            time_in_sc_ms: 1_250,
         }
     }
 
@@ -265,7 +275,7 @@ mod tests {
             "unhelpful duplicate-key error: {message}"
         );
         assert!(
-            message.contains("line 10"),
+            message.contains("line 12"),
             "the error must name the offending line: {message}"
         );
     }

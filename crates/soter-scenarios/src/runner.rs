@@ -287,6 +287,14 @@ pub struct ScenarioOutcome {
     pub max_deviation: Option<f64>,
     /// Per-drone airspace detail (`None` for single-drone scenarios).
     pub fleet: Option<crate::fleet::FleetOutcome>,
+    /// Safety-filter interventions (RTAEval's intervention count): AC→SC
+    /// disengagements plus ASIF command clips, summed over the
+    /// motion-primitive modules (0 for planner-query scenarios).
+    pub interventions: usize,
+    /// Total time spent under safe control by the motion-primitive
+    /// modules — RTAEval's conservatism metric (zero for planner-query
+    /// scenarios).
+    pub time_in_sc: soter_core::time::Duration,
 }
 
 impl ScenarioOutcome {
@@ -429,6 +437,8 @@ fn summarise_mission(
         max_deviation,
         metrics: Some(metrics),
         planner: None,
+        interventions: outcome.mpr_interventions,
+        time_in_sc: outcome.time_in_sc,
         run: Some(outcome),
         fleet: None,
     }
@@ -850,6 +860,8 @@ fn run_planner_queries(
         max_deviation: None,
         planner: Some(report),
         fleet: None,
+        interventions: 0,
+        time_in_sc: soter_core::time::Duration::ZERO,
     }
 }
 

@@ -369,6 +369,8 @@ mod tests {
                     mode_switches: 1,
                     targets_reached: 2,
                     completed: true,
+                    interventions: 1,
+                    time_in_sc_ms: 750,
                 },
                 RunRecord {
                     scenario: "serve-smoke".into(),
@@ -380,6 +382,8 @@ mod tests {
                     mode_switches: 1,
                     targets_reached: 2,
                     completed: true,
+                    interventions: 1,
+                    time_in_sc_ms: 750,
                 },
             ],
             workers: 1,

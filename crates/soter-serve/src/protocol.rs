@@ -219,6 +219,8 @@ mod tests {
             mode_switches: 1,
             targets_reached: 2,
             completed: true,
+            interventions: 1,
+            time_in_sc_ms: 750,
         }
     }
 
