@@ -113,7 +113,11 @@ fn line_system() -> RtaSystem {
 }
 
 fn surveillance_system() -> RtaSystem {
-    let scenario = catalog::fig12b(7, 2, 400.0);
+    surveillance_system_with_filter(FilterKind::ExplicitSimplex)
+}
+
+fn surveillance_system_with_filter(filter: FilterKind) -> RtaSystem {
+    let scenario = catalog::fig12b(7, 2, 400.0).with_filter(filter);
     let workspace = scenario.workspace.build();
     let config = scenario.stack_config(&workspace);
     let MissionSpec::Surveillance { policy, .. } = &scenario.mission else {
@@ -164,6 +168,35 @@ fn measure(build: &dyn Fn() -> RtaSystem, record_trace: bool, horizon: f64, reps
     best
 }
 
+/// Wall-clock nanoseconds per decision-module evaluation on the
+/// surveillance stack under `filter`, amortised over a full-stack run so
+/// command-aware filter work outside the DM proper (the implicit filter's
+/// command-reach queries, the ASIF projection gate) is charged to the
+/// decisions that gate on it.  Best (minimum) of `reps` repetitions.
+fn measure_decision_ns(filter: FilterKind, horizon: f64, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let system = surveillance_system_with_filter(filter);
+        let config = ExecutorConfig {
+            record_trace: false,
+            ..ExecutorConfig::default()
+        };
+        let mut exec = Executor::with_config(system, config);
+        let start = Instant::now();
+        exec.run_until(Time::from_secs_f64(horizon));
+        let elapsed_ns = start.elapsed().as_nanos() as f64;
+        let evaluations: u64 = exec
+            .system()
+            .modules()
+            .iter()
+            .map(|m| m.dm().evaluations())
+            .sum();
+        assert!(evaluations > 0, "the stack evaluated no decisions");
+        best = best.min(elapsed_ns / evaluations as f64);
+    }
+    best
+}
+
 fn main() {
     let quick = std::env::var("BENCH_QUICK")
         .map(|v| v == "1")
@@ -189,6 +222,19 @@ fn main() {
                 "firings/s",
             ));
         }
+    }
+    // Per-filter decision cost on the surveillance stack, so the overhead
+    // of each safety filter is tracked by the same regression gate (lower
+    // is better; the gate is direction-aware on the unit).
+    let decision_horizon = if quick { 10.0 } else { 30.0 };
+    for filter in FilterKind::ALL {
+        let ns = measure_decision_ns(filter, decision_horizon, reps);
+        println!("decision/{:<9}: {ns:>12.0} ns/decision", filter.slug());
+        entries.push(BenchEntry::new(
+            format!("decision/{}", filter.slug()),
+            ns,
+            "ns/decision",
+        ));
     }
     // `cargo bench` runs with the package directory as cwd; resolve
     // relative paths against the workspace root so CI can pass repo-level
@@ -231,11 +277,18 @@ fn main() {
                 ));
                 continue;
             };
-            let floor = b.value * 0.75;
-            if fresh.value < floor {
+            // Direction-aware: throughput rows (firings/s) regress by
+            // dropping, cost rows (ns/decision) by rising.
+            let lower_is_better = b.unit.starts_with("ns");
+            let regressed = if lower_is_better {
+                fresh.value > b.value * 1.25
+            } else {
+                fresh.value < b.value * 0.75
+            };
+            if regressed {
                 failures.push(format!(
-                    "{}: {:.0} firings/s is a >25% regression vs baseline {:.0}",
-                    b.name, fresh.value, b.value
+                    "{}: {:.0} {} is a >25% regression vs baseline {:.0}",
+                    b.name, fresh.value, b.unit, b.value
                 ));
             }
         }

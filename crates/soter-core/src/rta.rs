@@ -39,7 +39,7 @@ impl fmt::Display for Mode {
 /// SOTER's generated decision module is classic *switching Simplex*; the
 /// wider runtime-assurance literature (RTAEval and the generalized-RTA
 /// family) spans a zoo of filters that trade conservatism against
-/// intervention frequency.  The kind is fixed at [`RtaModule::build`] time
+/// intervention frequency.  The kind is fixed at [`RtaModuleBuilder::build`] time
 /// and changes both what the decision module checks every `Δ` and how the
 /// advanced controller's output reaches the rest of the system:
 ///
@@ -133,7 +133,7 @@ pub trait SafetyOracle: Send + Sync {
     /// ([`SafetyOracle::command_may_leave_safe`] and
     /// [`SafetyOracle::project_command`]) that the implicit-Simplex and ASIF
     /// filters require.  The default is `false`: state-only oracles remain
-    /// valid, and [`RtaModule::build`] rejects command-level filters over
+    /// valid, and [`RtaModuleBuilder::build`] rejects command-level filters over
     /// them (wellformedness of the filter kind).
     fn supports_command_checks(&self) -> bool {
         false
@@ -966,7 +966,7 @@ mod tests {
             .step_to_map(crate::time::Time::ZERO, &observed);
         let clipped = out.get("command").and_then(Value::as_float).unwrap();
         assert!(
-            clipped < 1.0 && clipped >= 0.0,
+            (0.0..1.0).contains(&clipped),
             "command must be clipped toward the brake, got {clipped}"
         );
         assert!(

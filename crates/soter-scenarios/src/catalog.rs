@@ -350,6 +350,19 @@ pub fn filter_zoo_bases() -> Vec<Scenario> {
     ]
 }
 
+/// A cheap subset of the cross-filter comparison for the CI
+/// `filter-compare-smoke` step: the same three mission families as
+/// [`filter_zoo_bases`] at much shorter horizons.  The `-smoke` names keep
+/// these runs out of the golden suite — the smoke step checks the
+/// ASIF-vs-explicit *verdicts*, not digests.
+pub fn filter_zoo_smoke_bases() -> Vec<Scenario> {
+    vec![
+        fig12b(7, 2, 40.0).with_name("fig12b-surveillance-smoke"),
+        airspace_crossing(2, 21, 6.0).with_name("airspace-crossing-2-smoke"),
+        stress(13, 20.0, false).with_name("stress-ideal-smoke"),
+    ]
+}
+
 /// The filter-zoo variants: every [`filter_zoo_bases`] mission re-run under
 /// the implicit-Simplex and ASIF filters.  Each variant pins its own
 /// golden; the explicit baselines are already in the suite unsuffixed.

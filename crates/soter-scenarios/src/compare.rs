@@ -1,0 +1,346 @@
+//! Cross-filter comparison campaigns: score every [`FilterKind`] over a
+//! set of base missions, RTAEval-style.
+//!
+//! A [`FilterComparison`] expands each base mission into one scenario per
+//! safety filter (the explicit-Simplex baseline keeps the base's own name
+//! and seed, so its cell is exactly the mission's committed golden; the
+//! implicit and ASIF variants use [`Scenario::filter_variant`] names) and
+//! fans the matrix out through the [`Campaign`] engine.  The report is a
+//! worker-count-independent table of the RTAEval metrics — interventions,
+//! time-in-SC conservatism, and violations — plus one verdict line per
+//! mission comparing the ASIF filter against the explicit baseline.
+//!
+//! The verdict pins the zoo's headline claim: a minimal-intervention
+//! filter is *strictly less conservative* than switching Simplex (lower
+//! time-in-SC) while never trading away φ_safe.  A verdict that stops
+//! holding is a behaviour flip, and the CI `filter-compare-smoke` step
+//! fails on it (see `tests/filter_compare.rs`).
+
+use crate::campaign::{Campaign, RunRecord};
+use crate::catalog;
+use crate::spec::Scenario;
+use soter_core::rta::FilterKind;
+use std::fmt::Write as _;
+
+/// One (mission, filter) cell of the comparison matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterCell {
+    /// Name of the base mission (the explicit-Simplex scenario's name).
+    pub base: String,
+    /// The safety filter this cell ran under.
+    pub filter: FilterKind,
+    /// The run's full record (digest + RTAEval metrics).
+    pub record: RunRecord,
+}
+
+/// The per-mission ASIF-vs-explicit verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterVerdict {
+    /// Name of the base mission.
+    pub base: String,
+    /// Time-in-SC of the ASIF cell, milliseconds.
+    pub asif_time_in_sc_ms: u64,
+    /// Time-in-SC of the explicit-Simplex cell, milliseconds.
+    pub explicit_time_in_sc_ms: u64,
+    /// φ_safe violations summed over *all* the mission's filter cells.
+    pub safety_violations: usize,
+}
+
+impl FilterVerdict {
+    /// Whether the zoo's headline claim holds on this mission: the ASIF
+    /// filter is strictly less conservative than explicit Simplex and no
+    /// filter violated φ_safe.
+    pub fn holds(&self) -> bool {
+        self.asif_time_in_sc_ms < self.explicit_time_in_sc_ms && self.safety_violations == 0
+    }
+}
+
+/// A cross-filter comparison campaign over a set of base missions.
+#[derive(Debug, Clone)]
+pub struct FilterComparison {
+    bases: Vec<Scenario>,
+    workers: usize,
+}
+
+impl FilterComparison {
+    /// A comparison over explicit base missions.  Each base should be an
+    /// explicit-Simplex scenario; the other filters are derived from it.
+    pub fn new(bases: Vec<Scenario>) -> Self {
+        FilterComparison { bases, workers: 1 }
+    }
+
+    /// The pinned catalog comparison: [`catalog::filter_zoo_bases`] (one
+    /// surveillance, one airspace, one stress mission in their golden-suite
+    /// configurations), so every cell reproduces a committed golden.
+    pub fn over_catalog() -> Self {
+        FilterComparison::new(catalog::filter_zoo_bases())
+    }
+
+    /// The cheap CI-smoke comparison: [`catalog::filter_zoo_smoke_bases`]
+    /// (the same mission families at short horizons, no pinned goldens).
+    pub fn smoke() -> Self {
+        FilterComparison::new(catalog::filter_zoo_smoke_bases())
+    }
+
+    /// Sets the campaign worker count (the report is worker-count
+    /// independent; see `tests/filter_compare.rs`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The expanded scenario matrix, in report order: every base under
+    /// every [`FilterKind::ALL`] entry.  The explicit cell is the base
+    /// itself (same name, same golden); the others are
+    /// [`Scenario::filter_variant`]s.
+    pub fn matrix(&self) -> Vec<Scenario> {
+        let mut jobs = Vec::new();
+        for base in &self.bases {
+            for filter in FilterKind::ALL {
+                jobs.push(if filter == FilterKind::ExplicitSimplex {
+                    base.clone()
+                } else {
+                    base.filter_variant(filter)
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Runs the matrix through the campaign engine and collects the cells.
+    pub fn run(&self) -> FilterComparisonReport {
+        let report = Campaign::new(self.matrix())
+            .with_workers(self.workers)
+            .run();
+        // Campaign records preserve matrix order, so the zip below is the
+        // (base × filter) expansion order of `matrix()`.
+        let cells = self
+            .bases
+            .iter()
+            .flat_map(|base| FilterKind::ALL.into_iter().map(move |f| (base, f)))
+            .zip(report.records)
+            .map(|((base, filter), record)| FilterCell {
+                base: base.name.clone(),
+                filter,
+                record,
+            })
+            .collect();
+        FilterComparisonReport { cells }
+    }
+}
+
+/// The result of a [`FilterComparison`] run: one cell per (mission,
+/// filter) pair, in matrix order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterComparisonReport {
+    /// All cells, grouped by base mission in matrix order.
+    pub cells: Vec<FilterCell>,
+}
+
+impl FilterComparisonReport {
+    /// Looks up the cell of a base mission under a filter.
+    pub fn cell(&self, base: &str, filter: FilterKind) -> Option<&FilterCell> {
+        self.cells
+            .iter()
+            .find(|c| c.base == base && c.filter == filter)
+    }
+
+    /// The base-mission names, in first-appearance order.
+    pub fn bases(&self) -> Vec<&str> {
+        let mut bases: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !bases.contains(&c.base.as_str()) {
+                bases.push(&c.base);
+            }
+        }
+        bases
+    }
+
+    /// The per-mission ASIF-vs-explicit verdicts, in base order.  Missions
+    /// missing either cell are skipped (a partial comparison has no
+    /// verdict to flip).
+    pub fn verdicts(&self) -> Vec<FilterVerdict> {
+        self.bases()
+            .into_iter()
+            .filter_map(|base| {
+                let explicit = self.cell(base, FilterKind::ExplicitSimplex)?;
+                let asif = self.cell(base, FilterKind::Asif)?;
+                let safety_violations = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.base == base)
+                    .map(|c| c.record.safety_violations)
+                    .sum();
+                Some(FilterVerdict {
+                    base: base.to_string(),
+                    asif_time_in_sc_ms: asif.record.time_in_sc_ms,
+                    explicit_time_in_sc_ms: explicit.record.time_in_sc_ms,
+                    safety_violations,
+                })
+            })
+            .collect()
+    }
+
+    /// The verdicts that do *not* hold — what the CI smoke step fails on.
+    pub fn flipped(&self) -> Vec<FilterVerdict> {
+        self.verdicts().into_iter().filter(|v| !v.holds()).collect()
+    }
+
+    /// Renders the comparison as a text report.  Deliberately contains no
+    /// worker count or wall-clock figures: the same matrix renders
+    /// byte-identically whatever the campaign parallelism, so the report
+    /// itself can be pinned as a golden artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cross-filter comparison: {} missions x {} filters",
+            self.bases().len(),
+            FilterKind::ALL.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:<9} {:>18} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "mission",
+            "filter",
+            "digest",
+            "interv",
+            "sc-ms",
+            "phi-viol",
+            "sep-viol",
+            "inv-viol",
+            "switches"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<34} {:<9} {:#018x} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                c.record.scenario,
+                c.filter.slug(),
+                c.record.digest,
+                c.record.interventions,
+                c.record.time_in_sc_ms,
+                c.record.safety_violations,
+                c.record.separation_violations,
+                c.record.invariant_violations,
+                c.record.mode_switches
+            );
+        }
+        for v in self.verdicts() {
+            let _ = writeln!(
+                out,
+                "verdict {}: asif {} ms in SC vs explicit {} ms, {} phi_safe violations across filters -- {}",
+                v.base,
+                v.asif_time_in_sc_ms,
+                v.explicit_time_in_sc_ms,
+                v.safety_violations,
+                if v.holds() { "ok" } else { "FLIP" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, time_in_sc_ms: u64, safety: usize) -> RunRecord {
+        RunRecord {
+            scenario: scenario.into(),
+            seed: 7,
+            digest: 0x0123_4567_89ab_cdef,
+            safety_violations: safety,
+            separation_violations: 0,
+            invariant_violations: 0,
+            mode_switches: 4,
+            targets_reached: 2,
+            completed: true,
+            interventions: 3,
+            time_in_sc_ms,
+        }
+    }
+
+    fn cell(base: &str, filter: FilterKind, time_in_sc_ms: u64, safety: usize) -> FilterCell {
+        let name = if filter == FilterKind::ExplicitSimplex {
+            base.to_string()
+        } else {
+            format!("{base}-{}", filter.slug())
+        };
+        FilterCell {
+            base: base.into(),
+            filter,
+            record: record(&name, time_in_sc_ms, safety),
+        }
+    }
+
+    fn report() -> FilterComparisonReport {
+        FilterComparisonReport {
+            cells: vec![
+                cell("m1", FilterKind::ExplicitSimplex, 2500, 0),
+                cell("m1", FilterKind::ImplicitSimplex, 6000, 0),
+                cell("m1", FilterKind::Asif, 100, 0),
+                cell("m2", FilterKind::ExplicitSimplex, 300, 0),
+                cell("m2", FilterKind::ImplicitSimplex, 250, 0),
+                cell("m2", FilterKind::Asif, 300, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn verdicts_compare_asif_against_the_explicit_baseline() {
+        let verdicts = report().verdicts();
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].holds(), "100 < 2500 with zero phi_safe");
+        assert!(
+            !verdicts[1].holds(),
+            "equal time-in-SC is not *strictly* lower"
+        );
+        assert_eq!(report().flipped(), vec![verdicts[1].clone()]);
+    }
+
+    #[test]
+    fn a_safety_violation_under_any_filter_flips_the_verdict() {
+        let mut r = report();
+        // The implicit cell of m1 violates phi_safe: the verdict must flip
+        // even though the asif-vs-explicit inequality still holds.
+        r.cells[1].record.safety_violations = 1;
+        let v = &r.verdicts()[0];
+        assert_eq!(v.safety_violations, 1);
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn render_tabulates_cells_and_verdicts() {
+        let text = report().render();
+        assert!(text.contains("cross-filter comparison: 2 missions x 3 filters"));
+        assert!(text.contains("m1-asif"));
+        assert!(text.contains("verdict m1: asif 100 ms in SC vs explicit 2500 ms"));
+        assert!(text.contains("-- ok"));
+        assert!(text.contains("verdict m2:"));
+        assert!(text.contains("-- FLIP"));
+    }
+
+    #[test]
+    fn matrix_expands_every_base_under_every_filter() {
+        let comparison = FilterComparison::over_catalog();
+        let matrix = comparison.matrix();
+        assert_eq!(matrix.len(), catalog::filter_zoo_bases().len() * 3);
+        // The explicit cell is the base itself, so its golden is the
+        // mission's committed one.
+        assert_eq!(matrix[0].name, catalog::filter_zoo_bases()[0].name);
+        assert_eq!(matrix[1].name, format!("{}-implicit", matrix[0].name));
+        assert_eq!(matrix[2].name, format!("{}-asif", matrix[0].name));
+    }
+
+    #[test]
+    fn cell_lookup_is_keyed_by_base_and_filter() {
+        let r = report();
+        assert_eq!(
+            r.cell("m1", FilterKind::Asif).unwrap().record.time_in_sc_ms,
+            100
+        );
+        assert!(r.cell("m3", FilterKind::Asif).is_none());
+        assert_eq!(r.bases(), vec!["m1", "m2"]);
+    }
+}

@@ -195,7 +195,7 @@ pub struct Counterexample {
     /// Mode-switch reason breakdown of the violating run's
     /// motion-primitive module, in first-occurrence order — which oracle
     /// checks fired around the crash (see
-    /// [`SwitchReason`](soter_core::dm::SwitchReason)).
+    /// [`SwitchReason`]).
     pub switch_reasons: Vec<(SwitchReason, usize)>,
 }
 

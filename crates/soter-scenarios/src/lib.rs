@@ -23,6 +23,9 @@
 //!   per-run results; aggregate with a
 //!   [`CampaignReport`] or stream records through
 //!   a bounded channel ([`Campaign::stream`]),
+//! * [`compare`] — cross-filter comparison campaigns: every
+//!   [`FilterKind`](soter_core::rta::FilterKind) scored RTAEval-style over
+//!   a set of base missions, with per-mission ASIF-vs-explicit verdicts,
 //! * [`falsify`] — adversarial jitter-schedule falsification: random
 //!   restarts + local search over deterministic
 //!   [`JitterSchedule`](soter_runtime::schedule::JitterSchedule)s, fanned
@@ -59,6 +62,7 @@
 
 pub mod campaign;
 pub mod catalog;
+pub mod compare;
 pub mod experiments;
 pub mod falsify;
 pub mod fleet;

@@ -1,0 +1,120 @@
+//! Cross-filter comparison campaign tests: the pinned catalog comparison
+//! must reproduce the committed filter-zoo goldens cell-for-cell at 1 and
+//! 4 workers, its rendered report is pinned under `tests/golden/`, and the
+//! CI `filter-compare-smoke` matrix (short horizons) must keep every
+//! ASIF-vs-explicit verdict — a verdict flip fails the smoke step.
+
+use soter::core::rta::FilterKind;
+use soter::scenarios::compare::FilterComparison;
+use soter::scenarios::golden::record_from_text;
+use std::fs;
+use std::path::Path;
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+/// The acceptance gate of the filter zoo: the comparison report over the
+/// catalog bases reproduces the committed goldens (digest *and* RTAEval
+/// metrics, cell for cell) identically at 1 and 4 workers, and every
+/// mission's verdict holds — ASIF strictly less conservative than explicit
+/// Simplex, zero φ_safe violations under any filter.
+#[test]
+fn catalog_comparison_reproduces_the_goldens_at_1_and_4_workers() {
+    let sequential = FilterComparison::over_catalog().with_workers(1).run();
+    let parallel = FilterComparison::over_catalog().with_workers(4).run();
+    assert_eq!(
+        sequential, parallel,
+        "the comparison must be worker-count independent"
+    );
+    assert_eq!(sequential.render(), parallel.render());
+
+    // Every cell is a committed golden: the report's numbers are the
+    // pinned numbers, not merely self-consistent ones.
+    assert_eq!(sequential.cells.len(), 9);
+    for cell in &sequential.cells {
+        let path = golden_dir().join(format!(
+            "{}-s{}.golden",
+            cell.record.scenario, cell.record.seed
+        ));
+        let pinned = record_from_text(&fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("cannot read {}: {e}", path.display());
+        }))
+        .expect("committed goldens parse");
+        assert_eq!(
+            cell.record, pinned,
+            "comparison cell `{}` diverges from its golden",
+            cell.record.scenario
+        );
+    }
+
+    let verdicts = sequential.verdicts();
+    assert_eq!(verdicts.len(), 3);
+    for v in &verdicts {
+        assert!(
+            v.holds(),
+            "verdict flipped on `{}`:\n{}",
+            v.base,
+            sequential.render()
+        );
+    }
+
+    // The rendered report itself is pinned (re-bless with SOTER_BLESS=1).
+    let pinned_report = golden_dir().join("filter-compare.txt");
+    let blessing = std::env::var("SOTER_BLESS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if blessing {
+        fs::write(&pinned_report, sequential.render()).expect("bless filter-compare report");
+    } else {
+        let expected = fs::read_to_string(&pinned_report).unwrap_or_else(|e| {
+            panic!("cannot read {}: {e}", pinned_report.display());
+        });
+        assert_eq!(
+            sequential.render(),
+            expected,
+            "filter-compare report drifted from the pinned artifact \
+             (re-bless with SOTER_BLESS=1 if intentional)"
+        );
+    }
+}
+
+/// The CI `filter-compare-smoke` job: the short-horizon comparison must
+/// keep every verdict, and the rendered report is written to
+/// `target/filter-compare-report.txt` (override with the
+/// `FILTER_COMPARE_REPORT` environment variable) for artifact upload.
+#[test]
+fn filter_compare_smoke_keeps_verdicts_and_writes_the_report() {
+    let report = FilterComparison::smoke().with_workers(4).run();
+    assert_eq!(report.cells.len(), 9);
+    // Short horizons still separate the filters: the ASIF cells spend
+    // strictly less time under safe control than the explicit baselines,
+    // and no filter trades φ_safe away.
+    assert!(
+        report.flipped().is_empty(),
+        "smoke verdict flip:\n{}",
+        report.render()
+    );
+    // ASIF clips instead of switching, so it must also intervene *more*
+    // often than the explicit baseline here — a zero intervention count
+    // would mean the projection gate is not engaging at all.
+    for base in report.bases() {
+        let explicit = report.cell(base, FilterKind::ExplicitSimplex).unwrap();
+        let asif = report.cell(base, FilterKind::Asif).unwrap();
+        assert!(
+            asif.record.interventions > explicit.record.interventions,
+            "ASIF should clip more often than explicit switches on `{base}`:\n{}",
+            report.render()
+        );
+    }
+    let path = std::env::var("FILTER_COMPARE_REPORT").unwrap_or_else(|_| {
+        format!(
+            "{}/target/filter-compare-report.txt",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    if let Some(parent) = Path::new(&path).parent() {
+        fs::create_dir_all(parent).expect("report directory");
+    }
+    fs::write(&path, report.render()).expect("write filter-compare report");
+}
