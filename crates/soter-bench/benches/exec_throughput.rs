@@ -21,7 +21,7 @@
 //! number per workload, not a sample distribution, so this target drives
 //! the measurement loop directly (`harness = false`).
 
-use soter_bench::{parse_entries, write_json, BenchEntry};
+use soter_bench::{gate_against_env_baseline, write_json, BenchEntry};
 use soter_core::composition::RtaSystem;
 use soter_core::node::FnNode;
 use soter_core::prelude::*;
@@ -263,40 +263,5 @@ fn main() {
 
     // CI regression gate: compare against the committed baseline, with a
     // tolerant threshold to absorb runner noise.
-    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
-        let baseline_path = resolve(baseline_path);
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", baseline_path.display()));
-        let baseline = parse_entries(&text);
-        let mut failures = Vec::new();
-        for b in &baseline {
-            let Some(fresh) = entries.iter().find(|e| e.name == b.name) else {
-                failures.push(format!(
-                    "baseline entry `{}` missing from fresh run",
-                    b.name
-                ));
-                continue;
-            };
-            // Direction-aware: throughput rows (firings/s) regress by
-            // dropping, cost rows (ns/decision) by rising.
-            let lower_is_better = b.unit.starts_with("ns");
-            let regressed = if lower_is_better {
-                fresh.value > b.value * 1.25
-            } else {
-                fresh.value < b.value * 0.75
-            };
-            if regressed {
-                failures.push(format!(
-                    "{}: {:.0} {} is a >25% regression vs baseline {:.0}",
-                    b.name, fresh.value, b.unit, b.value
-                ));
-            }
-        }
-        assert!(
-            failures.is_empty(),
-            "bench-smoke regression gate failed:\n{}",
-            failures.join("\n")
-        );
-        println!("regression gate passed against {}", baseline_path.display());
-    }
+    gate_against_env_baseline("bench-smoke", &workspace_root, &entries);
 }

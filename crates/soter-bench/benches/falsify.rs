@@ -24,7 +24,7 @@
 //! Not a Criterion bench: throughput gating needs one deterministic
 //! number per row, not a sample distribution (`harness = false`).
 
-use soter_bench::{parse_entries, write_json, BenchEntry};
+use soter_bench::{gate_against_env_baseline, write_json, BenchEntry};
 use soter_core::time::{Duration, Time};
 use soter_runtime::schedule::JitterSchedule;
 use soter_scenarios::campaign::{Campaign, RunRecord};
@@ -243,34 +243,7 @@ fn main() {
     println!("wrote {}", out.display());
 
     // CI regression gate: compare against the committed baseline, with a
-    // tolerant threshold to absorb runner noise.
-    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
-        let baseline_path = resolve(baseline_path);
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", baseline_path.display()));
-        let baseline = parse_entries(&text);
-        let mut failures = Vec::new();
-        for b in &baseline {
-            let Some(fresh) = entries.iter().find(|e| e.name == b.name) else {
-                failures.push(format!(
-                    "baseline entry `{}` missing from fresh run",
-                    b.name
-                ));
-                continue;
-            };
-            let floor = b.value * 0.75;
-            if fresh.value < floor {
-                failures.push(format!(
-                    "{}: {:.1} schedules/s is a >25% regression vs baseline {:.1}",
-                    b.name, fresh.value, b.value
-                ));
-            }
-        }
-        assert!(
-            failures.is_empty(),
-            "falsify-smoke regression gate failed:\n{}",
-            failures.join("\n")
-        );
-        println!("regression gate passed against {}", baseline_path.display());
-    }
+    // tolerant threshold to absorb runner noise.  Direction-aware via the
+    // shared helper, so any future ns-unit (cost) row gates on *rising*.
+    gate_against_env_baseline("falsify-smoke", &workspace_root, &entries);
 }

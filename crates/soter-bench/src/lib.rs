@@ -119,6 +119,66 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
     entries
 }
 
+/// Compares a fresh run against a committed baseline, direction-aware
+/// by unit: cost-like rows (unit starting with `ns`) regress by *rising*
+/// more than 25%, rate-like rows (everything else — `firings/s`,
+/// `schedules/s`, speedup ratios) by *dropping* more than 25%.  A
+/// baseline entry missing from the fresh run is also a failure —
+/// silently dropping a row would defeat the gate.  Returns one message
+/// per failure; empty means the gate passes.
+pub fn regression_gate(baseline: &[BenchEntry], fresh: &[BenchEntry]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some(f) = fresh.iter().find(|e| e.name == b.name) else {
+            failures.push(format!(
+                "baseline entry `{}` missing from fresh run",
+                b.name
+            ));
+            continue;
+        };
+        let lower_is_better = b.unit.starts_with("ns");
+        let regressed = if lower_is_better {
+            f.value > b.value * 1.25
+        } else {
+            f.value < b.value * 0.75
+        };
+        if regressed {
+            let direction = if lower_is_better { "rise" } else { "drop" };
+            failures.push(format!(
+                "{}: {:.1} {} is a >25% {direction} vs baseline {:.1}",
+                b.name, f.value, b.unit, b.value
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs [`regression_gate`] against the baseline file named by the
+/// `BENCH_BASELINE` environment variable (resolved relative to
+/// `workspace_root` when not absolute) and panics with the collected
+/// failures — the shared tail of every `harness = false` bench's CI gate.
+/// No-op when `BENCH_BASELINE` is unset.
+pub fn gate_against_env_baseline(gate_name: &str, workspace_root: &Path, fresh: &[BenchEntry]) {
+    let Ok(baseline_path) = std::env::var("BENCH_BASELINE") else {
+        return;
+    };
+    let path = Path::new(&baseline_path);
+    let path = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        workspace_root.join(path)
+    };
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+    let failures = regression_gate(&parse_entries(&text), fresh);
+    assert!(
+        failures.is_empty(),
+        "{gate_name} regression gate failed:\n{}",
+        failures.join("\n")
+    );
+    println!("regression gate passed against {}", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +196,39 @@ mod tests {
         assert_eq!(parsed[0].name, "line/no-trace");
         assert!((parsed[0].value - 123456.5).abs() < 0.01);
         assert_eq!(parsed[1].unit, "firings/s");
+    }
+
+    #[test]
+    fn regression_gate_is_direction_aware_and_flags_missing_rows() {
+        let baseline = vec![
+            BenchEntry::new("exec/throughput", 1000.0, "firings/s"),
+            BenchEntry::new("decision/cost", 100.0, "ns/decision"),
+            BenchEntry::new("campaign/warm-repeat", 20.0, "x speedup"),
+        ];
+        // Within tolerance in both directions: pass.
+        let fresh = vec![
+            BenchEntry::new("exec/throughput", 800.0, "firings/s"),
+            BenchEntry::new("decision/cost", 120.0, "ns/decision"),
+            BenchEntry::new("campaign/warm-repeat", 16.0, "x speedup"),
+        ];
+        assert!(regression_gate(&baseline, &fresh).is_empty());
+        // A rate dropping >25%, a cost rising >25%, and a missing row all
+        // fail; a cost *dropping* is an improvement, not a failure.
+        let fresh = vec![
+            BenchEntry::new("exec/throughput", 700.0, "firings/s"),
+            BenchEntry::new("decision/cost", 130.0, "ns/decision"),
+        ];
+        let failures = regression_gate(&baseline, &fresh);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("exec/throughput")));
+        assert!(failures.iter().any(|f| f.contains("decision/cost")));
+        assert!(failures.iter().any(|f| f.contains("warm-repeat")));
+        let improved = vec![
+            BenchEntry::new("exec/throughput", 2000.0, "firings/s"),
+            BenchEntry::new("decision/cost", 10.0, "ns/decision"),
+            BenchEntry::new("campaign/warm-repeat", 40.0, "x speedup"),
+        ];
+        assert!(regression_gate(&baseline, &improved).is_empty());
     }
 
     #[test]

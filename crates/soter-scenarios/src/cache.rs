@@ -1,0 +1,548 @@
+//! Content-addressed campaign result cache.
+//!
+//! A campaign cell is fully determined by its resolved [`Scenario`] value
+//! (which embeds the seed and safety filter): re-running it reproduces the
+//! same [`RunRecord`] byte for byte — that determinism is what the golden
+//! suite pins.  [`ResultCache`] exploits it: records are stored under a
+//! [`ScenarioFingerprint`] content hash of the resolved spec, so repeated
+//! campaign requests (the daemon's bread and butter: the same comparison
+//! matrix re-swept after an unrelated change) answer from memory instead
+//! of re-simulating.
+//!
+//! # Content addressing and invalidation
+//!
+//! The fingerprint is FNV-1a over the **fully-resolved spec fields** plus
+//! an engine-version salt ([`ENGINE_VERSION`]):
+//!
+//! * Editing any spec field — a workspace bound, the seed, the filter, a
+//!   jitter window — changes the hash, so stale entries are unreachable
+//!   rather than invalidated by bookkeeping.
+//! * Bumping [`ENGINE_VERSION`] (the releasing change: executor, physics
+//!   or record semantics changed behaviour) orphans every old entry at
+//!   once.
+//! * The catalog is *not* consulted: a scenario hashed today and the same
+//!   scenario reconstructed from a request tomorrow produce the same key,
+//!   whether or not a catalog entry still points at them.  The `name`
+//!   field does participate — not as a registry key, but because the run
+//!   digest folds the name into the trace hash, so a renamed alias of an
+//!   identical spec legitimately produces different record *bytes* and
+//!   must not share an entry.
+//!
+//! # Storage
+//!
+//! In memory the cache is a bounded LRU.  Optionally it is backed by an
+//! append-only on-disk **segment**: each insert appends one framed entry
+//! (a `CACHE <fingerprint>` header, the record in golden text format, an
+//! `END` terminator) in a single write, and a daemon restart replays the
+//! segment to start warm.  Loading is tolerant exactly where appending
+//! can tear: a torn final entry truncates the tail, and any corrupt entry
+//! in the middle (bit rot, hand edits) is skipped — validated by the same
+//! strict [`record_from_text`] parser the golden suite and the shard wire
+//! protocol use.
+
+use crate::campaign::RunRecord;
+use crate::golden::{record_from_text, record_to_text};
+use crate::spec::Scenario;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The engine-version salt folded into every fingerprint.  Bump it when a
+/// behaviour-affecting engine change (executor scheduling, plant physics,
+/// oracle semantics, record fields) makes previously-cached records stale
+/// for unchanged specs — the golden suite catches exactly these changes,
+/// so "the goldens needed re-blessing" is the signal to bump.
+pub const ENGINE_VERSION: u64 = 1;
+
+/// Content hash of one fully-resolved campaign cell (spec, seed, filter
+/// and engine salt).  Display renders the `{:#018x}` form used by the
+/// disk segment and hit/miss reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScenarioFingerprint(pub u64);
+
+impl fmt::Display for ScenarioFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// Fingerprints a scenario under the current [`ENGINE_VERSION`].
+pub fn scenario_fingerprint(scenario: &Scenario) -> ScenarioFingerprint {
+    fingerprint_with_salt(scenario, ENGINE_VERSION)
+}
+
+/// Fingerprints a scenario under an explicit engine salt — exposed so
+/// tests can prove a salt bump misses; production code uses
+/// [`scenario_fingerprint`].
+pub fn fingerprint_with_salt(scenario: &Scenario, salt: u64) -> ScenarioFingerprint {
+    // The `Debug` rendering is the resolved-field serialisation: it covers
+    // every spec field (floats in shortest-round-trip form, so distinct
+    // values never collide textually) and changes whenever a field is
+    // added — new axes invalidate old entries instead of aliasing them.
+    let rendered = format!("{scenario:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(rendered.as_bytes());
+    fold(&salt.to_le_bytes());
+    ScenarioFingerprint(h)
+}
+
+struct Slot {
+    record: RunRecord,
+    stamp: u64,
+}
+
+struct LruInner {
+    map: HashMap<u64, Slot>,
+    /// `stamp -> fingerprint`, oldest first; stamps are unique (a single
+    /// monotonically-increasing clock), so eviction pops the first entry.
+    order: BTreeMap<u64, u64>,
+    clock: u64,
+}
+
+impl LruInner {
+    fn touch(&mut self, fingerprint: u64) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(slot) = self.map.get_mut(&fingerprint) {
+            self.order.remove(&slot.stamp);
+            slot.stamp = stamp;
+            self.order.insert(stamp, fingerprint);
+        }
+    }
+}
+
+/// How a segment load went; see [`ResultCache::segment_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Entries loaded into the LRU.
+    pub loaded: usize,
+    /// Corrupt mid-segment entries skipped (strict-parser rejects).
+    pub skipped: usize,
+    /// Whether a torn final entry was truncated away.
+    pub truncated: bool,
+}
+
+/// A bounded, optionally disk-backed result cache (see the module docs).
+/// Shared by `Arc`: all methods take `&self`.
+pub struct ResultCache {
+    inner: Mutex<LruInner>,
+    segment: Mutex<Option<File>>,
+    segment_path: Option<PathBuf>,
+    segment_stats: SegmentStats,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("segment", &self.segment_path)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// An in-memory cache holding at most `capacity` records (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+            }),
+            segment: Mutex::new(None),
+            segment_path: None,
+            segment_stats: SegmentStats::default(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by the append-only segment at `path`: existing
+    /// entries are replayed into the LRU (tolerantly — see the module
+    /// docs), a torn tail is truncated in place, and every future insert
+    /// is appended.  Errors are real I/O failures (unreadable file,
+    /// uncreatable parent), never corrupt content.
+    pub fn with_segment(capacity: usize, path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let mut cache = ResultCache::new(capacity);
+        let mut stats = SegmentStats::default();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let load = parse_segment(&text);
+            stats.skipped = load.skipped;
+            if let Some(keep) = load.truncate_at {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(keep as u64)?;
+                stats.truncated = true;
+            }
+            for (fingerprint, record) in load.entries {
+                cache.insert_in_memory(fingerprint, record);
+                stats.loaded += 1;
+            }
+        } else if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        cache.segment = Mutex::new(Some(file));
+        cache.segment_path = Some(path);
+        cache.segment_stats = stats;
+        Ok(cache)
+    }
+
+    /// Records answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (and presumably went on to simulate).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Records currently held in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("result cache lock").map.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How the segment load went (all zeros for an in-memory cache).
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.segment_stats
+    }
+
+    /// Looks up a record.  Hit and miss counters feed campaign reports;
+    /// a hit also refreshes the entry's LRU position.
+    pub fn lookup(&self, fingerprint: ScenarioFingerprint) -> Option<RunRecord> {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        match inner.map.get(&fingerprint.0) {
+            Some(slot) => {
+                let record = slot.record.clone();
+                inner.touch(fingerprint.0);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly-computed record, appending it to the segment if
+    /// one is attached.  Re-inserting an existing fingerprint refreshes
+    /// its LRU position without duplicating the disk entry.
+    pub fn insert(&self, fingerprint: ScenarioFingerprint, record: &RunRecord) {
+        if !self.insert_in_memory(fingerprint.0, record.clone()) {
+            return;
+        }
+        let mut segment = self.segment.lock().expect("result cache segment lock");
+        if let Some(file) = segment.as_mut() {
+            // One write per entry: a crash mid-write tears at most the
+            // final entry, which the loader truncates away.
+            let framed = format!("CACHE {fingerprint}\n{}END\n", record_to_text(record));
+            let _ = file.write_all(framed.as_bytes());
+            let _ = file.flush();
+        }
+    }
+
+    /// Returns whether the fingerprint was new.
+    fn insert_in_memory(&self, fingerprint: u64, record: RunRecord) -> bool {
+        let mut inner = self.inner.lock().expect("result cache lock");
+        if inner.map.contains_key(&fingerprint) {
+            inner.touch(fingerprint);
+            return false;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(fingerprint, Slot { record, stamp });
+        inner.order.insert(stamp, fingerprint);
+        while inner.map.len() > self.capacity {
+            let (&oldest, &victim) = inner
+                .order
+                .iter()
+                .next()
+                .expect("order tracks every map entry");
+            inner.order.remove(&oldest);
+            inner.map.remove(&victim);
+        }
+        true
+    }
+}
+
+struct SegmentLoad {
+    entries: Vec<(u64, RunRecord)>,
+    skipped: usize,
+    /// Byte offset to truncate the file to, if the tail entry is torn.
+    truncate_at: Option<usize>,
+}
+
+/// Splits off the next line (newline excluded); returns `None` for a
+/// trailing fragment with no newline — a torn write, not a line.
+fn next_line<'a>(text: &'a str, pos: &mut usize) -> Option<&'a str> {
+    let rest = &text[*pos..];
+    let end = rest.find('\n')?;
+    *pos += end + 1;
+    Some(&rest[..end])
+}
+
+fn parse_segment(text: &str) -> SegmentLoad {
+    let mut load = SegmentLoad {
+        entries: Vec::new(),
+        skipped: 0,
+        truncate_at: None,
+    };
+    let mut pos = 0usize;
+    while pos < text.len() {
+        let entry_start = pos;
+        let Some(header) = next_line(text, &mut pos) else {
+            // Torn header line at EOF.
+            load.truncate_at = Some(entry_start);
+            break;
+        };
+        let Some(fingerprint) = header
+            .strip_prefix("CACHE 0x")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        else {
+            // Junk where a header should be: drop it and resync at the
+            // next header line.
+            load.skipped += 1;
+            loop {
+                let probe = pos;
+                match next_line(text, &mut pos) {
+                    Some(line) if line.starts_with("CACHE 0x") => {
+                        pos = probe;
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => {
+                        pos = text.len();
+                        break;
+                    }
+                }
+            }
+            continue;
+        };
+        let mut body = String::new();
+        let terminated = loop {
+            match next_line(text, &mut pos) {
+                Some("END") => break true,
+                Some(line) => {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                None => break false,
+            }
+        };
+        if !terminated {
+            // The tail entry never reached its END: a torn append.
+            load.truncate_at = Some(entry_start);
+            break;
+        }
+        match record_from_text(&body) {
+            Ok(record) => load.entries.push((fingerprint, record)),
+            Err(_) => load.skipped += 1,
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn record(name: &str, seed: u64) -> RunRecord {
+        RunRecord {
+            scenario: name.to_string(),
+            seed,
+            digest: 0xabcd_0000 + seed,
+            safety_violations: 0,
+            separation_violations: 0,
+            invariant_violations: 0,
+            mode_switches: 2,
+            targets_reached: 3,
+            completed: true,
+            interventions: 1,
+            time_in_sc_ms: 1500,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let base = catalog::golden_suite()
+            .into_iter()
+            .next()
+            .expect("the golden suite is never empty");
+        let fp = scenario_fingerprint(&base);
+        assert_eq!(fp, scenario_fingerprint(&base.clone()), "deterministic");
+
+        // Every one-field edit must miss: the cache may never serve a
+        // record computed under different physics, seed or filter.
+        let edits: Vec<(&str, Scenario)> = vec![
+            ("seed", base.clone().with_seed(base.seed + 1)),
+            ("horizon", {
+                let mut s = base.clone();
+                s.horizon += 1.0;
+                s
+            }),
+            ("initial_battery", {
+                let mut s = base.clone();
+                s.initial_battery *= 0.5;
+                s
+            }),
+            ("buggy_planner", {
+                let mut s = base.clone();
+                s.buggy_planner = !s.buggy_planner;
+                s
+            }),
+        ];
+        for (what, edited) in edits {
+            assert_ne!(
+                fp,
+                scenario_fingerprint(&edited),
+                "editing `{what}` must change the fingerprint"
+            );
+        }
+
+        // An engine-salt bump orphans every entry.
+        assert_ne!(
+            fingerprint_with_salt(&base, ENGINE_VERSION),
+            fingerprint_with_salt(&base, ENGINE_VERSION + 1)
+        );
+        assert_eq!(fp, fingerprint_with_salt(&base, ENGINE_VERSION));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_refreshes_on_hit() {
+        let cache = ResultCache::new(2);
+        let fps: Vec<_> = (0..3).map(ScenarioFingerprint).collect();
+        cache.insert(fps[0], &record("a", 0));
+        cache.insert(fps[1], &record("b", 1));
+        // Touch the older entry so the *other* one is evicted.
+        assert!(cache.lookup(fps[0]).is_some());
+        cache.insert(fps[2], &record("c", 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(fps[0]).is_some(), "refreshed entry survives");
+        assert!(cache.lookup(fps[1]).is_none(), "LRU victim evicted");
+        assert!(cache.lookup(fps[2]).is_some());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn segment_round_trips_and_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "soter-result-cache-{}-{}",
+            std::process::id(),
+            "round-trip"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results.seg");
+        let fp = ScenarioFingerprint(0x1234_5678_9abc_def0);
+        {
+            let cache = ResultCache::with_segment(16, &path).expect("create segment");
+            cache.insert(fp, &record("fig12b", 7));
+            cache.insert(fp, &record("fig12b", 7)); // refresh, no duplicate
+        }
+        let reborn = ResultCache::with_segment(16, &path).expect("reload segment");
+        assert_eq!(
+            reborn.segment_stats(),
+            SegmentStats {
+                loaded: 1,
+                skipped: 0,
+                truncated: false
+            }
+        );
+        assert_eq!(reborn.lookup(fp), Some(record("fig12b", 7)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_torn_segment_entries_are_skipped_and_truncated() {
+        let dir = std::env::temp_dir().join(format!(
+            "soter-result-cache-{}-{}",
+            std::process::id(),
+            "corrupt"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results.seg");
+        {
+            let cache = ResultCache::with_segment(16, &path).expect("create segment");
+            for i in 0..3u64 {
+                cache.insert(ScenarioFingerprint(i), &record(&format!("s{i}"), i));
+            }
+        }
+        // Corrupt the middle entry's digest line and tear a fourth entry's
+        // tail, exactly what bit rot and a crash mid-append produce.
+        let text = std::fs::read_to_string(&path).expect("read segment");
+        let corrupted = text.replacen("digest = 0x00000000abcd0001", "digest = GARBAGE", 1)
+            + "CACHE 0x0000000000000009\nscenario = torn\nseed = 9\n";
+        std::fs::write(&path, &corrupted).expect("rewrite segment");
+
+        let reborn = ResultCache::with_segment(16, &path).expect("tolerant reload");
+        assert_eq!(
+            reborn.segment_stats(),
+            SegmentStats {
+                loaded: 2,
+                skipped: 1,
+                truncated: true
+            }
+        );
+        assert_eq!(reborn.lookup(ScenarioFingerprint(0)), Some(record("s0", 0)));
+        assert!(reborn.lookup(ScenarioFingerprint(1)).is_none(), "corrupt");
+        assert_eq!(reborn.lookup(ScenarioFingerprint(2)), Some(record("s2", 2)));
+        // The torn tail is gone from disk, and appending still works.
+        let after = std::fs::read_to_string(&path).expect("read truncated");
+        assert!(!after.contains("torn"));
+        reborn.insert(ScenarioFingerprint(9), &record("fresh", 9));
+        let again = ResultCache::with_segment(16, &path).expect("reload after append");
+        assert_eq!(again.segment_stats().loaded, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn junk_between_entries_resyncs_at_the_next_header() {
+        let dir = std::env::temp_dir().join(format!(
+            "soter-result-cache-{}-{}",
+            std::process::id(),
+            "resync"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results.seg");
+        {
+            let cache = ResultCache::with_segment(16, &path).expect("create segment");
+            cache.insert(ScenarioFingerprint(1), &record("a", 1));
+        }
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.insert_str(0, "not a header\nstill junk\n");
+        std::fs::write(&path, &text).expect("rewrite");
+        let reborn = ResultCache::with_segment(16, &path).expect("reload");
+        assert_eq!(reborn.segment_stats().loaded, 1);
+        assert_eq!(reborn.segment_stats().skipped, 1);
+        assert_eq!(reborn.lookup(ScenarioFingerprint(1)), Some(record("a", 1)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

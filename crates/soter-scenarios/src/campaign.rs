@@ -19,6 +19,7 @@
 //!   each record carries its matrix index for deterministic reassembly.
 //!   Dropping the stream early cancels all outstanding work.
 
+use crate::cache::{scenario_fingerprint, ResultCache};
 use crate::runner::{run_scenario_batch, run_scenario_cached, ScenarioOutcome};
 use crate::spec::Scenario;
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,7 @@ pub struct Campaign {
     channel_capacity: Option<usize>,
     batch: usize,
     plan_cache: Option<Arc<PlanCache>>,
+    result_cache: Option<Arc<ResultCache>>,
 }
 
 impl Campaign {
@@ -69,6 +71,7 @@ impl Campaign {
             channel_capacity: None,
             batch: 1,
             plan_cache: None,
+            result_cache: None,
         }
     }
 
@@ -113,6 +116,17 @@ impl Campaign {
     /// queries stop paying per-run replanning.
     pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
         self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Shares a content-addressed [`ResultCache`] across runs: jobs whose
+    /// fingerprint (resolved spec + seed + filter + engine salt, see
+    /// `crate::cache`) is already cached return the stored record without
+    /// simulating, and fresh records are inserted for the next campaign.
+    /// Because every run is seed-deterministic, a hit is byte-identical to
+    /// re-running the job — the same guarantee the golden suite pins.
+    pub fn with_result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.result_cache = Some(cache);
         self
     }
 
@@ -228,6 +242,7 @@ impl Campaign {
                 let panic_slot = Arc::clone(&panic_slot);
                 let progress = progress.clone();
                 let cache = self.plan_cache.clone();
+                let results = self.result_cache.clone();
                 std::thread::spawn(move || {
                     worker_loop(
                         w,
@@ -239,6 +254,7 @@ impl Campaign {
                         &progress,
                         batch,
                         cache.as_ref(),
+                        results.as_ref(),
                     )
                 })
             })
@@ -264,6 +280,48 @@ impl Campaign {
 /// drains (workers are detached threads, so an unobserved panic would
 /// otherwise silently truncate the stream); a panic inside a lockstep
 /// chunk is attributed to the chunk's first job.
+/// Evaluates one claimed chunk: jobs answered by the result cache skip
+/// simulation entirely; the misses run exactly as an uncached chunk would
+/// (single job direct, several in lockstep — byte-identical either way,
+/// pinned by `tests/batch_equivalence.rs`) and are inserted for the next
+/// campaign.  Records come back in chunk order.
+fn run_chunk(
+    chunk: &[usize],
+    jobs: &[Scenario],
+    cache: Option<&Arc<PlanCache>>,
+    result_cache: Option<&Arc<ResultCache>>,
+) -> Vec<RunRecord> {
+    let mut slots: Vec<Option<RunRecord>> = chunk
+        .iter()
+        .map(|&i| result_cache.and_then(|rc| rc.lookup(scenario_fingerprint(&jobs[i]))))
+        .collect();
+    let misses: Vec<usize> = (0..chunk.len()).filter(|&k| slots[k].is_none()).collect();
+    if !misses.is_empty() {
+        let fresh: Vec<RunRecord> = if misses.len() == 1 {
+            vec![RunRecord::from_outcome(&run_scenario_cached(
+                &jobs[chunk[misses[0]]],
+                cache,
+            ))]
+        } else {
+            let scenarios: Vec<Scenario> = misses.iter().map(|&k| jobs[chunk[k]].clone()).collect();
+            run_scenario_batch(&scenarios, cache)
+                .iter()
+                .map(RunRecord::from_outcome)
+                .collect()
+        };
+        for (&k, record) in misses.iter().zip(fresh) {
+            if let Some(rc) = result_cache {
+                rc.insert(scenario_fingerprint(&jobs[chunk[k]]), &record);
+            }
+            slots[k] = Some(record);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled above"))
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     own: usize,
@@ -275,6 +333,7 @@ fn worker_loop(
     progress: &CampaignProgress,
     batch: usize,
     cache: Option<&Arc<PlanCache>>,
+    result_cache: Option<&Arc<ResultCache>>,
 ) {
     // Claim up to `batch` jobs: the front of the own deque first, else the
     // back of the first peer deque that has any.  A chunk never mixes the
@@ -317,18 +376,7 @@ fn worker_loop(
             break;
         }
         let records = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if chunk.len() == 1 {
-                vec![RunRecord::from_outcome(&run_scenario_cached(
-                    &jobs[chunk[0]],
-                    cache,
-                ))]
-            } else {
-                let scenarios: Vec<Scenario> = chunk.iter().map(|&i| jobs[i].clone()).collect();
-                run_scenario_batch(&scenarios, cache)
-                    .iter()
-                    .map(RunRecord::from_outcome)
-                    .collect()
-            }
+            run_chunk(&chunk, jobs, cache, result_cache)
         }));
         let records = match records {
             Ok(records) => records,
@@ -868,6 +916,28 @@ mod tests {
             .with_plan_cache(Arc::new(soter_plan::cache::PlanCache::new()))
             .run();
         assert_eq!(unbatched.records, cached.records);
+    }
+
+    /// A shared result cache is purely a memoization layer: the warm
+    /// repeat must reproduce the cold records byte for byte with every job
+    /// answered from the cache, and it must compose with batching and the
+    /// planner cache.
+    #[test]
+    fn result_cache_warm_repeat_is_byte_identical_and_all_hits() {
+        let scenarios = vec![tiny_scenario("warm"), tiny_scenario("warm-b").with_seed(9)];
+        let cache = Arc::new(crate::cache::ResultCache::new(64));
+        let campaign = Campaign::new(scenarios)
+            .with_seeds([1, 2, 3])
+            .with_workers(2)
+            .with_batch(2)
+            .with_result_cache(Arc::clone(&cache));
+        let cold = campaign.run();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 6);
+        let warm = campaign.run();
+        assert_eq!(cold.records, warm.records, "a hit must be byte-identical");
+        assert_eq!(cache.hits(), 6, "the warm pass answers fully from cache");
+        assert_eq!(cache.misses(), 6, "no new simulation on the warm pass");
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod catalog;
 pub mod compare;
@@ -70,6 +71,7 @@ pub mod golden;
 pub mod runner;
 pub mod spec;
 
+pub use cache::{scenario_fingerprint, ResultCache, ScenarioFingerprint};
 pub use campaign::{Campaign, CampaignReport, CampaignStream, RunRecord};
 pub use falsify::{
     Counterexample, Falsifier, FalsifierConfig, FalsifyReport, ScheduleSpace, SearchMove,

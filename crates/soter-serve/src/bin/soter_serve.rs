@@ -4,6 +4,8 @@
 //! soter-serve                      # serve requests on stdin/stdout
 //! soter-serve --socket <path>      # serve on a unix socket
 //! soter-serve --shards N --pool N  # tuning
+//! soter-serve --cache <path>       # persist the result cache on disk
+//! soter-serve --cache-capacity N   # in-memory cache size (0 disables)
 //! ```
 //!
 //! See `docs/SCENARIOS.md` ("The soter-serve daemon") for the request
@@ -17,7 +19,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: soter-serve [--socket <path>] [--shards <n>] [--pool <n>] \
-         [--heartbeat-timeout-ms <n>]"
+         [--heartbeat-timeout-ms <n>] [--cache <path>] [--cache-capacity <n>] [--no-steal]"
     );
     std::process::exit(2);
 }
@@ -40,6 +42,13 @@ fn main() {
                     .unwrap_or_else(|_| usage());
                 config.shard.heartbeat_timeout = std::time::Duration::from_millis(ms);
             }
+            "--cache" => config.result_cache_segment = Some(PathBuf::from(value("--cache"))),
+            "--cache-capacity" => {
+                config.result_cache_capacity = value("--cache-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--no-steal" => config.shard.steal = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

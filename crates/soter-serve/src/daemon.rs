@@ -15,7 +15,7 @@
 //! answers to questions.  The response is a single atomic block:
 //!
 //! ```text
-//! REPORT <id> runs=<n> shards=<n>
+//! REPORT <id> runs=<n> shards=<n> cache=<hits>/<lookups> stolen=<n>
 //! REC <index>
 //! <record text, one `key = value` per line>
 //! END
@@ -27,18 +27,28 @@
 //! frames reuse the worker protocol's framing, so the same strict parser
 //! validates both hops.
 //!
+//! The `cache=` token reports result-cache hits over lookups for this
+//! campaign and `stolen=` how many jobs moved between shards by work
+//! stealing; clients that predate these tokens still parse the header
+//! ([`parse_response`] ignores trailing header tokens after the id).
+//!
 //! Every accepted campaign runs on its own thread, but all campaigns —
 //! across all clients and both transports — share one [`WorkerPool`], so
 //! the daemon never exceeds its configured number of concurrent worker
-//! processes no matter how many clients connect.
+//! processes no matter how many clients connect.  They likewise share one
+//! [`ResultCache`] — so repeating a campaign (or one overlapping an
+//! earlier matrix) is answered from cache with byte-identical records —
+//! and one [`PlanStore`], so no worker replans a planner query any
+//! earlier worker of any campaign already solved.
 
-use crate::coordinator::{ShardConfig, ShardCoordinator, WorkerPool};
+use crate::coordinator::{PlanStore, ServeStats, ShardConfig, ShardCoordinator, WorkerPool};
 use crate::error::ServeError;
 use crate::shard::CampaignRequest;
 use soter_scenarios::campaign::{CampaignReport, RunRecord};
 use soter_scenarios::golden::{record_from_text, record_to_text};
+use soter_scenarios::ResultCache;
 use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -53,6 +63,14 @@ pub struct ServeConfig {
     pub default_shards: usize,
     /// Concurrent worker processes across all in-flight campaigns.
     pub pool_capacity: usize,
+    /// In-memory result-cache capacity (records); `0` disables the
+    /// daemon's result cache entirely.
+    pub result_cache_capacity: usize,
+    /// Optional append-only on-disk segment backing the result cache:
+    /// loaded (tolerantly — corrupt entries skipped, torn tails
+    /// truncated) at startup, appended to as campaigns complete, so a
+    /// restarted daemon starts warm.
+    pub result_cache_segment: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +79,8 @@ impl Default for ServeConfig {
             shard: ShardConfig::default(),
             default_shards: 2,
             pool_capacity: 4,
+            result_cache_capacity: 4096,
+            result_cache_segment: None,
         }
     }
 }
@@ -71,13 +91,43 @@ impl Default for ServeConfig {
 pub struct Daemon {
     config: ServeConfig,
     pool: Arc<WorkerPool>,
+    result_cache: Option<Arc<ResultCache>>,
+    plan_store: Arc<PlanStore>,
 }
 
 impl Daemon {
-    /// A daemon with the given configuration.
+    /// A daemon with the given configuration.  A segment path that cannot
+    /// be opened degrades to a memory-only cache rather than refusing to
+    /// serve (the daemon is the long-lived component; a bad cache path
+    /// should cost warmth, not availability).
     pub fn new(config: ServeConfig) -> Self {
         let pool = Arc::new(WorkerPool::new(config.pool_capacity));
-        Daemon { config, pool }
+        let result_cache = if config.result_cache_capacity == 0 {
+            None
+        } else {
+            let capacity = config.result_cache_capacity;
+            Some(Arc::new(match &config.result_cache_segment {
+                Some(path) => ResultCache::with_segment(capacity, path)
+                    .unwrap_or_else(|_| ResultCache::new(capacity)),
+                None => ResultCache::new(capacity),
+            }))
+        };
+        Daemon {
+            config,
+            pool,
+            result_cache,
+            plan_store: Arc::new(PlanStore::new()),
+        }
+    }
+
+    /// The daemon's shared result cache (`None` when disabled).
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.result_cache.as_ref()
+    }
+
+    /// The daemon's shared planner-cache store.
+    pub fn plan_store(&self) -> &Arc<PlanStore> {
+        &self.plan_store
     }
 
     /// Handles one request line end-to-end and returns the full response
@@ -89,11 +139,13 @@ impl Daemon {
         };
         let mut shard_config = self.config.shard.clone();
         shard_config.pool = Some(Arc::clone(&self.pool));
+        shard_config.result_cache = self.result_cache.clone();
+        shard_config.plan_store = Some(Arc::clone(&self.plan_store));
         match ShardCoordinator::new(request.clone())
             .with_config(shard_config)
-            .run()
+            .run_detailed()
         {
-            Ok(report) => render_report(&id, &request, &report),
+            Ok((report, stats)) => render_report(&id, &request, &report, stats),
             Err(e) => format!("ERRREPORT {id} {e}\n"),
         }
     }
@@ -232,12 +284,20 @@ pub fn parse_request(
 }
 
 /// Renders a merged report as one atomic response block.
-fn render_report(id: &str, request: &CampaignRequest, report: &CampaignReport) -> String {
+fn render_report(
+    id: &str,
+    request: &CampaignRequest,
+    report: &CampaignReport,
+    stats: ServeStats,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "REPORT {id} runs={} shards={}\n",
+        "REPORT {id} runs={} shards={} cache={}/{} stolen={}\n",
         report.records.len(),
-        request.shards
+        request.shards,
+        stats.cache_hits,
+        stats.cache_lookups,
+        stats.stolen,
     ));
     for (index, record) in report.records.iter().enumerate() {
         out.push_str(&format!("REC {index}\n"));
@@ -321,6 +381,25 @@ pub fn parse_response(block: &str) -> Result<(String, Vec<RunRecord>), ServeErro
     ))
 }
 
+/// Extracts `(cache_hits, cache_lookups, stolen)` from a response
+/// block's `REPORT` header; `None` for error blocks or headers from
+/// daemons that predate the tokens.
+pub fn parse_report_stats(block: &str) -> Option<(usize, usize, usize)> {
+    let header = block.lines().next()?.strip_prefix("REPORT ")?;
+    let mut cache: Option<(usize, usize)> = None;
+    let mut stolen: Option<usize> = None;
+    for token in header.split_whitespace() {
+        if let Some(value) = token.strip_prefix("cache=") {
+            let (hits, lookups) = value.split_once('/')?;
+            cache = Some((hits.parse().ok()?, lookups.parse().ok()?));
+        } else if let Some(value) = token.strip_prefix("stolen=") {
+            stolen = Some(value.parse().ok()?);
+        }
+    }
+    let (hits, lookups) = cache?;
+    Some((hits, lookups, stolen?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,13 +468,38 @@ mod tests {
             workers: 1,
             wall_clock: 0.0,
         };
-        let block = render_report("abc", &request, &report);
+        let block = render_report("abc", &request, &report, ServeStats::default());
         let mut reader = std::io::BufReader::new(block.as_bytes());
         let read_back = read_response(&mut reader).unwrap();
         assert_eq!(read_back, block, "read_response captures the whole block");
         let (id, records) = parse_response(&block).unwrap();
         assert_eq!(id, "abc");
         assert_eq!(records, report.records);
+    }
+
+    #[test]
+    fn report_stats_tokens_round_trip_and_degrade_gracefully() {
+        let request = CampaignRequest::new(["serve-smoke"]);
+        let report = CampaignReport {
+            records: Vec::new(),
+            workers: 0,
+            wall_clock: 0.0,
+        };
+        let stats = ServeStats {
+            cache_lookups: 6,
+            cache_hits: 4,
+            stolen: 2,
+            plan_entries: 0,
+        };
+        let block = render_report("abc", &request, &report, stats);
+        assert_eq!(parse_report_stats(&block), Some((4, 6, 2)));
+        // Old-format headers and error blocks yield None, not a panic.
+        assert_eq!(parse_report_stats("REPORT abc runs=0 shards=1\n"), None);
+        assert_eq!(parse_report_stats("ERRREPORT abc boom\n"), None);
+        // New tokens do not break the pre-token response parser.
+        let (id, records) = parse_response(&block).unwrap();
+        assert_eq!(id, "abc");
+        assert!(records.is_empty());
     }
 
     #[test]

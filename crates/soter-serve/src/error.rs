@@ -24,6 +24,17 @@ pub enum ServeError {
         /// What the last attempt died of.
         last: String,
     },
+    /// A worker announced a protocol version other than the coordinator's
+    /// — a stale `soter-worker` binary.  Named so the fix (rebuild the
+    /// worker, or point `SOTER_WORKER_BIN` at a current one) is obvious
+    /// instead of failing obscurely mid-campaign; never re-issued, since
+    /// respawning the same binary would announce the same version.
+    ProtocolMismatch {
+        /// The version the worker announced in its `HELLO`.
+        worker: u32,
+        /// The coordinator's `protocol::PROTOCOL_VERSION`.
+        coordinator: u32,
+    },
     /// A worker reported a fatal error (`ERR` on the wire) — deterministic
     /// failures like an unknown scenario or a panicking job are not
     /// re-issued.
@@ -58,6 +69,15 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "shard #{shard} failed after {attempts} attempts (last: {last})"
+            ),
+            ServeError::ProtocolMismatch {
+                worker,
+                coordinator,
+            } => write!(
+                f,
+                "protocol mismatch: worker announced version {worker} but this coordinator \
+                 speaks version {coordinator} — rebuild soter-worker (or update SOTER_WORKER_BIN) \
+                 so both ends are from the same build"
             ),
             ServeError::Worker(message) => write!(f, "worker reported a fatal error: {message}"),
             ServeError::Request(message) => write!(f, "malformed request: {message}"),

@@ -33,8 +33,10 @@ pub mod protocol;
 pub mod shard;
 pub mod worker;
 
-pub use coordinator::{worker_binary, KillPlan, ShardConfig, ShardCoordinator, WorkerPool};
+pub use coordinator::{
+    worker_binary, KillPlan, PlanStore, ServeStats, ShardConfig, ShardCoordinator, WorkerPool,
+};
 pub use daemon::{Daemon, ServeConfig};
 pub use error::ServeError;
 pub use protocol::{CoordMsg, ProtocolError, WorkerMsg, PROTOCOL_VERSION};
-pub use shard::{plan_shards, CampaignRequest, ShardPlan};
+pub use shard::{plan_shards, plan_shards_over, CampaignRequest, ShardPlan};

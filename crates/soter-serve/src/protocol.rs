@@ -11,24 +11,36 @@
 //! duplicate or unknown keys reject the frame — so the golden-trace parser
 //! doubles as wire validation.
 //!
+//! Plan-cache entries travel both ways as single `PLAN` lines wrapping
+//! `soter_plan::cache::PlanEntry::to_text` (f64 waypoints as exact bit
+//! patterns): the coordinator pre-seeds every spawned worker with the
+//! merged cache before its first `RUN`, and workers ship transitions they
+//! computed back after each record — so shard retries and repeat
+//! campaigns start planner-warm.
+//!
 //! | direction | message | meaning |
 //! |---|---|---|
+//! | coordinator → worker | `PLAN <entry>` | pre-seed one plan-cache transition (before the first `RUN`) |
 //! | coordinator → worker | `RUN <index> <seed> <scenario>` | run catalog scenario `<scenario>` with `<seed>`; report as matrix index `<index>` |
 //! | coordinator → worker | `DONE` | no more jobs: finish and exit |
 //! | worker → coordinator | `HELLO <version>` | greeting + protocol version, first line on stdout |
 //! | worker → coordinator | `HB` | heartbeat (liveness; sent on an interval from a ticker thread) |
 //! | worker → coordinator | `REC <index>` … `END` | one completed run record (frame described above) |
+//! | worker → coordinator | `PLAN <entry>` | one freshly-computed plan-cache transition |
 //! | worker → coordinator | `ERR <message>` | fatal worker-side error (unknown scenario, panicked job) |
 //! | worker → coordinator | `BYE` | clean exit after the last job |
 
+use soter_plan::cache::PlanEntry;
 use soter_scenarios::campaign::RunRecord;
 use soter_scenarios::golden::{record_from_text, record_to_text};
 use std::fmt;
 use std::io::{BufRead, Write};
 
 /// Version tag carried by the `HELLO` greeting.  The coordinator refuses
-/// to talk to a worker announcing a different version.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// to talk to a worker announcing a different version (see
+/// `ServeError::ProtocolMismatch`).  History: 1 = the original RUN/REC
+/// protocol; 2 = bidirectional `PLAN` plan-cache frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A protocol violation: a line (or record frame) that does not parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +55,7 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 /// Coordinator → worker messages (one line each on the worker's stdin).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CoordMsg {
     /// Run the named catalog scenario with the given seed and report the
     /// result under matrix index `index`.
@@ -56,6 +68,8 @@ pub enum CoordMsg {
         /// Catalog name resolved through `soter_scenarios::catalog::find`.
         scenario: String,
     },
+    /// Pre-seed one plan-cache transition (sent before the first `RUN`).
+    Plan(PlanEntry),
     /// No more jobs will follow: drain outstanding work and exit.
     Done,
 }
@@ -69,6 +83,7 @@ impl CoordMsg {
                 seed,
                 scenario,
             } => format!("RUN {index} {seed} {scenario}"),
+            CoordMsg::Plan(entry) => format!("PLAN {}", entry.to_text()),
             CoordMsg::Done => "DONE".to_string(),
         }
     }
@@ -100,6 +115,11 @@ impl CoordMsg {
                 scenario,
             });
         }
+        if let Some(entry) = line.strip_prefix("PLAN ") {
+            return PlanEntry::parse(entry)
+                .map(CoordMsg::Plan)
+                .map_err(|e| ProtocolError(format!("bad PLAN entry: {e}")));
+        }
         Err(ProtocolError(format!("unknown coordinator line `{line}`")))
     }
 }
@@ -121,6 +141,9 @@ pub enum WorkerMsg {
         /// The run's record.
         record: RunRecord,
     },
+    /// One plan-cache transition the worker computed itself (never an
+    /// echo of a pre-seeded entry), for the coordinator to merge.
+    Plan(PlanEntry),
     /// Fatal worker-side error; the worker exits after sending it.
     Error {
         /// Human-readable description.
@@ -142,6 +165,7 @@ impl WorkerMsg {
                 out.write_all(record_to_text(record).as_bytes())?;
                 writeln!(out, "END")?;
             }
+            WorkerMsg::Plan(entry) => writeln!(out, "PLAN {}", entry.to_text())?,
             WorkerMsg::Error { message } => writeln!(out, "ERR {}", message.replace('\n', " "))?,
             WorkerMsg::Bye => writeln!(out, "BYE")?,
         }
@@ -170,6 +194,11 @@ impl WorkerMsg {
                 .parse::<u32>()
                 .map_err(|_| ProtocolError(format!("bad HELLO version `{line}`")))?;
             return Ok(Some(WorkerMsg::Hello { version }));
+        }
+        if let Some(entry) = line.strip_prefix("PLAN ") {
+            return PlanEntry::parse(entry)
+                .map(|e| Some(WorkerMsg::Plan(e)))
+                .map_err(|e| ProtocolError(format!("bad PLAN entry: {e}")));
         }
         if let Some(message) = line.strip_prefix("ERR ") {
             return Ok(Some(WorkerMsg::Error {
@@ -232,6 +261,7 @@ mod tests {
                 seed: 42,
                 scenario: "fig12a-rta".into(),
             },
+            CoordMsg::Plan(sample_plan_entry()),
             CoordMsg::Done,
         ] {
             assert_eq!(CoordMsg::parse(&msg.to_line()).unwrap(), msg);
@@ -239,6 +269,17 @@ mod tests {
         assert!(CoordMsg::parse("RUN x 1 a").is_err());
         assert!(CoordMsg::parse("RUN 1 1").is_err());
         assert!(CoordMsg::parse("FLY 1 1 a").is_err());
+        assert!(CoordMsg::parse("PLAN zz").is_err());
+    }
+
+    fn sample_plan_entry() -> PlanEntry {
+        PlanEntry::parse(&format!(
+            "1111222233334444 5555666677778888 9999aaaabbbbcccc 1 {:016x} {:016x} {:016x}",
+            0.25f64.to_bits(),
+            (-1.5f64).to_bits(),
+            3.75f64.to_bits()
+        ))
+        .expect("sample entry parses")
     }
 
     #[test]
@@ -248,6 +289,7 @@ mod tests {
                 version: PROTOCOL_VERSION,
             },
             WorkerMsg::Heartbeat,
+            WorkerMsg::Plan(sample_plan_entry()),
             WorkerMsg::Record {
                 index: 3,
                 record: sample_record(3),

@@ -95,17 +95,26 @@ pub struct ShardPlan {
 /// chunks (sizes differ by at most one; empty chunks are dropped, so the
 /// plan never spawns an idle worker).
 pub fn plan_shards(jobs: usize, shards: usize) -> ShardPlan {
-    if jobs == 0 {
+    let indices: Vec<usize> = (0..jobs).collect();
+    plan_shards_over(&indices, shards)
+}
+
+/// [`plan_shards`] over an explicit index list: used when a result cache
+/// has already answered part of the matrix and only the misses need
+/// worker processes.  The same balancing rules apply; index order within
+/// a shard follows the input order.
+pub fn plan_shards_over(indices: &[usize], shards: usize) -> ShardPlan {
+    if indices.is_empty() {
         return ShardPlan { shards: Vec::new() };
     }
-    let shards = shards.clamp(1, jobs);
-    let base = jobs / shards;
-    let extra = jobs % shards;
+    let shards = shards.clamp(1, indices.len());
+    let base = indices.len() / shards;
+    let extra = indices.len() % shards;
     let mut plan = Vec::with_capacity(shards);
     let mut next = 0;
     for shard in 0..shards {
         let len = base + usize::from(shard < extra);
-        plan.push((next..next + len).collect());
+        plan.push(indices[next..next + len].to_vec());
         next += len;
     }
     ShardPlan { shards: plan }
@@ -131,6 +140,15 @@ mod tests {
             }
         }
         assert!(plan_shards(0, 4).shards.is_empty());
+    }
+
+    #[test]
+    fn plans_over_sparse_indices_preserve_order_and_balance() {
+        let indices = [3usize, 5, 8, 13, 21];
+        let plan = plan_shards_over(&indices, 2);
+        assert_eq!(plan.shards, vec![vec![3, 5, 8], vec![13, 21]]);
+        assert!(plan_shards_over(&[], 4).shards.is_empty());
+        assert_eq!(plan_shards_over(&[7], 3).shards, vec![vec![7]]);
     }
 
     #[test]

@@ -3,23 +3,35 @@
 //!
 //! A worker reads [`CoordMsg`] lines from stdin, resolves each `(scenario
 //! name, seed)` job through the catalog, runs it with
-//! [`run_scenario`], and streams a
+//! `run_scenario_cached`, and streams a
 //! [`WorkerMsg::Record`] frame per completed job back over stdout.  A
 //! ticker thread emits `HB` heartbeats on an interval so the coordinator
 //! can tell a busy worker from a wedged one.  Jobs are seed-deterministic,
 //! so whatever worker (or re-issued worker) runs a job produces the
 //! identical record.
 //!
+//! Every worker owns a process-local `PlanCache`: `PLAN` lines arriving
+//! before the first job pre-seed it with the coordinator's merged cache
+//! (so re-issued and late-spawned workers start planner-warm), jobs run
+//! through `run_scenario_cached`, and transitions the worker computes
+//! itself are shipped back as `PLAN` frames after each record.  The cache
+//! replays exact query histories, so records stay byte-identical with or
+//! without it.
+//!
 //! Fault-injection knobs for the crash-safety tests are env-driven (see
 //! the `ENV_*` constants): a worker can be told to exit abruptly (no
 //! `BYE`) or to wedge (stop reading, stop heartbeating) after its N-th
 //! record, so the coordinator's EOF and heartbeat-timeout paths can be
-//! exercised deterministically from integration tests.
+//! exercised deterministically from integration tests; a worker can also
+//! be made a *straggler* (sleep before every job while heartbeating
+//! normally), which only work-stealing — not the failure machinery — can
+//! route around.
 
 use crate::protocol::{CoordMsg, WorkerMsg, PROTOCOL_VERSION};
+use soter_plan::cache::PlanCache;
 use soter_scenarios::campaign::RunRecord;
 use soter_scenarios::catalog;
-use soter_scenarios::runner::run_scenario;
+use soter_scenarios::runner::run_scenario_cached;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +50,17 @@ pub const ENV_WEDGE_AFTER: &str = "SOTER_WORKER_WEDGE_AFTER";
 /// not exist yet, and creates it when it wedges — so exactly one worker
 /// per test wedges and the re-issued replacement runs clean.
 pub const ENV_WEDGE_FLAG: &str = "SOTER_WORKER_WEDGE_FLAG";
+/// Fault injection: sleep this many milliseconds before *every* job while
+/// heartbeating normally — a healthy-but-slow straggler, invisible to the
+/// crash/timeout machinery.
+pub const ENV_SLOW_MS: &str = "SOTER_WORKER_SLOW_MS";
+/// Path of the straggler marker file: like [`ENV_WEDGE_FLAG`], claimed at
+/// startup so exactly one worker per test is the straggler.
+pub const ENV_SLOW_FLAG: &str = "SOTER_WORKER_SLOW_FLAG";
+/// Test knob: announce this protocol version in `HELLO` instead of the
+/// real one — simulates a stale worker binary for the coordinator's
+/// version-mismatch path.
+pub const ENV_FORCE_PROTOCOL: &str = "SOTER_WORKER_FORCE_PROTOCOL";
 
 /// Exit status of a worker that was told to crash via [`ENV_EXIT_AFTER`].
 pub const EXIT_AFTER_STATUS: i32 = 17;
@@ -54,6 +77,12 @@ pub struct WorkerOptions {
     pub wedge_after: Option<usize>,
     /// One-shot marker file gating [`WorkerOptions::wedge_after`].
     pub wedge_flag: Option<PathBuf>,
+    /// Sleep this long before every job (straggler simulation).
+    pub slow_per_job: Option<Duration>,
+    /// One-shot marker file gating [`WorkerOptions::slow_per_job`].
+    pub slow_flag: Option<PathBuf>,
+    /// Announce this protocol version instead of the real one (test knob).
+    pub force_protocol: Option<u32>,
 }
 
 impl Default for WorkerOptions {
@@ -63,6 +92,9 @@ impl Default for WorkerOptions {
             exit_after: None,
             wedge_after: None,
             wedge_flag: None,
+            slow_per_job: None,
+            slow_flag: None,
+            force_protocol: None,
         }
     }
 }
@@ -82,14 +114,20 @@ impl WorkerOptions {
         options.exit_after = usize_var(ENV_EXIT_AFTER);
         options.wedge_after = usize_var(ENV_WEDGE_AFTER);
         options.wedge_flag = std::env::var(ENV_WEDGE_FLAG).ok().map(PathBuf::from);
+        options.slow_per_job = usize_var(ENV_SLOW_MS).map(|ms| Duration::from_millis(ms as u64));
+        options.slow_flag = std::env::var(ENV_SLOW_FLAG).ok().map(PathBuf::from);
+        options.force_protocol = std::env::var(ENV_FORCE_PROTOCOL)
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok());
         options
     }
 }
 
-/// Whether the wedge fault should fire: only when no marker file has been
-/// claimed yet (claiming creates it).
-fn claim_wedge(options: &WorkerOptions) -> bool {
-    match &options.wedge_flag {
+/// Whether a marker-gated fault should fire: only when no marker file has
+/// been claimed yet (claiming creates it), so exactly one worker per test
+/// takes the fault.
+fn claim_flag(flag: &Option<PathBuf>) -> bool {
+    match flag {
         None => true,
         Some(flag) => std::fs::OpenOptions::new()
             .write(true)
@@ -116,7 +154,7 @@ where
         let _ = msg.write_to(&mut *out);
     };
     send(WorkerMsg::Hello {
-        version: PROTOCOL_VERSION,
+        version: options.force_protocol.unwrap_or(PROTOCOL_VERSION),
     });
     let alive = Arc::new(AtomicBool::new(true));
     {
@@ -136,6 +174,14 @@ where
             }
         });
     }
+    // The process-local plan cache: pre-seeded by `PLAN` lines from the
+    // coordinator, consulted by every job, and incrementally exported back
+    // (local-origin entries only, so nothing is ever echoed).
+    let plan_cache = Arc::new(PlanCache::new());
+    let mut plan_cursor = 0usize;
+    let slow = options
+        .slow_per_job
+        .filter(|_| claim_flag(&options.slow_flag));
     let mut completed = 0usize;
     for line in input.lines() {
         let Ok(line) = line else { break };
@@ -152,13 +198,17 @@ where
                 return 2;
             }
         };
-        let CoordMsg::Run {
-            index,
-            seed,
-            scenario,
-        } = msg
-        else {
-            break; // DONE
+        let (index, seed, scenario) = match msg {
+            CoordMsg::Plan(entry) => {
+                plan_cache.import(std::slice::from_ref(&entry));
+                continue;
+            }
+            CoordMsg::Done => break,
+            CoordMsg::Run {
+                index,
+                seed,
+                scenario,
+            } => (index, seed, scenario),
         };
         let Some(spec) = catalog::find(&scenario) else {
             send(WorkerMsg::Error {
@@ -168,8 +218,13 @@ where
             return 2;
         };
         let spec = spec.with_seed(seed);
+        if let Some(delay) = slow {
+            // Straggler simulation: the ticker keeps heartbeating, so this
+            // worker looks perfectly healthy — just slow.
+            std::thread::sleep(delay);
+        }
         let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            RunRecord::from_outcome(&run_scenario(&spec))
+            RunRecord::from_outcome(&run_scenario_cached(&spec, Some(&plan_cache)))
         }));
         let record = match record {
             Ok(record) => record,
@@ -187,6 +242,13 @@ where
             }
         };
         send(WorkerMsg::Record { index, record });
+        // Ship whatever planner work this job contributed, so the
+        // coordinator can warm other shards (and future attempts) with it.
+        let (next_cursor, fresh_entries) = plan_cache.export_since(plan_cursor);
+        plan_cursor = next_cursor;
+        for entry in fresh_entries {
+            send(WorkerMsg::Plan(entry));
+        }
         completed += 1;
         if options.exit_after == Some(completed) {
             // Crash simulation: die without BYE; the coordinator sees EOF
@@ -194,7 +256,7 @@ where
             alive.store(false, Ordering::Relaxed);
             return EXIT_AFTER_STATUS;
         }
-        if options.wedge_after == Some(completed) && claim_wedge(&options) {
+        if options.wedge_after == Some(completed) && claim_flag(&options.wedge_flag) {
             // Hang simulation: stop heartbeating and stop responding, but
             // stay alive — only the coordinator's heartbeat timeout can
             // get the shard moving again.
@@ -222,6 +284,7 @@ pub fn worker_main() -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soter_scenarios::runner::run_scenario;
     use std::io::BufReader;
 
     /// An in-memory `Write` the test can inspect after `run_worker`

@@ -200,6 +200,7 @@ fn daemon_multiplexes_concurrent_unix_socket_clients_over_one_pool() {
         shard: test_config(),
         default_shards: 2,
         pool_capacity: 2,
+        ..ServeConfig::default()
     };
     let daemon = Daemon::new(config);
     let stop = Arc::new(AtomicBool::new(false));
@@ -292,6 +293,7 @@ fn daemon_stdin_transport_answers_errors_without_dropping_good_requests() {
         shard: test_config(),
         default_shards: 1,
         pool_capacity: 2,
+        ..ServeConfig::default()
     });
     let out = SharedBuf::default();
     daemon.serve(BufReader::new(input.as_bytes()), out.clone());
